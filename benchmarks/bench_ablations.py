@@ -1,0 +1,32 @@
+"""Benchmarks for the ablation studies (encoder choice, key refresh, PHT granularity)."""
+
+from conftest import run_once, save_result
+
+from repro.experiments import ablations
+
+
+def test_ablation_content_encoder(benchmark, scale):
+    result = run_once(benchmark, ablations.encoder_ablation, scale)
+    save_result(result)
+    overheads = [abs(float(row[1].rstrip("%"))) for row in result.rows]
+    # All encoders land in the same overhead band.
+    assert max(overheads) - min(overheads) < 6.0
+
+
+def test_ablation_key_refresh_policy(benchmark, scale):
+    result = run_once(benchmark, ablations.key_refresh_ablation, scale)
+    save_result(result)
+    rows = {row[0]: row for row in result.rows}
+    weak = rows["context switches only"]
+    strong = rows["context + privilege switches (paper)"]
+    assert float(weak[2].rstrip("%")) > 50.0
+    assert float(strong[2].rstrip("%")) < 5.0
+
+
+def test_ablation_pht_granularity(benchmark, scale):
+    result = run_once(benchmark, ablations.pht_granularity_ablation, scale)
+    save_result(result)
+    rows = {row[0]: row for row in result.rows}
+    naive = float(rows["XOR-PHT (2-bit words, fixed key)"][2].rstrip("%"))
+    enhanced = float(rows["Noisy-XOR-PHT"][2].rstrip("%"))
+    assert naive > enhanced

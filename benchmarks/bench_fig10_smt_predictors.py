@@ -1,0 +1,31 @@
+"""Benchmark regenerating Figure 10 (three mechanisms × four predictors, SMT-2).
+
+This is the most expensive benchmark in the suite (four predictors × four
+configurations × twelve SMT pairs).
+"""
+
+from conftest import run_once, save_result
+
+from repro.experiments import fig10_smt_predictors
+
+
+def test_figure10_smt_mechanisms_per_predictor(benchmark, scale):
+    result = run_once(benchmark, fig10_smt_predictors.run, scale)
+    save_result(result)
+    figure = result.figure
+    averages = figure.averages()
+    # Shape: baseline MPKI ordering follows the paper (gshare worst, TAGE-SC-L best).
+    mpki = {row[0]: float(row[1]) for row in result.rows[:4]}
+    assert mpki["gshare"] > mpki["tournament"] > mpki["tage_sc_l"] * 0.8
+    # Shape: Precise Flush does not cost more than Complete Flush for the
+    # predictors dominated by PC-indexed / tagged state.  (Known divergence,
+    # documented in EXPERIMENTS.md: the history-indexed Tournament predictor
+    # inverts this ordering under full per-entry thread tagging.)
+    for predictor in ("gshare", "ltage", "tage_sc_l"):
+        assert averages[f"{predictor}-PF"] <= averages[f"{predictor}-CF"] + 0.01
+    # Shape: for Gshare — the predictor the paper uses to present the
+    # mechanism — Noisy-XOR-BP is clearly cheaper than Complete Flush (the
+    # paper's headline SMT result), and for LTAGE it stays within a couple of
+    # percentage points of Complete Flush.
+    assert averages["gshare-Noisy-XOR-BP"] < averages["gshare-CF"]
+    assert averages["ltage-Noisy-XOR-BP"] <= averages["ltage-CF"] + 0.03

@@ -1,0 +1,15 @@
+"""Benchmark regenerating Figure 1 (Complete-Flush overhead, single-threaded core)."""
+
+from conftest import run_once, save_result
+
+from repro.experiments import fig1_flush_single
+
+
+def test_figure1_flush_overhead_single_thread(benchmark, scale):
+    result = run_once(benchmark, fig1_flush_single.run, scale)
+    save_result(result)
+    averages = result.figure.averages()
+    # Shape: flushing less often never costs more on average.
+    assert averages["flush-12M"] <= averages["flush-4M"] + 0.01
+    # Overheads are small positive numbers (inflated by scaling, but bounded).
+    assert all(value < 0.25 for value in averages.values())

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Figure 2 (Complete-Flush overhead on SMT-2 / SMT-4)."""
+
+from conftest import run_once, save_result
+
+from repro.experiments import fig2_flush_smt
+
+
+def test_figure2_flush_overhead_smt(benchmark, scale):
+    result = run_once(benchmark, fig2_flush_smt.run, scale)
+    save_result(result)
+    smt2, smt4 = result.figure.series["Complete Flush"]
+    # Shape: SMT flushing is costly and gets worse with more threads.
+    assert smt2 > 0.0
+    assert smt4 > smt2 * 0.6

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Figure 7 (XOR-BTB / Noisy-XOR-BTB overhead)."""
+
+from conftest import run_once, save_result
+
+from repro.experiments import fig7_xor_btb
+
+
+def test_figure7_xor_btb_overhead(benchmark, scale):
+    result = run_once(benchmark, fig7_xor_btb.run, scale)
+    save_result(result)
+    figure = result.figure
+    averages = figure.averages()
+    # Shape: index randomisation adds essentially nothing over content encoding.
+    for label in ("4M", "8M", "12M"):
+        assert abs(averages[f"Noisy-XOR-BTB-{label}"]
+                   - averages[f"XOR-BTB-{label}"]) < 0.03
+    # Shape: case6 (gobmk+libquantum) is among the costliest cases.
+    case_index = figure.categories.index("case6")
+    series = figure.series["XOR-BTB-8M"]
+    assert series[case_index] >= sorted(series)[len(series) // 2]

@@ -1,0 +1,17 @@
+"""Benchmark regenerating Figure 8 (XOR-PHT / Noisy-XOR-PHT overhead)."""
+
+from conftest import run_once, save_result
+
+from repro.experiments import fig8_xor_pht
+
+
+def test_figure8_xor_pht_overhead(benchmark, scale):
+    result = run_once(benchmark, fig8_xor_pht.run, scale)
+    save_result(result)
+    figure = result.figure
+    # Shape: case1 (gcc+calculix) is among the costliest cases.
+    case_index = figure.categories.index("case1")
+    series = figure.series["XOR-PHT-8M"]
+    assert series[case_index] >= sorted(series)[len(series) // 2]
+    # Overheads remain bounded.
+    assert all(value < 0.35 for value in figure.averages().values())

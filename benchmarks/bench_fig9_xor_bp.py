@@ -1,0 +1,20 @@
+"""Benchmark regenerating Figure 9 (combined XOR-BP / Noisy-XOR-BP overhead)."""
+
+from conftest import run_once, save_result
+
+from repro.experiments import fig9_xor_bp
+
+
+def test_figure9_xor_bp_overhead(benchmark, scale):
+    result = run_once(benchmark, fig9_xor_bp.run, scale)
+    save_result(result)
+    figure = result.figure
+    averages = figure.averages()
+    # Shape: the overhead is insensitive to the timer period (privilege
+    # switches dominate): the spread across 4M/8M/12M is small.
+    xor_bp = [averages["XOR-BP-4M"], averages["XOR-BP-8M"], averages["XOR-BP-12M"]]
+    assert max(xor_bp) - min(xor_bp) < 0.08
+    # Shape: case1 is the costliest case for the combined mechanism.
+    case_index = figure.categories.index("case1")
+    series = figure.series["Noisy-XOR-BP-8M"]
+    assert series[case_index] >= sorted(series)[len(series) * 2 // 3]

@@ -1,0 +1,20 @@
+"""Benchmark regenerating the Section 5.5 proof-of-concept attack experiment."""
+
+from conftest import run_once, save_result
+
+from repro.experiments import poc_attacks
+
+
+def test_poc_attack_defense(benchmark, scale):
+    result = run_once(benchmark, poc_attacks.run, scale)
+    save_result(result)
+    rows = {row[0]: row for row in result.rows}
+    baseline_btb = float(rows["baseline"][1].rstrip("%"))
+    protected_btb = float(rows["noisy_xor_bp"][1].rstrip("%"))
+    baseline_pht = float(rows["baseline"][3].rstrip("%"))
+    protected_pht_iterations = float(rows["noisy_xor_bp"][5].rstrip("%"))
+    # Paper: 96.5% / 97.2% baseline, below 1% with XOR isolation.
+    assert baseline_btb > 90.0
+    assert protected_btb < 3.0
+    assert baseline_pht > 90.0
+    assert protected_pht_iterations < 1.0

@@ -1,0 +1,43 @@
+"""Benchmarks for the sensitivity-study extensions (DESIGN.md section 6).
+
+These go beyond the paper's figures: a wider context-switch-interval sweep, a
+misprediction-penalty sweep, and the SMT-4 comparison the paper only shows
+for Complete Flush.
+"""
+
+from conftest import run_once, save_result
+
+from repro.experiments import sensitivity
+
+
+def test_switch_interval_sensitivity(benchmark, scale):
+    result = run_once(benchmark, sensitivity.switch_interval_sensitivity, scale)
+    save_result(result)
+    figure = result.figure
+    # Shape: the overhead stays bounded at every interval (absolute values are
+    # inflated by the scaled-down simulation, as in Figures 8 and 9) and does
+    # not grow as the timer period lengthens from 2M to 24M cycles.
+    for values in figure.series.values():
+        assert all(value < 0.20 for value in values)
+    per_interval_means = [sum(figure.series[case][i] for case in figure.series)
+                          / len(figure.series)
+                          for i in range(len(figure.categories))]
+    assert per_interval_means[-1] <= per_interval_means[0] + 0.01
+
+
+def test_mispredict_penalty_sensitivity(benchmark, scale):
+    result = run_once(benchmark, sensitivity.mispredict_penalty_sensitivity, scale)
+    save_result(result)
+    values = result.figure.series["noisy_xor_bp"]
+    # Shape: a deeper pipeline (larger penalty) never makes protection cheaper
+    # by more than noise.
+    assert values[-1] >= values[0] - 0.02
+
+
+def test_smt4_noisy_xor(benchmark, scale):
+    result = run_once(benchmark, sensitivity.smt4_noisy_xor, scale)
+    save_result(result)
+    averages = result.figure.averages()
+    # Shape: Noisy-XOR-BP does not cost more than Precise Flush on SMT-4
+    # (Precise Flush partitions the shared tables between four threads).
+    assert averages["noisy_xor_bp"] <= averages["precise_flush"] + 0.02

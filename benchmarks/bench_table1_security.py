@@ -1,0 +1,14 @@
+"""Benchmark regenerating Table 1 (security comparison matrix)."""
+
+from conftest import run_once, save_result
+
+from repro.experiments import table1_security
+
+
+def test_table1_security_matrix(benchmark, scale):
+    result = run_once(benchmark, table1_security.run, scale)
+    save_result(result)
+    assert len(result.rows) == 9
+    # Every mechanism defends reuse attacks on the single-threaded core.
+    single_reuse_column = 2
+    assert all(row[single_reuse_column].startswith("Defend") for row in result.rows)

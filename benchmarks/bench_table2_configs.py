@@ -1,0 +1,11 @@
+"""Benchmark regenerating Table 2 (core configurations)."""
+
+from conftest import run_once, save_result
+
+from repro.experiments import table2_configs
+
+
+def test_table2_core_configurations(benchmark, scale):
+    result = run_once(benchmark, table2_configs.run, scale)
+    save_result(result)
+    assert any("Issue width" in str(row[0]) for row in result.rows)

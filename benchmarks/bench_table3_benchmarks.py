@@ -1,0 +1,11 @@
+"""Benchmark regenerating Table 3 (benchmark pair sets)."""
+
+from conftest import run_once, save_result
+
+from repro.experiments import table3_benchmarks
+
+
+def test_table3_benchmark_sets(benchmark, scale):
+    result = run_once(benchmark, table3_benchmarks.run, scale)
+    save_result(result)
+    assert len(result.rows) == 12

@@ -1,0 +1,17 @@
+"""Benchmark regenerating Table 4 (privilege switches per million cycles)."""
+
+from conftest import run_once, save_result
+
+from repro.experiments import table4_privilege
+
+
+def test_table4_privilege_switch_rates(benchmark, scale):
+    result = run_once(benchmark, table4_privilege.run, scale)
+    save_result(result)
+    rates = {row[0]: float(row[2]) for row in result.rows}
+    # Shape: case2 (milc+povray) has the highest rate, as in the paper.
+    assert rates["case2"] == max(rates.values())
+    # Rates are within a factor of ~2 of the paper's per-case values.
+    paper = table4_privilege.PAPER_PRIVILEGE_SWITCH_RATES
+    close = sum(0.4 * paper[c] <= rates[c] <= 2.5 * paper[c] for c in rates)
+    assert close >= 8

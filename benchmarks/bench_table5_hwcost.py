@@ -1,0 +1,17 @@
+"""Benchmark regenerating Table 5 (area and timing overhead)."""
+
+from conftest import run_once, save_result
+
+from repro.experiments import table5_hwcost
+
+
+def test_table5_hardware_cost(benchmark, scale):
+    result = run_once(benchmark, table5_hwcost.run, scale)
+    save_result(result)
+    timings = [float(row[1].rstrip("%")) for row in result.rows]
+    areas = [float(row[3].rstrip("%")) for row in result.rows]
+    assert all(t < 3.0 for t in timings)
+    assert all(a < 0.5 for a in areas)
+    # BTB timing overhead grows with size; BTB area overhead shrinks.
+    assert timings[0] < timings[2]
+    assert areas[0] > areas[2]

@@ -1,0 +1,52 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures by calling the
+corresponding driver in :mod:`repro.experiments` exactly once (these are
+long-running simulations, not micro-benchmarks, so ``pedantic`` with a single
+round is used), stores the rendered artefact under ``benchmarks/results/`` and
+performs light shape checks.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  The ``REPRO_SCALE``
+environment variable scales the simulated trace lengths (e.g. ``0.5`` for a
+quick pass, ``4`` for a higher-fidelity overnight run).
+"""
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+try:  # pragma: no cover
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def save_result(result) -> str:
+    """Render an ExperimentResult and store it under ``benchmarks/results/``."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = result.render()
+    filename = result.name.lower().replace(" ", "_").replace("(", "").replace(")", "")
+    path = os.path.join(RESULTS_DIR, f"{filename}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print()
+    print(text)
+    return path
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The experiment scale shared by every benchmark in the session."""
+    from repro.experiments import default_scale
+    return default_scale()

@@ -1,0 +1,18 @@
+"""Pytest bootstrap: make the ``src`` layout importable without installation.
+
+The package is normally installed with ``pip install -e .``; this shim keeps
+``pytest`` working in minimal environments (e.g. offline CI images without the
+``wheel`` package) by putting ``src/`` on ``sys.path`` when the package is not
+already importable.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+
+try:  # pragma: no cover - trivial import probe
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Attack gallery: every attack class of Section 2 against every mechanism.
+
+Reproduces, at example scale, the qualitative content of Table 1: which
+mechanisms defend, mitigate or fail against reuse-based and contention-based
+attacks on a single-threaded core and on an SMT core.
+
+Run:  python examples/attack_gallery.py
+"""
+
+from repro.analysis import render_table
+from repro.attacks import run_attack
+from repro.security import classify_success_rate
+
+SINGLE_THREAD_ATTACKS = [
+    ("spectre_v2_btb_training", "BTB reuse (malicious training)"),
+    ("branch_shadowing", "BTB reuse (perception)"),
+    ("sbpa", "BTB contention"),
+    ("branchscope", "PHT reuse (perception)"),
+]
+
+SMT_ATTACKS = [
+    ("spectre_v2_btb_training", "BTB reuse (malicious training)"),
+    ("jump_over_aslr", "BTB contention (ASLR bypass)"),
+    ("branchscope", "PHT reuse (perception)"),
+    ("branchscope_calibrated", "PHT reuse (calibrated)"),
+]
+
+MECHANISMS = ["baseline", "complete_flush", "precise_flush", "xor_bp", "noisy_xor_bp"]
+
+
+def gallery(attacks, smt: bool, iterations: int = 150) -> str:
+    rows = []
+    for attack_name, description in attacks:
+        row = [description]
+        for mechanism in MECHANISMS:
+            result = run_attack(attack_name, mechanism, smt=smt,
+                                iterations=iterations)
+            verdict = classify_success_rate(result.success_rate, result.chance_level)
+            row.append(f"{100 * result.success_rate:.0f}% ({verdict.value[0]})")
+        rows.append(row)
+    return render_table(["attack"] + MECHANISMS, rows)
+
+
+def main() -> None:
+    print("Success rates; (D)=Defend, (M)=Mitigate, (N)=No Protection\n")
+    print("== Single-threaded core (attacker and victim time-share the core) ==")
+    print(gallery(SINGLE_THREAD_ATTACKS, smt=False))
+    print()
+    print("== SMT core (attacker runs concurrently on the sibling thread) ==")
+    print(gallery(SMT_ATTACKS, smt=True))
+    print()
+    print("Compare with Table 1 of the paper: flush-based mechanisms lose their "
+          "protection on SMT cores, content encoding (XOR-BP) stops reuse "
+          "attacks, and only index randomisation (Noisy-XOR-BP) blunts "
+          "contention-based attacks such as Jump-over-ASLR.")
+
+
+if __name__ == "__main__":
+    main()

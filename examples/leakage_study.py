@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Quantifying the side channel: mutual information through the predictor.
+
+Table 1 of the paper classifies each mechanism qualitatively (Defend /
+Mitigate / No Protection).  This example puts numbers behind the verdicts by
+measuring the mutual information between a one-bit victim secret and what the
+attacker observes through the two predictor channels:
+
+* the PHT *direction* channel (BranchScope-style reuse attack), and
+* the BTB *occupancy* channel (SBPA-style contention attack),
+
+in both the single-threaded (time-shared) and SMT (concurrent) scenarios.
+It also converts the per-trial leakage into an estimated bandwidth, showing
+the Scenario 5 effect: Noisy-XOR makes each probe round more expensive, so
+even residual leakage drains slowly.
+
+Run:  python examples/leakage_study.py
+"""
+
+from repro.analysis import render_table
+from repro.attacks import run_covert_channel
+from repro.security import (
+    leakage_bandwidth,
+    measure_btb_occupancy_leakage,
+    measure_direction_leakage,
+)
+
+MECHANISMS = ("baseline", "complete_flush", "precise_flush",
+              "xor_bp", "noisy_xor_bp")
+TRIALS = 400
+
+
+def channel_table(smt: bool) -> None:
+    """Leakage of both channels for every mechanism in one scenario."""
+    rows = []
+    for mechanism in MECHANISMS:
+        direction = measure_direction_leakage(mechanism, trials=TRIALS, smt=smt)
+        occupancy = measure_btb_occupancy_leakage(mechanism, trials=TRIALS, smt=smt)
+        rows.append([
+            mechanism,
+            f"{direction.mutual_information_bits:.3f}",
+            f"{100 * direction.guess_accuracy:.1f}%",
+            f"{occupancy.mutual_information_bits:.3f}",
+            f"{100 * occupancy.guess_accuracy:.1f}%",
+            f"{leakage_bandwidth(direction):,.0f}",
+        ])
+    scenario = "SMT (concurrent attacker)" if smt else "single-threaded (time-shared)"
+    print(render_table(
+        ["mechanism", "PHT MI (bits)", "PHT guess", "BTB MI (bits)", "BTB guess",
+         "PHT bandwidth (bits/s)"],
+        rows, title=f"Leakage per trial, {scenario} scenario, {TRIALS} trials"))
+    print()
+
+
+def covert_channel_table() -> None:
+    """A cooperating sender/receiver pair: raw covert-channel capacity."""
+    rows = []
+    for mechanism in MECHANISMS:
+        result = run_covert_channel(mechanism, payload_bits=256)
+        rows.append([mechanism,
+                     f"{100 * result.bit_error_rate:.1f}%",
+                     f"{result.capacity_bits_per_symbol:.3f}",
+                     f"{result.bandwidth_bits_per_second:,.0f}"])
+    print(render_table(
+        ["mechanism", "bit error rate", "capacity (bits/symbol)",
+         "bandwidth (bits/s)"], rows,
+        title="PHT covert channel between cooperating processes"))
+    print()
+
+
+def main() -> None:
+    print("== How much does each mechanism actually leak? ==\n")
+    channel_table(smt=False)
+    channel_table(smt=True)
+    covert_channel_table()
+    print("Reading guide: ~1.0 bits = the attacker recovers the secret every "
+          "trial; ~0.0 bits = the observation is independent of the secret.\n"
+          "Compare with Table 1: cells marked 'Defend' should be near zero, "
+          "'Mitigate' small but possibly non-zero, 'No Protection' near one.")
+
+
+if __name__ == "__main__":
+    main()

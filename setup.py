@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so that environments without the ``wheel`` package (which PEP 660
+editable installs require) can still do a development install via
+``python setup.py develop`` or ``pip install -e . --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

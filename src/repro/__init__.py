@@ -1,0 +1,26 @@
+"""repro: reproduction of "A Lightweight Isolation Mechanism for Secure Branch Predictors".
+
+The package is organised as follows:
+
+* :mod:`repro.predictors` — branch-predictor substrate (Gshare, Tournament,
+  TAGE/LTAGE/TAGE-SC-L, BTB, RAS) built on a storage layer that accepts
+  pluggable isolation policies;
+* :mod:`repro.core` — the paper's contribution: XOR-BP, Enhanced-XOR-PHT and
+  Noisy-XOR-BP, plus the flush-based baselines and key management;
+* :mod:`repro.cpu` — trace-driven out-of-order CPU timing model with an OS
+  scheduler (context switches, privilege switches) and SMT support;
+* :mod:`repro.workloads` — SPEC-CPU2006-like synthetic branch workloads and
+  the paper's benchmark pairings;
+* :mod:`repro.attacks` — reuse-based and contention-based attack framework
+  (BranchScope, Spectre-V2 training, SBPA, Branch Shadowing, Jump-over-ASLR);
+* :mod:`repro.security` — the Table-1 security-classification analysis;
+* :mod:`repro.hwcost` — analytic area/timing cost model (Table 5);
+* :mod:`repro.experiments` — one driver per paper table/figure;
+* :mod:`repro.analysis` — metrics, table and figure rendering helpers.
+"""
+
+from .types import BranchType, Privilege
+
+__version__ = "1.0.0"
+
+__all__ = ["BranchType", "Privilege", "__version__"]

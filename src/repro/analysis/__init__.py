@@ -1,0 +1,56 @@
+"""Reporting helpers: metrics, tables, figures, sweeps, export and reports."""
+
+from .export import (
+    figure_from_dict,
+    figure_to_dict,
+    load_result_json,
+    result_from_dict,
+    result_to_dict,
+    save_figure_csv,
+    save_result_json,
+    save_results_json,
+)
+from .figures import FigureSeries
+from .metrics import (
+    arithmetic_mean,
+    geometric_mean,
+    mpki,
+    normalise,
+    percent,
+    relative_overhead,
+)
+from .report import (
+    PAPER_EXPECTATIONS,
+    PaperExpectation,
+    ReproductionReport,
+    summarise_overhead_figure,
+)
+from .sweeps import SweepPoint, SweepResult, sweep
+from .tables import render_csv, render_table
+
+__all__ = [
+    "FigureSeries",
+    "figure_to_dict",
+    "figure_from_dict",
+    "result_to_dict",
+    "result_from_dict",
+    "save_result_json",
+    "load_result_json",
+    "save_results_json",
+    "save_figure_csv",
+    "PaperExpectation",
+    "PAPER_EXPECTATIONS",
+    "ReproductionReport",
+    "summarise_overhead_figure",
+    "SweepPoint",
+    "SweepResult",
+    "sweep",
+    "arithmetic_mean",
+    "geometric_mean",
+    "mpki",
+    "normalise",
+    "percent",
+    "relative_overhead",
+    "render_csv",
+    "render_table",
+]

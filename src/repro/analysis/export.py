@@ -1,0 +1,119 @@
+"""Serialisation of experiment results.
+
+Every experiment driver returns an
+:class:`repro.experiments.base.ExperimentResult`; this module converts those
+results (and their attached :class:`repro.analysis.figures.FigureSeries`) to
+plain dictionaries, JSON files and CSV files so that the reproduced tables
+and figures can be archived, diffed between runs, or plotted with external
+tools.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, List, Optional
+
+from .figures import FigureSeries
+
+__all__ = [
+    "figure_to_dict",
+    "figure_from_dict",
+    "result_to_dict",
+    "result_from_dict",
+    "save_result_json",
+    "load_result_json",
+    "save_results_json",
+    "save_figure_csv",
+]
+
+
+def figure_to_dict(figure: FigureSeries) -> Dict[str, Any]:
+    """Convert a figure series into a JSON-friendly dictionary."""
+    return {
+        "name": figure.name,
+        "description": figure.description,
+        "categories": list(figure.categories),
+        "series": {label: list(values) for label, values in figure.series.items()},
+        "unit": figure.unit,
+    }
+
+
+def figure_from_dict(data: Dict[str, Any]) -> FigureSeries:
+    """Rebuild a figure series from :func:`figure_to_dict` output."""
+    figure = FigureSeries(name=data["name"], description=data["description"],
+                          categories=list(data["categories"]),
+                          unit=data.get("unit", "fraction"))
+    for label, values in data.get("series", {}).items():
+        figure.add_series(label, values)
+    return figure
+
+
+def result_to_dict(result) -> Dict[str, Any]:
+    """Convert an :class:`ExperimentResult` into a JSON-friendly dictionary."""
+    return {
+        "name": result.name,
+        "description": result.description,
+        "headers": list(result.headers),
+        "rows": [list(row) for row in result.rows],
+        "figure": figure_to_dict(result.figure) if result.figure is not None else None,
+        "paper_claim": result.paper_claim,
+        "notes": result.notes,
+    }
+
+
+def result_from_dict(data: Dict[str, Any]):
+    """Rebuild an :class:`ExperimentResult` from :func:`result_to_dict` output."""
+    # Imported here to avoid a package cycle (experiments import analysis).
+    from ..experiments.base import ExperimentResult
+
+    figure = figure_from_dict(data["figure"]) if data.get("figure") else None
+    return ExperimentResult(name=data["name"], description=data["description"],
+                            headers=list(data.get("headers", [])),
+                            rows=[list(row) for row in data.get("rows", [])],
+                            figure=figure,
+                            paper_claim=data.get("paper_claim", ""),
+                            notes=data.get("notes", ""))
+
+
+def save_result_json(result, path: str) -> str:
+    """Write one experiment result to a JSON file; returns the path."""
+    _ensure_parent(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result_to_dict(result), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_result_json(path: str):
+    """Read an experiment result previously written by :func:`save_result_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return result_from_dict(json.load(handle))
+
+
+def save_results_json(results: Iterable, path: str) -> str:
+    """Write several experiment results to a single JSON file."""
+    _ensure_parent(path)
+    payload: List[Dict[str, Any]] = [result_to_dict(result) for result in results]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def save_figure_csv(result, path: str) -> Optional[str]:
+    """Write a result's figure series to a CSV file (no-op without a figure)."""
+    if result.figure is None:
+        return None
+    _ensure_parent(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(result.figure.to_csv())
+        if not result.figure.to_csv().endswith("\n"):
+            handle.write("\n")
+    return path
+
+
+def _ensure_parent(path: str) -> None:
+    parent = os.path.dirname(os.path.abspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)

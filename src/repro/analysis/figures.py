@@ -1,0 +1,79 @@
+"""Figure data series: the bar-chart data behind the paper's figures.
+
+Figures are reproduced as *data* (per-case series plus averages) rather than
+as rendered images; :meth:`FigureSeries.render` produces an ASCII bar chart
+good enough to eyeball the shape, and :meth:`FigureSeries.to_csv` exports the
+series for external plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from .metrics import arithmetic_mean
+from .tables import render_csv, render_table
+
+__all__ = ["FigureSeries"]
+
+
+@dataclass
+class FigureSeries:
+    """Grouped bar-chart data (categories × series).
+
+    Attributes:
+        name: figure identifier (e.g. ``"Figure 7"``).
+        description: what the figure shows.
+        categories: x-axis category labels (e.g. ``case1`` ... ``case12``).
+        series: mapping from series label (e.g. ``XOR-BTB-8M``) to one value
+            per category.
+        unit: unit of the values (``"fraction"`` for normalised overheads).
+    """
+
+    name: str
+    description: str
+    categories: List[str]
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    unit: str = "fraction"
+
+    def add_series(self, label: str, values: Sequence[float]) -> None:
+        """Add one series; must have one value per category."""
+        values = list(values)
+        if len(values) != len(self.categories):
+            raise ValueError(
+                f"series {label!r} has {len(values)} values for "
+                f"{len(self.categories)} categories")
+        self.series[label] = values
+
+    def average(self, label: str) -> float:
+        """Arithmetic mean of one series across categories."""
+        return arithmetic_mean(self.series[label])
+
+    def averages(self) -> Dict[str, float]:
+        """Mean of every series."""
+        return {label: self.average(label) for label in self.series}
+
+    # -- rendering ---------------------------------------------------------------
+    def to_rows(self) -> List[List]:
+        """Rows of (category, value per series), with a final average row."""
+        rows: List[List] = []
+        labels = list(self.series)
+        for i, category in enumerate(self.categories):
+            rows.append([category] + [self.series[label][i] for label in labels])
+        rows.append(["average"] + [self.average(label) for label in labels])
+        return rows
+
+    def render(self) -> str:
+        """Render the figure data as an aligned table."""
+        labels = list(self.series)
+        headers = ["case"] + labels
+        rows = self.to_rows()
+        if self.unit == "fraction":
+            rows = [[row[0]] + [f"{100 * v:+.2f}%" for v in row[1:]] for row in rows]
+        return render_table(headers, rows,
+                            title=f"{self.name}: {self.description}")
+
+    def to_csv(self) -> str:
+        """Export the figure data as CSV."""
+        headers = ["case"] + list(self.series)
+        return render_csv(headers, self.to_rows())

@@ -1,0 +1,53 @@
+"""Metrics helpers: overheads, means, MPKI."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = ["relative_overhead", "arithmetic_mean", "geometric_mean",
+           "percent", "mpki", "normalise"]
+
+
+def relative_overhead(value: float, baseline: float) -> float:
+    """Relative slowdown of ``value`` versus ``baseline`` (positive = slower)."""
+    if baseline == 0:
+        return 0.0
+    return value / baseline - 1.0
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (0.0 for an empty sequence)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def percent(fraction: float, digits: int = 2) -> str:
+    """Format a fraction as a signed percentage string."""
+    return f"{100.0 * fraction:+.{digits}f}%"
+
+
+def mpki(mispredictions: int, instructions: int) -> float:
+    """Mispredictions per thousand instructions."""
+    if instructions == 0:
+        return 0.0
+    return 1000.0 * mispredictions / instructions
+
+
+def normalise(values: Sequence[float], reference: float) -> list:
+    """Divide every value by a reference (1.0 when the reference is zero)."""
+    if reference == 0:
+        return [1.0 for _ in values]
+    return [v / reference for v in values]

@@ -1,0 +1,135 @@
+"""Generic parameter-sweep helpers.
+
+The sensitivity studies (context-switch interval, misprediction penalty, BTB
+geometry, key-refresh period) all follow the same pattern: evaluate a metric
+over the Cartesian product of a few parameter axes and present the result as
+a table or figure series.  This module factors that pattern out so each study
+is a few lines of code.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
+
+from .figures import FigureSeries
+from .tables import render_table
+
+__all__ = ["SweepPoint", "SweepResult", "sweep"]
+
+
+@dataclass
+class SweepPoint:
+    """One evaluated point of a parameter sweep.
+
+    Attributes:
+        params: the parameter assignment for this point.
+        value: the metric value returned by the sweep function.
+    """
+
+    params: Dict[str, Any]
+    value: Any
+
+
+@dataclass
+class SweepResult:
+    """All points of one sweep plus presentation helpers.
+
+    Attributes:
+        axes: parameter axes in sweep order (name → swept values).
+        points: evaluated points, in Cartesian-product order.
+        metric: name of the evaluated metric (used as the value column label).
+    """
+
+    axes: Dict[str, Sequence[Any]]
+    points: List[SweepPoint] = field(default_factory=list)
+    metric: str = "value"
+
+    def values(self) -> List[Any]:
+        """The metric values in evaluation order."""
+        return [point.value for point in self.points]
+
+    def best(self, *, minimise: bool = True) -> SweepPoint:
+        """The point with the smallest (or largest) metric value."""
+        if not self.points:
+            raise ValueError("the sweep has no points")
+        selector = min if minimise else max
+        return selector(self.points, key=lambda point: point.value)
+
+    def filtered(self, **fixed: Any) -> List[SweepPoint]:
+        """Points whose parameters match all the given values."""
+        return [point for point in self.points
+                if all(point.params.get(key) == value for key, value in fixed.items())]
+
+    def to_rows(self) -> List[List[Any]]:
+        """Rows of (one column per axis, then the metric value)."""
+        names = list(self.axes)
+        return [[point.params[name] for name in names] + [point.value]
+                for point in self.points]
+
+    def render(self, title: str = "") -> str:
+        """Render the sweep as an aligned table."""
+        headers = list(self.axes) + [self.metric]
+        return render_table(headers, self.to_rows(), title=title)
+
+    def to_figure(self, category_axis: str, series_axis: str, *,
+                  name: str = "sweep", description: str = "",
+                  unit: str = "fraction") -> FigureSeries:
+        """Pivot a two-axis sweep into a figure series.
+
+        Args:
+            category_axis: axis used as the x-axis categories.
+            series_axis: axis used as the series (one bar group per value).
+            name: figure name.
+            description: figure description.
+            unit: value unit forwarded to the figure.
+
+        Raises:
+            KeyError: when an axis name is unknown.
+            ValueError: when a (category, series) combination is missing.
+        """
+        categories = [str(value) for value in self.axes[category_axis]]
+        figure = FigureSeries(name=name, description=description,
+                              categories=categories, unit=unit)
+        for series_value in self.axes[series_axis]:
+            values = []
+            for category_value in self.axes[category_axis]:
+                matches = self.filtered(**{category_axis: category_value,
+                                           series_axis: series_value})
+                if not matches:
+                    raise ValueError(
+                        f"missing sweep point for {category_axis}={category_value!r}, "
+                        f"{series_axis}={series_value!r}")
+                values.append(float(matches[0].value))
+            figure.add_series(str(series_value), values)
+        return figure
+
+
+def sweep(axes: Mapping[str, Iterable[Any]],
+          evaluate: Callable[..., Any], *, metric: str = "value",
+          **fixed: Any) -> SweepResult:
+    """Evaluate a function over the Cartesian product of parameter axes.
+
+    Args:
+        axes: mapping from parameter name to the values to sweep (insertion
+            order defines the nesting order; the last axis varies fastest).
+        evaluate: called once per combination with the swept parameters plus
+            any ``fixed`` keyword arguments; its return value is the metric.
+        metric: label for the metric column in rendered output.
+        **fixed: extra keyword arguments passed unchanged to every call.
+
+    Returns:
+        A :class:`SweepResult` with one :class:`SweepPoint` per combination.
+    """
+    materialised: Dict[str, Sequence[Any]] = {name: list(values)
+                                              for name, values in axes.items()}
+    if not materialised:
+        raise ValueError("at least one sweep axis is required")
+    result = SweepResult(axes=materialised, metric=metric)
+    names = list(materialised)
+    for combination in itertools.product(*(materialised[name] for name in names)):
+        params = dict(zip(names, combination))
+        value = evaluate(**params, **fixed)
+        result.points.append(SweepPoint(params=params, value=value))
+    return result

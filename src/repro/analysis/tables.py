@@ -1,0 +1,55 @@
+"""Plain-text table rendering used by the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["render_table", "render_csv"]
+
+
+def _stringify(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence], *,
+                 title: str = "") -> str:
+    """Render an aligned ASCII table.
+
+    Args:
+        headers: column headers.
+        rows: row cell values (converted with ``str``/float formatting).
+        title: optional title printed above the table.
+
+    Returns:
+        The rendered multi-line string.
+    """
+    str_rows: List[List[str]] = [[_stringify(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(format_row(row))
+    return "\n".join(lines)
+
+
+def render_csv(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render rows as comma-separated values (for piping into plotting tools)."""
+    lines = [",".join(str(h) for h in headers)]
+    for row in rows:
+        lines.append(",".join(_stringify(c) for c in row))
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Attack framework: reuse-based and contention-based branch predictor attacks."""
+
+from .base import Attack, AttackResult
+from .branch_shadowing import BranchShadowingAttack
+from .branchscope import BranchScopeAttack, CalibratedBranchScopeAttack
+from .covert_channel import CovertChannelResult, run_covert_channel
+from .harness import (
+    ALL_ATTACKS,
+    AttackScenario,
+    make_attack,
+    run_attack,
+    run_attack_matrix,
+    summarise,
+)
+from .jump_aslr import JumpOverAslrAttack
+from .pht_training import PhtTrainingAttack
+from .primitives import AttackEnvironment, TimingChannel
+from .sbpa import SbpaAttack
+from .spectre_v2 import BtbTrainingAttack
+
+__all__ = [
+    "CovertChannelResult",
+    "run_covert_channel",
+    "Attack",
+    "AttackResult",
+    "AttackEnvironment",
+    "TimingChannel",
+    "AttackScenario",
+    "ALL_ATTACKS",
+    "make_attack",
+    "run_attack",
+    "run_attack_matrix",
+    "summarise",
+    "PhtTrainingAttack",
+    "BtbTrainingAttack",
+    "BranchScopeAttack",
+    "CalibratedBranchScopeAttack",
+    "SbpaAttack",
+    "BranchShadowingAttack",
+    "JumpOverAslrAttack",
+]

@@ -1,0 +1,89 @@
+"""Common attack interface and result types."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .primitives import AttackEnvironment
+
+__all__ = ["Attack", "AttackResult"]
+
+
+@dataclass
+class AttackResult:
+    """Outcome of running an attack many iterations against one configuration.
+
+    Attributes:
+        attack: attack name.
+        mechanism: protection preset the predictor was built with.
+        smt: whether the SMT (concurrent attacker) scenario was used.
+        iterations: number of attack iterations performed.
+        successes: iterations in which the attack met its success criterion.
+        chance_level: success rate a blind-guessing attacker would achieve;
+            success rates at or near this level mean the attack is defeated.
+        details: attack-specific extra measurements.
+    """
+
+    attack: str
+    mechanism: str
+    smt: bool
+    iterations: int
+    successes: int
+    chance_level: float = 0.0
+    details: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of iterations in which the attack succeeded."""
+        if self.iterations == 0:
+            return 0.0
+        return self.successes / self.iterations
+
+    @property
+    def advantage(self) -> float:
+        """Attacker advantage over blind guessing (0 = fully defeated)."""
+        return max(0.0, self.success_rate - self.chance_level)
+
+
+class Attack(abc.ABC):
+    """One attack scenario against a branch prediction unit.
+
+    Concrete attacks implement :meth:`run_iteration`, which performs one full
+    Locate/Prime/(victim)/Probe cycle and reports whether the attacker
+    achieved its goal this iteration.
+    """
+
+    #: Machine-readable attack name.
+    name: str = "attack"
+    #: Structure attacked: ``"pht"`` or ``"btb"``.
+    target_structure: str = "pht"
+    #: Attack class per Section 2.1: ``"reuse"`` or ``"contention"``.
+    kind: str = "reuse"
+    #: Success rate of a blind-guessing attacker.
+    chance_level: float = 0.0
+
+    @abc.abstractmethod
+    def run_iteration(self, env: AttackEnvironment, iteration: int) -> bool:
+        """Run one attack iteration; return True on success."""
+
+    def reset(self) -> None:
+        """Clear any per-run accumulators (overridden by attacks that keep them)."""
+
+    def extra_details(self) -> Dict[str, float]:
+        """Attack-specific measurements to attach to the result."""
+        return {}
+
+    def run(self, env: AttackEnvironment, iterations: int = 1000,
+            mechanism: str = "unknown") -> AttackResult:
+        """Run many iterations and collect a result."""
+        self.reset()
+        successes = 0
+        for iteration in range(iterations):
+            if self.run_iteration(env, iteration):
+                successes += 1
+        return AttackResult(attack=self.name, mechanism=mechanism, smt=env.smt,
+                            iterations=iterations, successes=successes,
+                            chance_level=self.chance_level,
+                            details=self.extra_details())

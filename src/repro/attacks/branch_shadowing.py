@@ -1,0 +1,58 @@
+"""Branch Shadowing: reuse-based BTB perception (the SGX attack).
+
+The attacker crafts a *shadow* of the victim's code so that its own branch
+collides with the victim branch in the BTB (same set and tag — the SGX
+attacker controls the address-space layout).  If the victim's branch was
+taken, the BTB holds a target for that entry and the attacker's shadow branch
+executes with a correct (fast) prediction; if not, the shadow branch misses.
+The timing difference reveals the victim's direction.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..types import BranchType
+from .base import Attack
+from .primitives import AttackEnvironment
+
+__all__ = ["BranchShadowingAttack"]
+
+#: Address shared by the victim branch and its shadow (aliased mapping).
+VICTIM_BRANCH_PC = 0x004A_4A40
+VICTIM_TARGET = 0x004A_5000
+
+
+class BranchShadowingAttack(Attack):
+    """Reuse-based perception of a victim branch direction via BTB residue."""
+
+    name = "branch_shadowing"
+    target_structure = "btb"
+    kind = "reuse"
+    chance_level = 0.5
+
+    def __init__(self, seed: int = 31) -> None:
+        self._rng = random.Random(seed)
+
+    def run_iteration(self, env: AttackEnvironment, iteration: int) -> bool:
+        secret_taken = self._rng.random() < 0.5
+
+        # Ensure the entry does not carry stale state from earlier iterations:
+        # the attacker first evicts the set by inserting its own filler
+        # branches with different tags.
+        btb = env.bpu.btb
+        stride = btb.n_sets * 4
+        for way in range(btb.n_ways):
+            filler = VICTIM_BRANCH_PC + stride * (way + 7)
+            env.attacker_branch(filler, True, filler + 0x40, BranchType.DIRECT)
+
+        # Victim executes the secret-dependent branch once (single-stepped);
+        # only a taken branch installs a BTB entry.
+        env.victim_branch(VICTIM_BRANCH_PC, secret_taken, VICTIM_TARGET,
+                          BranchType.CONDITIONAL)
+
+        # Probe: the shadow branch at the aliased address hits the BTB only if
+        # the victim's taken branch installed an entry the attacker can match.
+        hit = env.attacker_btb_probe(VICTIM_BRANCH_PC)
+        inferred_taken = hit
+        return inferred_taken == secret_taken

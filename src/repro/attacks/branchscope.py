@@ -1,0 +1,119 @@
+"""BranchScope: perceiving a victim branch's direction through a shared PHT.
+
+The attacker locates the PHT entry of the victim's secret-dependent branch,
+primes its saturating counter to a weak state, lets the victim execute the
+branch once (single-step control), and then probes the entry with its own
+congruent branch: the direction the predictor now reports reveals which way
+the victim's branch went.
+
+Two variants are provided:
+
+* :class:`BranchScopeAttack` — the plain attack (single-threaded or SMT).
+* :class:`CalibratedBranchScopeAttack` — the Section 5.5 "reference branch"
+  corner case: on an SMT core the attacker additionally probes a victim
+  branch whose direction it already knows, and uses it to cancel a *fixed*
+  XOR key relationship between the two contexts.  This succeeds against the
+  naive 2-bit XOR-PHT (one narrow key reused for every entry) but not against
+  Enhanced-XOR-PHT, whose per-word/row-diversified keys break the fixed
+  mapping.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..types import BranchType
+from .base import Attack
+from .primitives import AttackEnvironment
+
+__all__ = ["BranchScopeAttack", "CalibratedBranchScopeAttack"]
+
+#: Address of the victim's secret-dependent branch.
+VICTIM_BRANCH_PC = 0x0044_0200
+#: Taken-path target of the victim branch.
+VICTIM_TARGET = 0x0044_0260
+#: Address of a victim branch with a publicly known (always taken) direction,
+#: used by the calibrated variant as a key-relationship reference.
+REFERENCE_BRANCH_PC = 0x0044_0204
+REFERENCE_TARGET = 0x0044_0280
+
+
+class BranchScopeAttack(Attack):
+    """Reuse-based perception of a victim branch direction via the PHT."""
+
+    name = "branchscope"
+    target_structure = "pht"
+    kind = "reuse"
+    chance_level = 0.5
+
+    def __init__(self, seed: int = 7) -> None:
+        self._rng = random.Random(seed)
+
+    def _prime_weak_taken(self, env: AttackEnvironment) -> None:
+        """Drive the shared counter to the weakly-taken state.
+
+        Three not-taken executions saturate the 2-bit counter at
+        strongly-not-taken from any starting state, then two taken executions
+        leave it at weakly-taken — one victim execution in either direction
+        now flips or confirms the prediction.
+        """
+        for _ in range(3):
+            env.attacker_branch(VICTIM_BRANCH_PC, False, VICTIM_TARGET,
+                                BranchType.CONDITIONAL)
+        for _ in range(2):
+            env.attacker_branch(VICTIM_BRANCH_PC, True, VICTIM_TARGET,
+                                BranchType.CONDITIONAL)
+
+    def run_iteration(self, env: AttackEnvironment, iteration: int) -> bool:
+        secret_taken = self._rng.random() < 0.5
+        # Prime phase.
+        self._prime_weak_taken(env)
+        # Victim executes its secret-dependent branch once (single-stepped).
+        env.victim_branch(VICTIM_BRANCH_PC, secret_taken, VICTIM_TARGET,
+                          BranchType.CONDITIONAL)
+        # Probe phase: the prediction the attacker now sees reflects the
+        # victim's update — taken if the victim strengthened the counter,
+        # not-taken if the victim weakened it past the midpoint.
+        probed_taken = env.attacker_predicted_direction(VICTIM_BRANCH_PC)
+        inferred_taken = env.channel.observe(probed_taken)
+        return inferred_taken == secret_taken
+
+
+class CalibratedBranchScopeAttack(Attack):
+    """BranchScope with a known-direction reference branch (SMT corner case).
+
+    The attacker assumes the stored counters are XORed with a key whose
+    relationship between attacker and victim contexts is *the same for every
+    entry*.  By probing an entry whose victim direction is publicly known,
+    the attacker learns whether that relationship flips the prediction bit and
+    undoes the flip on the secret entry.  Against Enhanced-XOR-PHT the
+    relationship differs per entry, so the calibration transfers nothing.
+    """
+
+    name = "branchscope_calibrated"
+    target_structure = "pht"
+    kind = "reuse"
+    chance_level = 0.5
+
+    def __init__(self, seed: int = 17) -> None:
+        self._rng = random.Random(seed)
+
+    def run_iteration(self, env: AttackEnvironment, iteration: int) -> bool:
+        secret_taken = self._rng.random() < 0.5
+        # The victim trains its reference branch (known to be taken) and then
+        # executes the secret-dependent branch; both saturate their counters.
+        for _ in range(3):
+            env.victim_branch(REFERENCE_BRANCH_PC, True, REFERENCE_TARGET,
+                              BranchType.CONDITIONAL)
+        for _ in range(3):
+            env.victim_branch(VICTIM_BRANCH_PC, secret_taken, VICTIM_TARGET,
+                              BranchType.CONDITIONAL)
+        # Calibration probe: how does the known-taken entry read in the
+        # attacker's context?
+        reference_reads_taken = env.attacker_predicted_direction(REFERENCE_BRANCH_PC)
+        flip = not reference_reads_taken  # True when the key relationship flips MSBs
+        # Secret probe, corrected by the learned flip.
+        probed = env.attacker_predicted_direction(VICTIM_BRANCH_PC)
+        inferred_taken = (not probed) if flip else probed
+        inferred_taken = env.channel.observe(inferred_taken)
+        return inferred_taken == secret_taken

@@ -1,0 +1,68 @@
+"""SBPA: contention-based BTB attack (Simple Branch Prediction Analysis).
+
+The attacker occupies every way of the BTB set that the victim's target
+branch maps to.  Because the BTB is only updated when a branch is *taken*,
+the victim's execution evicts one of the attacker's entries exactly when the
+secret-dependent branch was taken.  After regaining the core, the attacker
+times its own branches: a miss among the primed set reveals the victim's
+direction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..types import BranchType
+from .base import Attack
+from .primitives import AttackEnvironment
+
+__all__ = ["SbpaAttack"]
+
+#: Address of the victim's secret-dependent (taken-or-not) branch.
+VICTIM_BRANCH_PC = 0x0048_8800
+VICTIM_TARGET = 0x0048_9000
+
+
+class SbpaAttack(Attack):
+    """Contention-based perception of a victim branch direction via the BTB."""
+
+    name = "sbpa"
+    target_structure = "btb"
+    kind = "contention"
+    chance_level = 0.5
+
+    def __init__(self, seed: int = 23) -> None:
+        self._rng = random.Random(seed)
+
+    def _congruent_attacker_pcs(self, env: AttackEnvironment) -> List[int]:
+        """Attacker branches that map to the victim branch's BTB set.
+
+        The attacker knows the indexing function (Locate phase) and chooses
+        addresses equal to the victim's modulo the set-index range but with
+        different tags.
+        """
+        btb = env.bpu.btb
+        stride = btb.n_sets * 4  # changing these bits changes the tag only
+        return [VICTIM_BRANCH_PC + stride * (i + 1) for i in range(btb.n_ways)]
+
+    def run_iteration(self, env: AttackEnvironment, iteration: int) -> bool:
+        secret_taken = self._rng.random() < 0.5
+        attacker_pcs = self._congruent_attacker_pcs(env)
+
+        # Prime: fill every way of the target set with attacker entries.
+        for pc in attacker_pcs:
+            env.attacker_branch(pc, True, pc + 0x40, BranchType.DIRECT)
+
+        # Victim executes its branch once; a taken branch updates the BTB and
+        # evicts one attacker way.
+        env.victim_branch(VICTIM_BRANCH_PC, secret_taken, VICTIM_TARGET,
+                          BranchType.CONDITIONAL)
+
+        # Probe: time the primed branches; any miss implies an eviction.
+        missing = 0
+        for pc in attacker_pcs:
+            if not env.attacker_btb_probe(pc):
+                missing += 1
+        inferred_taken = missing > 0
+        return inferred_taken == secret_taken

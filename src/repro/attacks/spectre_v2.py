@@ -1,0 +1,70 @@
+"""Malicious BTB training (the paper's PoC Listing 1, Spectre-V2 style).
+
+The attacker and the victim share a function that performs an indirect call
+through a function pointer.  In the attacker's context the pointer refers to
+``attacker_function`` (the gadget that touches the probe line); in the
+victim's context it refers to ``victim_function``.  The attacker executes the
+shared call to plant a BTB entry mapping the call site to the gadget; when
+the victim executes the same call site, the BTB steers its speculative
+control flow to the gadget, which leaves a cache footprint the attacker
+measures with Flush+Reload.
+"""
+
+from __future__ import annotations
+
+from ..types import BranchType
+from .base import Attack
+from .primitives import AttackEnvironment
+
+__all__ = ["BtbTrainingAttack"]
+
+#: Address of the shared indirect call site (``p()`` in Listing 1).
+SHARED_CALL_PC = 0x0042_1100
+#: The attacker's gadget (``attacker_function``).
+MALICIOUS_TARGET = 0x0046_6000
+#: The victim's legitimate callee (``victim_function``).
+LEGITIMATE_TARGET = 0x0043_2200
+
+
+class BtbTrainingAttack(Attack):
+    """Reuse-based malicious training of a shared BTB entry.
+
+    Args:
+        training_runs: attacker executions of the indirect call per iteration.
+    """
+
+    name = "spectre_v2_btb_training"
+    target_structure = "btb"
+    kind = "reuse"
+    chance_level = 0.0
+
+    def __init__(self, training_runs: int = 4) -> None:
+        self.training_runs = training_runs
+        self._iterations = 0
+        self._steered = 0
+
+    def reset(self) -> None:
+        self._iterations = 0
+        self._steered = 0
+
+    def run_iteration(self, env: AttackEnvironment, iteration: int) -> bool:
+        # Prime: in the attacker's context the shared call goes to the gadget.
+        for _ in range(self.training_runs):
+            env.attacker_branch(SHARED_CALL_PC, True, MALICIOUS_TARGET,
+                                BranchType.INDIRECT)
+        # Trigger: the victim reaches the shared call; the BTB supplies the
+        # speculative target before the pointer load resolves.
+        predicted = env.victim_btb_predicted_target(SHARED_CALL_PC)
+        steered = predicted == MALICIOUS_TARGET
+        env.victim_branch(SHARED_CALL_PC, True, LEGITIMATE_TARGET,
+                          BranchType.INDIRECT)
+        self._iterations += 1
+        if steered:
+            self._steered += 1
+        # Observation through the Flush+Reload channel.
+        return env.channel.observe(steered)
+
+    def extra_details(self) -> dict:
+        if self._iterations == 0:
+            return {}
+        return {"steering_rate": self._steered / self._iterations}

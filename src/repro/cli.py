@@ -1,0 +1,287 @@
+"""Command-line interface.
+
+Exposes the package's main entry points without writing any Python::
+
+    python -m repro list                         # what can be reproduced
+    python -m repro run figure7 --json out.json  # regenerate one artefact
+    python -m repro attack branchscope --mechanism noisy_xor_bp
+    python -m repro leakage --mechanisms baseline noisy_xor_bp
+    python -m repro hwcost --btb 256 --ways 2 --pht 4096
+    python -m repro report --output results.md   # paper-vs-measured summary
+
+Every subcommand prints human-readable text to stdout; ``run`` and ``report``
+can additionally write machine-readable artefacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'A Lightweight Isolation Mechanism for "
+                    "Secure Branch Predictors' (DAC 2021).")
+    subparsers = parser.add_subparsers(dest="command", metavar="command")
+
+    subparsers.add_parser("list", help="list reproducible experiments, attacks "
+                                       "and protection presets")
+
+    run = subparsers.add_parser("run", help="run one experiment (table/figure)")
+    run.add_argument("experiment", help="experiment key, e.g. figure7 or table5")
+    run.add_argument("--scale", type=float, default=None,
+                     help="trace-length scale factor (default from REPRO_SCALE)")
+    run.add_argument("--json", default=None, metavar="PATH",
+                     help="also write the result as JSON")
+    run.add_argument("--csv", default=None, metavar="PATH",
+                     help="also write the figure series as CSV")
+
+    attack = subparsers.add_parser("attack", help="run one attack against one "
+                                                  "protection preset")
+    attack.add_argument("attack", help="attack name, e.g. branchscope or sbpa")
+    attack.add_argument("--mechanism", default="baseline",
+                        help="protection preset (default: baseline)")
+    attack.add_argument("--iterations", type=int, default=1000,
+                        help="attack iterations (default: 1000)")
+    attack.add_argument("--smt", action="store_true",
+                        help="concurrent-attacker (SMT) scenario")
+    attack.add_argument("--predictor", default="bimodal",
+                        help="direction predictor of the victim core")
+
+    leakage = subparsers.add_parser("leakage", help="measure channel leakage "
+                                                    "(mutual information)")
+    leakage.add_argument("--mechanisms", nargs="+",
+                         default=["baseline", "complete_flush", "noisy_xor_bp"],
+                         help="protection presets to compare")
+    leakage.add_argument("--trials", type=int, default=300,
+                         help="prime-victim-probe trials per channel")
+    leakage.add_argument("--smt", action="store_true",
+                         help="concurrent-attacker (SMT) scenario")
+
+    covert = subparsers.add_parser("covert", help="measure the PHT covert-channel "
+                                                  "capacity under one preset")
+    covert.add_argument("--mechanism", default="baseline",
+                        help="protection preset (default: baseline)")
+    covert.add_argument("--bits", type=int, default=256,
+                        help="payload bits to transmit (default: 256)")
+    covert.add_argument("--smt", action="store_true",
+                        help="concurrent sender/receiver (SMT) scenario")
+
+    hwcost = subparsers.add_parser("hwcost", help="estimate Noisy-XOR-BP "
+                                                  "area/timing overhead")
+    hwcost.add_argument("--btb", type=int, default=256,
+                        help="BTB entries per way (default: 256)")
+    hwcost.add_argument("--ways", type=int, default=2,
+                        help="BTB associativity (default: 2)")
+    hwcost.add_argument("--pht", type=int, default=4096,
+                        help="TAGE PHT entries per table (default: 4096)")
+    hwcost.add_argument("--tables", type=int, default=6,
+                        help="number of TAGE tables (default: 6)")
+
+    report = subparsers.add_parser("report", help="run the headline experiments "
+                                                  "and write a paper-vs-measured "
+                                                  "Markdown report")
+    report.add_argument("--experiments", nargs="+", default=None,
+                        help="experiment keys to include (default: the quick set)")
+    report.add_argument("--scale", type=float, default=None,
+                        help="trace-length scale factor")
+    report.add_argument("--output", default=None, metavar="PATH",
+                        help="write the Markdown report to this file")
+
+    return parser
+
+
+def _cmd_list() -> int:
+    from .attacks import ALL_ATTACKS
+    from .core import preset_names
+    from .experiments import EXPERIMENTS
+    from .predictors import DIRECTION_PREDICTORS
+
+    print("Experiments (python -m repro run <key>):")
+    for key in sorted(EXPERIMENTS):
+        print(f"  {key}")
+    print("\nAttacks (python -m repro attack <name>):")
+    for name in sorted(ALL_ATTACKS):
+        print(f"  {name}")
+    print("\nProtection presets (--mechanism):")
+    for name in preset_names():
+        print(f"  {name}")
+    print("\nDirection predictors (--predictor):")
+    for name in sorted(DIRECTION_PREDICTORS):
+        print(f"  {name}")
+    return 0
+
+
+def _resolve_scale(factor: Optional[float]):
+    from .experiments import default_scale
+
+    scale = default_scale()
+    if factor is not None:
+        scale = scale.scaled_by(factor)
+    return scale
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .analysis.export import save_figure_csv, save_result_json
+    from .experiments import EXPERIMENTS
+
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"try: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
+        return 2
+    scale = _resolve_scale(args.scale)
+    result = EXPERIMENTS[args.experiment](scale)
+    print(result.render())
+    if args.json:
+        path = save_result_json(result, args.json)
+        print(f"\nJSON written to {path}")
+    if args.csv:
+        path = save_figure_csv(result, args.csv)
+        if path is None:
+            print("\n(no figure series to export as CSV)")
+        else:
+            print(f"\nCSV written to {path}")
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from .analysis import render_table
+    from .attacks import ALL_ATTACKS, run_attack
+
+    if args.attack not in ALL_ATTACKS:
+        print(f"unknown attack {args.attack!r}; "
+              f"try: {', '.join(sorted(ALL_ATTACKS))}", file=sys.stderr)
+        return 2
+    result = run_attack(args.attack, args.mechanism, smt=args.smt,
+                        iterations=args.iterations, predictor=args.predictor)
+    rows = [
+        ["attack", result.attack],
+        ["mechanism", result.mechanism],
+        ["scenario", "SMT" if result.smt else "single-threaded"],
+        ["iterations", result.iterations],
+        ["successes", result.successes],
+        ["success rate", f"{100 * result.success_rate:.2f}%"],
+        ["chance level", f"{100 * result.chance_level:.2f}%"],
+        ["advantage", f"{100 * result.advantage:.2f}%"],
+    ]
+    print(render_table(["field", "value"], rows))
+    return 0
+
+
+def _cmd_leakage(args: argparse.Namespace) -> int:
+    from .analysis import render_table
+    from .security.leakage import leakage_bandwidth, leakage_report
+
+    report = leakage_report(args.mechanisms, trials=args.trials, smt=args.smt)
+    rows = []
+    for mechanism, channels in report.items():
+        for channel, estimate in channels.items():
+            rows.append([
+                mechanism, channel,
+                f"{estimate.mutual_information_bits:.4f}",
+                f"{100 * estimate.guess_accuracy:.1f}%",
+                f"{leakage_bandwidth(estimate):.1f}",
+            ])
+    print(render_table(
+        ["mechanism", "channel", "MI (bits/trial)", "guess accuracy",
+         "bandwidth (bits/s)"], rows,
+        title=f"Leakage over {args.trials} trials "
+              f"({'SMT' if args.smt else 'single-threaded'} scenario)"))
+    return 0
+
+
+def _cmd_covert(args: argparse.Namespace) -> int:
+    from .analysis import render_table
+    from .attacks import run_covert_channel
+
+    result = run_covert_channel(args.mechanism, payload_bits=args.bits,
+                                smt=args.smt)
+    rows = [
+        ["mechanism", result.mechanism],
+        ["scenario", "SMT" if result.smt else "time-shared"],
+        ["bits sent", result.bits_sent],
+        ["bit error rate", f"{100 * result.bit_error_rate:.1f}%"],
+        ["capacity", f"{result.capacity_bits_per_symbol:.3f} bits/symbol"],
+        ["bandwidth", f"{result.bandwidth_bits_per_second:,.0f} bits/s"],
+    ]
+    print(render_table(["field", "value"], rows,
+                       title="PHT covert channel"))
+    return 0
+
+
+def _cmd_hwcost(args: argparse.Namespace) -> int:
+    from .analysis import render_table
+    from .hwcost import btb_cost, tage_pht_cost
+
+    btb = btb_cost(args.btb, args.ways)
+    pht = tage_pht_cost(args.pht, args.tables)
+    rows = [
+        [f"BTB {args.ways}w{args.btb}", f"{100 * btb.timing_overhead:.2f}%",
+         f"{100 * btb.area_overhead:.2f}%"],
+        [f"TAGE PHT {args.pht}x{args.tables}", f"{100 * pht.timing_overhead:.2f}%",
+         f"{100 * pht.area_overhead:.2f}%"],
+    ]
+    print(render_table(["structure", "timing overhead", "area overhead"], rows,
+                       title="Noisy-XOR-BP hardware cost estimate (Table 5 model)"))
+    return 0
+
+
+#: Experiments included in the default ``report`` run: the cheap, headline set.
+_DEFAULT_REPORT_EXPERIMENTS = ["table2", "table3", "table5", "poc_attacks",
+                               "figure7", "figure8", "figure9"]
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import PAPER_EXPECTATIONS, ReproductionReport
+    from .experiments import EXPERIMENTS
+
+    keys = args.experiments if args.experiments else list(_DEFAULT_REPORT_EXPERIMENTS)
+    unknown = [key for key in keys if key not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    scale = _resolve_scale(args.scale)
+    report = ReproductionReport(title="Reproduction report")
+    for key in keys:
+        result = EXPERIMENTS[key](scale)
+        if key in PAPER_EXPECTATIONS:
+            report.add_result(key, result)
+        print(result.render())
+        print()
+    markdown = report.to_markdown()
+    print(markdown)
+    if args.output:
+        report.save(args.output)
+        print(f"Markdown report written to {args.output}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro`` and the ``repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.command is None:
+        parser.print_help()
+        return 1
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "attack":
+        return _cmd_attack(args)
+    if args.command == "leakage":
+        return _cmd_leakage(args)
+    if args.command == "covert":
+        return _cmd_covert(args)
+    if args.command == "hwcost":
+        return _cmd_hwcost(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    parser.error(f"unhandled command {args.command!r}")
+    return 2

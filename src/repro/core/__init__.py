@@ -1,0 +1,64 @@
+"""The paper's contribution: lightweight content/index isolation for branch predictors.
+
+This subpackage implements XOR-BP (content encoding with thread-private keys),
+Enhanced-XOR-PHT (word-basis content encoding) and Noisy-XOR-BP (content plus
+index encoding), the flush-based baselines they are compared against, the
+per-thread key management they rely on, and a registry that wires
+predictor × mechanism combinations into ready-to-use branch prediction units.
+"""
+
+from .encoding import (
+    ENCODERS,
+    ContentEncoder,
+    SboxEncoder,
+    ShiftXorEncoder,
+    XorEncoder,
+    make_encoder,
+    stretch_key,
+)
+from .isolation import (
+    BaselineIsolation,
+    CompleteFlushIsolation,
+    IsolationMechanism,
+    NoisyXorIsolation,
+    PreciseFlushIsolation,
+    XorContentIsolation,
+)
+from .keys import KeyManager, KeyState
+from .registry import (
+    MECHANISMS,
+    PROTECTION_PRESETS,
+    ProtectionConfig,
+    make_bpu,
+    make_isolation,
+    preset_names,
+    resolve_preset,
+)
+from .secure import BranchOutcome, BranchPredictionUnit
+
+__all__ = [
+    "ContentEncoder",
+    "XorEncoder",
+    "ShiftXorEncoder",
+    "SboxEncoder",
+    "ENCODERS",
+    "make_encoder",
+    "stretch_key",
+    "IsolationMechanism",
+    "BaselineIsolation",
+    "CompleteFlushIsolation",
+    "PreciseFlushIsolation",
+    "XorContentIsolation",
+    "NoisyXorIsolation",
+    "KeyManager",
+    "KeyState",
+    "ProtectionConfig",
+    "PROTECTION_PRESETS",
+    "MECHANISMS",
+    "make_isolation",
+    "make_bpu",
+    "preset_names",
+    "resolve_preset",
+    "BranchOutcome",
+    "BranchPredictionUnit",
+]

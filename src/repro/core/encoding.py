@@ -1,0 +1,182 @@
+"""Reversible content encoders.
+
+The paper uses XOR as the canonical encoding but notes (Section 5.4) that
+"the only requirement for the encoding operation is that they are easily
+reversible ... Adding shifting and/or scrambling in the process, or using
+small lookup tables are all possible options."  This module provides three
+such encoders with a common interface so that the isolation mechanisms and
+the ablation benchmarks can swap them freely:
+
+* :class:`XorEncoder` — plain XOR with the (width-stretched) key;
+* :class:`ShiftXorEncoder` — key-dependent rotation followed by XOR;
+* :class:`SboxEncoder` — XOR followed by a fixed 4-bit bijective S-box applied
+  to every nibble (a tiny lookup-table scramble).
+
+All encoders are bijective for every key and width, which the property-based
+tests verify exhaustively.
+"""
+
+from __future__ import annotations
+
+import abc
+
+__all__ = ["ContentEncoder", "XorEncoder", "ShiftXorEncoder", "SboxEncoder",
+           "stretch_key", "ENCODERS", "make_encoder"]
+
+
+def stretch_key(key: int, width_bits: int) -> int:
+    """Repeat key bits to cover an arbitrary field width.
+
+    The hardware draws one wide random number per thread; fields wider than
+    the key (e.g. a packed 32-bit PHT word encoded with a 16-bit key) reuse
+    key bits cyclically, and narrower fields truncate.
+    """
+    if width_bits <= 0:
+        return 0
+    if key == 0:
+        return 0
+    key_bits = max(key.bit_length(), 1)
+    out = key
+    bits = key_bits
+    while bits < width_bits:
+        out = (out << key_bits) | key
+        bits += key_bits
+    return out & ((1 << width_bits) - 1)
+
+
+class ContentEncoder(abc.ABC):
+    """A reversible, keyed transformation of a fixed-width field."""
+
+    #: Machine-readable encoder name.
+    name: str = "encoder"
+
+    @abc.abstractmethod
+    def encode(self, value: int, width_bits: int, key: int) -> int:
+        """Encode ``value`` (must be invertible by :meth:`decode`)."""
+
+    @abc.abstractmethod
+    def decode(self, value: int, width_bits: int, key: int) -> int:
+        """Invert :meth:`encode` under the same key and width."""
+
+    # -- hardware-cost hooks ---------------------------------------------------
+    def xor_gates(self, width_bits: int) -> int:
+        """Number of 2-input XOR gates on the data path (cost model hook)."""
+        return width_bits
+
+    def extra_levels(self) -> int:
+        """Additional logic levels beyond a single XOR stage."""
+        return 0
+
+
+class XorEncoder(ContentEncoder):
+    """Plain XOR with the key (the paper's canonical encoding)."""
+
+    name = "xor"
+
+    def encode(self, value: int, width_bits: int, key: int) -> int:
+        mask = (1 << width_bits) - 1
+        return (value ^ stretch_key(key, width_bits)) & mask
+
+    def decode(self, value: int, width_bits: int, key: int) -> int:
+        # XOR is an involution.
+        return self.encode(value, width_bits, key)
+
+
+class ShiftXorEncoder(ContentEncoder):
+    """Key-dependent rotation followed by XOR.
+
+    The rotation amount is taken from the top bits of the key, so the mapping
+    between bit positions and key bits is no longer fixed — this addresses the
+    Scenario-4 corner case where a fixed narrow XOR lets an attacker find a
+    *reference branch* encoded with the same key bits.
+    """
+
+    name = "shift_xor"
+
+    def _rotation(self, width_bits: int, key: int) -> int:
+        if width_bits <= 1:
+            return 0
+        return (key >> 7) % width_bits
+
+    def encode(self, value: int, width_bits: int, key: int) -> int:
+        mask = (1 << width_bits) - 1
+        rot = self._rotation(width_bits, key)
+        value &= mask
+        rotated = ((value << rot) | (value >> (width_bits - rot))) & mask if rot else value
+        return (rotated ^ stretch_key(key, width_bits)) & mask
+
+    def decode(self, value: int, width_bits: int, key: int) -> int:
+        mask = (1 << width_bits) - 1
+        rot = self._rotation(width_bits, key)
+        value = (value ^ stretch_key(key, width_bits)) & mask
+        if not rot:
+            return value
+        return ((value >> rot) | (value << (width_bits - rot))) & mask
+
+    def extra_levels(self) -> int:
+        return 1  # the barrel-rotate stage
+
+
+# A fixed bijective 4-bit S-box (the PRESENT cipher S-box) and its inverse.
+_SBOX = [0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD,
+         0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2]
+_SBOX_INV = [0] * 16
+for _i, _v in enumerate(_SBOX):
+    _SBOX_INV[_v] = _i
+
+
+class SboxEncoder(ContentEncoder):
+    """XOR followed by a nibble-wise bijective S-box.
+
+    Models the paper's "small lookup tables" option: after the keyed XOR,
+    every 4-bit nibble passes through a fixed bijective substitution, breaking
+    the linearity of plain XOR at the cost of one LUT level.
+    """
+
+    name = "sbox"
+
+    def encode(self, value: int, width_bits: int, key: int) -> int:
+        mask = (1 << width_bits) - 1
+        mixed = (value ^ stretch_key(key, width_bits)) & mask
+        return self._substitute(mixed, width_bits, _SBOX)
+
+    def decode(self, value: int, width_bits: int, key: int) -> int:
+        mask = (1 << width_bits) - 1
+        unsubstituted = self._substitute(value & mask, width_bits, _SBOX_INV)
+        return (unsubstituted ^ stretch_key(key, width_bits)) & mask
+
+    @staticmethod
+    def _substitute(value: int, width_bits: int, sbox: list) -> int:
+        out = 0
+        shift = 0
+        while shift < width_bits:
+            nibble_width = min(4, width_bits - shift)
+            nibble = (value >> shift) & ((1 << nibble_width) - 1)
+            if nibble_width == 4:
+                nibble = sbox[nibble]
+            out |= nibble << shift
+            shift += 4
+        return out & ((1 << width_bits) - 1)
+
+    def extra_levels(self) -> int:
+        return 1  # the S-box LUT stage
+
+
+#: Registry of available encoders (used by the ablation benchmarks).
+ENCODERS = {
+    "xor": XorEncoder,
+    "shift_xor": ShiftXorEncoder,
+    "sbox": SboxEncoder,
+}
+
+
+def make_encoder(name: str) -> ContentEncoder:
+    """Construct an encoder by name.
+
+    Raises:
+        KeyError: when ``name`` is not a known encoder.
+    """
+    key = name.lower().replace("-", "_")
+    if key not in ENCODERS:
+        raise KeyError(f"unknown encoder: {name!r}")
+    return ENCODERS[key]()

@@ -1,0 +1,187 @@
+"""Thread-private random key management.
+
+The paper's mechanisms hinge on one hardware facility (Section 5.4): every
+hardware thread context owns a private random number, held in a dedicated
+register invisible to software, regenerated whenever
+
+* the OS switches the software context running on that hardware thread, or
+* the running software changes privilege level (system call, exception,
+  hypervisor entry/exit).
+
+Different (possibly overlapping) portions of that random number serve as the
+*content key* (XOR-BP) and the *index key* (Noisy-XOR-BP).  The OS and the
+hypervisor effectively get their own keys because the key changes on every
+privilege transition.
+
+The hardware true-random-number generator is modelled with a seeded
+:class:`random.Random` so that experiments are reproducible; nothing in the
+mechanism depends on the randomness source beyond unpredictability to the
+attacker.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..types import Privilege
+
+__all__ = ["KeyState", "KeyManager"]
+
+#: Width of the raw per-thread random number, from which content and index
+#: keys are carved.  64 bits comfortably covers the widest encoded field
+#: (a 32-bit target address) plus the index key.
+MASTER_KEY_BITS = 64
+
+
+@dataclass
+class KeyState:
+    """Current key material of one hardware thread.
+
+    Attributes:
+        master: the raw hardware random number.
+        privilege: privilege level the key was generated for.
+        generation: how many times this thread's key has been regenerated.
+    """
+
+    master: int = 0
+    privilege: Privilege = Privilege.USER
+    generation: int = 0
+
+
+@dataclass
+class KeyEvent:
+    """A recorded key regeneration (kept for analysis and tests)."""
+
+    thread_id: int
+    reason: str
+    generation: int
+    privilege: Privilege = Privilege.USER
+
+
+class KeyManager:
+    """Per-hardware-thread key registers with switch-driven regeneration.
+
+    Args:
+        seed: seed of the modelled hardware RNG (reproducibility).
+        key_bits: width of the raw random number per thread.
+        rotate_on_privilege_switch: regenerate the key on privilege changes
+            (the paper's design).  Disabling this models the weaker variant
+            that only refreshes on context switches; the key-staleness
+            ablation uses it.
+        record_events: keep a log of key regenerations for analysis.
+    """
+
+    def __init__(self, seed: int = 0xC0FFEE, key_bits: int = MASTER_KEY_BITS, *,
+                 rotate_on_privilege_switch: bool = True,
+                 record_events: bool = False) -> None:
+        if key_bits < 8:
+            raise ValueError("key_bits must be at least 8")
+        self._rng = random.Random(seed)
+        self._key_bits = key_bits
+        self._states: Dict[int, KeyState] = {}
+        self._rotate_on_privilege = rotate_on_privilege_switch
+        self._record = record_events
+        self.events: List[KeyEvent] = []
+        self.context_switches = 0
+        self.privilege_switches = 0
+
+    # -- key material ---------------------------------------------------------
+    @property
+    def key_bits(self) -> int:
+        """Width of the per-thread raw random number."""
+        return self._key_bits
+
+    def _fresh_master(self) -> int:
+        return self._rng.getrandbits(self._key_bits)
+
+    def state(self, thread_id: int) -> KeyState:
+        """Key state of a hardware thread (created lazily)."""
+        if thread_id not in self._states:
+            self._states[thread_id] = KeyState(master=self._fresh_master(),
+                                               privilege=Privilege.USER,
+                                               generation=0)
+        return self._states[thread_id]
+
+    def master_key(self, thread_id: int) -> int:
+        """Raw random number currently held by a hardware thread."""
+        return self.state(thread_id).master
+
+    def generation(self, thread_id: int) -> int:
+        """Number of key regenerations a hardware thread has seen."""
+        return self.state(thread_id).generation
+
+    def content_key(self, thread_id: int, width_bits: int) -> int:
+        """Content key: the low portion of the raw random number."""
+        return self._stretch(self.state(thread_id).master, width_bits)
+
+    def index_key(self, thread_id: int, width_bits: int) -> int:
+        """Index key: a different portion of the raw random number."""
+        master = self.state(thread_id).master
+        rotated = ((master >> (self._key_bits // 2))
+                   | (master << (self._key_bits - self._key_bits // 2)))
+        return self._stretch(rotated, width_bits)
+
+    def derived_key(self, thread_id: int, salt: int, width_bits: int) -> int:
+        """Key derived from the master key and a salt (per-table keys).
+
+        Figure 6's caption notes that each table may use its own content and
+        index key; deriving them from the single hardware random number with a
+        cheap mix keeps the hardware cost at one RNG draw per switch.
+        """
+        master = self.state(thread_id).master
+        mixed = master ^ (salt * 0x9E3779B97F4A7C15)
+        mixed ^= mixed >> 29
+        mixed *= 0xBF58476D1CE4E5B9
+        mixed ^= mixed >> 32
+        return self._stretch(mixed, width_bits)
+
+    def _stretch(self, value: int, width_bits: int) -> int:
+        """Repeat/truncate key material to an arbitrary field width."""
+        if width_bits <= 0:
+            return 0
+        value &= (1 << self._key_bits) - 1
+        out = value
+        bits = self._key_bits
+        while bits < width_bits:
+            out = (out << self._key_bits) | value
+            bits += self._key_bits
+        return out & ((1 << width_bits) - 1)
+
+    # -- switch notifications -------------------------------------------------
+    def rotate(self, thread_id: int, reason: str = "manual") -> int:
+        """Regenerate the key of one hardware thread; returns the new master."""
+        state = self.state(thread_id)
+        state.master = self._fresh_master()
+        state.generation += 1
+        if self._record:
+            self.events.append(KeyEvent(thread_id, reason, state.generation,
+                                        state.privilege))
+        return state.master
+
+    def on_context_switch(self, thread_id: int) -> None:
+        """OS scheduled a different software context onto ``thread_id``."""
+        self.context_switches += 1
+        self.rotate(thread_id, reason="context_switch")
+
+    def on_privilege_switch(self, thread_id: int, privilege: Privilege) -> None:
+        """The software on ``thread_id`` changed privilege level."""
+        state = self.state(thread_id)
+        if state.privilege == privilege:
+            return
+        state.privilege = privilege
+        self.privilege_switches += 1
+        if self._rotate_on_privilege:
+            self.rotate(thread_id, reason="privilege_switch")
+
+    def privilege_of(self, thread_id: int) -> Privilege:
+        """Current privilege level tracked for a hardware thread."""
+        return self.state(thread_id).privilege
+
+    def reset(self) -> None:
+        """Drop all thread states and counters (a fresh machine)."""
+        self._states.clear()
+        self.events.clear()
+        self.context_switches = 0
+        self.privilege_switches = 0

@@ -1,0 +1,190 @@
+"""Secure branch-prediction unit (BPU).
+
+This module bundles a direction predictor, a BTB and a RAS — all built on the
+same isolation policy and key manager — into one front-end unit with the
+switch-notification protocol the paper requires:
+
+* ``notify_context_switch(thread_id)`` — the OS scheduled a new software
+  context onto a hardware thread: flush-based mechanisms flush, XOR-based
+  mechanisms regenerate that thread's keys;
+* ``notify_privilege_switch(thread_id, privilege)`` — a system call,
+  exception or hypervisor transition: XOR-based mechanisms regenerate keys
+  (Section 5.4); flush-based mechanisms optionally flush.
+
+The unit also implements the per-branch prediction/update flow used by the
+CPU timing model, including the BTB update rule (update only on taken
+branches) that contention-based attacks exploit and the fall-through policy
+on BTB misses that explains the paper's case2 anomaly (Section 6.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..predictors.base import DirectionPredictor
+from ..predictors.btb import BranchTargetBuffer
+from ..predictors.ras import ReturnAddressStack
+from ..types import BranchType, Privilege
+from .isolation import IsolationMechanism
+
+__all__ = ["BranchOutcome", "BranchPredictionUnit"]
+
+
+@dataclass
+class BranchOutcome:
+    """Per-branch prediction outcome consumed by the CPU timing model.
+
+    Attributes:
+        branch_type: the executed branch's type.
+        taken: resolved direction (always True for unconditional branches).
+        predicted_taken: direction the front end followed.
+        direction_mispredicted: the followed direction was wrong.
+        target_mispredicted: the branch was (correctly) predicted taken but
+            the predicted target was wrong or unavailable.
+        btb_accessed: the BTB was probed for this branch.
+        btb_hit: the BTB probe hit.
+    """
+
+    branch_type: BranchType
+    taken: bool
+    predicted_taken: bool
+    direction_mispredicted: bool = False
+    target_mispredicted: bool = False
+    btb_accessed: bool = False
+    btb_hit: bool = False
+
+    @property
+    def mispredicted(self) -> bool:
+        """True when the front end must be redirected at execute/commit."""
+        return self.direction_mispredicted or self.target_mispredicted
+
+
+class BranchPredictionUnit:
+    """Front-end branch prediction unit with pluggable isolation.
+
+    Args:
+        direction_predictor: the conditional-branch predictor.
+        btb: the branch target buffer.
+        ras: the (thread-private) return address stack.
+        isolation: the isolation mechanism shared by all structures.
+        btb_miss_forces_not_taken: when True (the FPGA prototype's policy),
+            a conditional branch whose target misses in the BTB is treated as
+            not-taken regardless of the PHT, because the front end has no
+            target to redirect to.  This reproduces the paper's observation
+            that flushing the BTB can occasionally *improve* performance by
+            overriding bad direction predictions (case2).
+    """
+
+    def __init__(self, direction_predictor: DirectionPredictor,
+                 btb: BranchTargetBuffer,
+                 ras: Optional[ReturnAddressStack] = None, *,
+                 isolation: Optional[IsolationMechanism] = None,
+                 btb_miss_forces_not_taken: bool = True) -> None:
+        self.direction = direction_predictor
+        self.btb = btb
+        self.ras = ras if ras is not None else ReturnAddressStack()
+        self.isolation = isolation
+        self._btb_miss_forces_not_taken = btb_miss_forces_not_taken
+        self.context_switches = 0
+        self.privilege_switches = 0
+
+    # -- switch notification protocol -----------------------------------------
+    def notify_context_switch(self, thread_id: int) -> None:
+        """The OS switched the software context on a hardware thread."""
+        self.context_switches += 1
+        if self.isolation is not None:
+            self.isolation.on_context_switch(thread_id)
+
+    def notify_privilege_switch(self, thread_id: int,
+                                privilege: Privilege) -> None:
+        """The software on a hardware thread changed privilege level."""
+        self.privilege_switches += 1
+        if self.isolation is not None:
+            self.isolation.on_privilege_switch(thread_id, privilege)
+
+    # -- per-branch prediction flow --------------------------------------------
+    def execute_branch(self, pc: int, taken: bool, target: int,
+                       branch_type: BranchType = BranchType.CONDITIONAL,
+                       thread_id: int = 0) -> BranchOutcome:
+        """Predict, resolve and train one committed branch.
+
+        Args:
+            pc: branch instruction address.
+            taken: resolved direction (unconditional branches pass True).
+            target: resolved target address of the taken branch.
+            branch_type: kind of branch.
+            thread_id: hardware thread executing the branch.
+
+        Returns:
+            A :class:`BranchOutcome` describing what the front end got wrong.
+        """
+        if branch_type is BranchType.CONDITIONAL:
+            return self._execute_conditional(pc, taken, target, thread_id)
+        if branch_type is BranchType.RETURN:
+            return self._execute_return(pc, target, thread_id)
+        return self._execute_unconditional(pc, target, branch_type, thread_id)
+
+    def _execute_conditional(self, pc: int, taken: bool, target: int,
+                             thread_id: int) -> BranchOutcome:
+        prediction = self.direction.lookup(pc, thread_id)
+        btb_result = self.btb.lookup(pc, thread_id)
+        predicted_taken = prediction.taken
+        if predicted_taken and not btb_result.hit and self._btb_miss_forces_not_taken:
+            # No target available: the front end falls through.
+            predicted_taken = False
+
+        direction_mispredicted = predicted_taken != taken
+        target_mispredicted = False
+        if not direction_mispredicted and taken:
+            predicted_target = btb_result.target if btb_result.hit else None
+            target_mispredicted = predicted_target != target
+
+        self.direction.stats(thread_id).record(prediction.taken == taken)
+        self.direction.update(pc, taken, prediction, thread_id)
+        if taken:
+            # The BTB is updated only for taken branches (the SBPA lever).
+            self.btb.update(pc, target, thread_id, BranchType.CONDITIONAL)
+
+        return BranchOutcome(branch_type=BranchType.CONDITIONAL, taken=taken,
+                             predicted_taken=predicted_taken,
+                             direction_mispredicted=direction_mispredicted,
+                             target_mispredicted=target_mispredicted,
+                             btb_accessed=True, btb_hit=btb_result.hit)
+
+    def _execute_unconditional(self, pc: int, target: int,
+                               branch_type: BranchType,
+                               thread_id: int) -> BranchOutcome:
+        btb_result = self.btb.lookup(pc, thread_id)
+        predicted_target = btb_result.target if btb_result.hit else None
+        target_mispredicted = predicted_target != target
+        self.btb.update(pc, target, thread_id, branch_type)
+        if branch_type is BranchType.CALL:
+            self.ras.push(pc + 4, thread_id)
+        return BranchOutcome(branch_type=branch_type, taken=True,
+                             predicted_taken=True,
+                             target_mispredicted=target_mispredicted,
+                             btb_accessed=True, btb_hit=btb_result.hit)
+
+    def _execute_return(self, pc: int, target: int,
+                        thread_id: int) -> BranchOutcome:
+        predicted_target = self.ras.pop(thread_id)
+        target_mispredicted = predicted_target != target
+        return BranchOutcome(branch_type=BranchType.RETURN, taken=True,
+                             predicted_taken=True,
+                             target_mispredicted=target_mispredicted,
+                             btb_accessed=False, btb_hit=False)
+
+    # -- maintenance ------------------------------------------------------------
+    def flush(self) -> None:
+        """Flush every structure (used by tests and manual experiments)."""
+        self.direction.flush()
+        self.btb.flush()
+        self.ras.flush()
+
+    def reset_stats(self) -> None:
+        """Clear accumulated statistics on all structures."""
+        self.direction.reset_stats()
+        self.btb.reset_stats()
+        self.context_switches = 0
+        self.privilege_switches = 0

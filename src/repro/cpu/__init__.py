@@ -1,0 +1,33 @@
+"""Trace-driven CPU timing model: single-threaded and SMT cores with OS events."""
+
+from .config import (
+    CORE_PRESETS,
+    LINUX_SWITCH_INTERVAL_CYCLES,
+    CoreConfig,
+    fpga_prototype,
+    make_core_config,
+    sunny_cove_smt,
+)
+from .core import SingleThreadCore, unique_labels
+from .scheduler import PeriodicEvent, RoundRobinScheduler, SyscallModel
+from .smt import SmtCore
+from .stats import RunResult, ThreadStats
+from .timing import BranchTimingModel
+
+__all__ = [
+    "CoreConfig",
+    "CORE_PRESETS",
+    "LINUX_SWITCH_INTERVAL_CYCLES",
+    "fpga_prototype",
+    "sunny_cove_smt",
+    "make_core_config",
+    "SingleThreadCore",
+    "unique_labels",
+    "SmtCore",
+    "PeriodicEvent",
+    "RoundRobinScheduler",
+    "SyscallModel",
+    "RunResult",
+    "ThreadStats",
+    "BranchTimingModel",
+]

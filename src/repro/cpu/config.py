@@ -1,0 +1,149 @@
+"""Core configurations (Table 2).
+
+Two machines are modelled, mirroring the paper's evaluation platforms:
+
+* :func:`fpga_prototype` — the BOOM-like FPGA RISC-V prototype used for the
+  single-threaded experiments (4-wide, 10-stage pipeline, 256×2 BTB, TAGE);
+* :func:`sunny_cove_smt` — the gem5 model of a Sunny-Cove-like SMT core used
+  for the SMT experiments (8-wide, 19-stage pipeline, 1024×4 BTB, selectable
+  Gshare / Tournament / LTAGE / TAGE-SC-L direction predictor).
+
+The timing model is first-order (see :mod:`repro.cpu.timing`): only the
+parameters that the isolation mechanisms interact with — front-end width,
+misprediction penalty, BTB geometry, predictor choice and the switch
+intervals — are represented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+__all__ = ["CoreConfig", "fpga_prototype", "sunny_cove_smt", "CORE_PRESETS",
+           "make_core_config"]
+
+#: Standard Linux timer period the paper assumes: 4 ms at 2 GHz = 8 M cycles.
+LINUX_SWITCH_INTERVAL_CYCLES = 8_000_000
+
+
+@dataclass
+class CoreConfig:
+    """Parameters of one simulated core.
+
+    Attributes:
+        name: configuration name.
+        frequency_ghz: core frequency (only used to convert to wall-clock
+            figures in reports).
+        issue_width: sustained commit width of the out-of-order engine.
+        pipeline_depth: front-end to execute depth in stages.
+        mispredict_penalty: cycles lost on a redirect (≈ pipeline depth).
+        btb_miss_penalty: front-end bubble when a taken branch misses the BTB
+            but the direction was correct.
+        base_cpi: cycles per committed instruction in the absence of branch
+            penalties (captures every other bottleneck of the machine).
+        smt_threads: number of hardware threads.
+        btb_sets: BTB sets.
+        btb_ways: BTB associativity.
+        predictor: direction-predictor name.
+        predictor_kwargs: extra predictor constructor arguments.
+        context_switch_interval: timer-interrupt period in cycles.
+        syscall_kernel_cycles: cycles spent inside the kernel per system call.
+        btb_miss_forces_not_taken: front-end policy on BTB misses (the FPGA
+            prototype falls through; the gem5 model redirects at decode).
+    """
+
+    name: str = "core"
+    frequency_ghz: float = 2.0
+    issue_width: int = 4
+    pipeline_depth: int = 10
+    mispredict_penalty: int = 11
+    btb_miss_penalty: int = 3
+    base_cpi: float = 0.65
+    smt_threads: int = 1
+    btb_sets: int = 256
+    btb_ways: int = 2
+    predictor: str = "tage"
+    predictor_kwargs: Dict = field(default_factory=dict)
+    context_switch_interval: int = LINUX_SWITCH_INTERVAL_CYCLES
+    syscall_kernel_cycles: int = 400
+    btb_miss_forces_not_taken: bool = True
+
+    def with_predictor(self, predictor: str, **predictor_kwargs) -> "CoreConfig":
+        """Copy of the configuration with a different direction predictor."""
+        return replace(self, predictor=predictor,
+                       predictor_kwargs=dict(predictor_kwargs))
+
+    def with_switch_interval(self, cycles: int) -> "CoreConfig":
+        """Copy of the configuration with a different timer period."""
+        return replace(self, context_switch_interval=cycles)
+
+    def scaled(self, time_scale: float) -> "CoreConfig":
+        """Copy with switch/kernel intervals divided by ``time_scale``.
+
+        One simulated cycle then stands for ``time_scale`` real cycles; see
+        :mod:`repro.experiments.scaling`.
+        """
+        return replace(
+            self,
+            context_switch_interval=max(1, int(self.context_switch_interval / time_scale)),
+            syscall_kernel_cycles=max(1, int(self.syscall_kernel_cycles / max(1.0, time_scale ** 0.5))))
+
+
+def fpga_prototype(predictor: str = "tage", **predictor_kwargs) -> CoreConfig:
+    """The single-threaded FPGA RISC-V prototype (Table 2, left column)."""
+    return CoreConfig(
+        name="fpga_prototype",
+        frequency_ghz=2.0,
+        issue_width=4,
+        pipeline_depth=10,
+        mispredict_penalty=11,
+        btb_miss_penalty=3,
+        base_cpi=0.65,
+        smt_threads=1,
+        btb_sets=256,
+        btb_ways=2,
+        predictor=predictor,
+        predictor_kwargs=dict(predictor_kwargs),
+        context_switch_interval=LINUX_SWITCH_INTERVAL_CYCLES,
+        btb_miss_forces_not_taken=True,
+    )
+
+
+def sunny_cove_smt(predictor: str = "tage_sc_l", smt_threads: int = 2,
+                   **predictor_kwargs) -> CoreConfig:
+    """The gem5 Sunny-Cove-like SMT core (Table 2, right column)."""
+    return CoreConfig(
+        name=f"sunny_cove_smt{smt_threads}",
+        frequency_ghz=2.5,
+        issue_width=8,
+        pipeline_depth=19,
+        mispredict_penalty=17,
+        btb_miss_penalty=4,
+        base_cpi=0.45,
+        smt_threads=smt_threads,
+        btb_sets=1024,
+        btb_ways=4,
+        predictor=predictor,
+        predictor_kwargs=dict(predictor_kwargs),
+        context_switch_interval=int(LINUX_SWITCH_INTERVAL_CYCLES * 2.5 / 2.0),
+        btb_miss_forces_not_taken=False,
+    )
+
+
+#: Named core presets.
+CORE_PRESETS = {
+    "fpga_prototype": fpga_prototype,
+    "sunny_cove_smt": sunny_cove_smt,
+}
+
+
+def make_core_config(name: str, **kwargs) -> CoreConfig:
+    """Construct a core configuration preset by name.
+
+    Raises:
+        KeyError: when ``name`` is not a known preset.
+    """
+    key = name.lower()
+    if key not in CORE_PRESETS:
+        raise KeyError(f"unknown core preset: {name!r}")
+    return CORE_PRESETS[key](**kwargs)

@@ -1,0 +1,176 @@
+"""Single-threaded core simulation (the FPGA-prototype experiments).
+
+The paper's single-thread methodology (Section 6.1): a *target* benchmark and
+a *background* benchmark time-share one core under the Linux scheduler
+(250 Hz timer); the execution time of the target benchmark is measured.  The
+isolation mechanism reacts to every context switch and to every privilege
+switch (system call) of the running benchmark.
+
+This module reproduces that setup as a trace-driven simulation: the two
+synthetic workloads are interleaved in slices of ``context_switch_interval``
+simulated cycles, the branch prediction unit is notified on every switch, and
+cycles are attributed to whichever workload is running.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.secure import BranchPredictionUnit
+from ..types import BranchType, Privilege
+from ..workloads.generator import SyntheticWorkload
+from .config import CoreConfig
+from .scheduler import RoundRobinScheduler, SyscallModel
+from .stats import RunResult, ThreadStats
+from .timing import BranchTimingModel
+
+__all__ = ["SingleThreadCore", "unique_labels"]
+
+
+def unique_labels(names: Sequence[str]) -> List[str]:
+    """Disambiguate duplicate workload names (e.g. two copies of zeusmp)."""
+    seen: Dict[str, int] = {}
+    labels = []
+    for name in names:
+        count = seen.get(name, 0)
+        labels.append(name if count == 0 else f"{name}#{count + 1}")
+        seen[name] = count + 1
+    return labels
+
+
+class SingleThreadCore:
+    """Trace-driven single-threaded core with an OS scheduler.
+
+    Args:
+        config: core configuration (FPGA prototype by default sizing).
+        bpu: the branch prediction unit under test.
+        workloads: software contexts sharing the core; the first one is the
+            *target* benchmark whose cycles the experiments measure.
+        time_scale: how many real cycles one simulated cycle represents; the
+            context-switch and syscall intervals are divided by it so that
+            the ratio of execution-window length to predictor warm-up time is
+            preserved at tractable trace lengths.
+    """
+
+    HW_THREAD = 0
+
+    def __init__(self, config: CoreConfig, bpu: BranchPredictionUnit,
+                 workloads: Sequence[SyntheticWorkload], *,
+                 time_scale: float = 100.0,
+                 syscall_time_scale: Optional[float] = None) -> None:
+        if not workloads:
+            raise ValueError("at least one workload is required")
+        self.config = config
+        self.bpu = bpu
+        self.workloads: List[SyntheticWorkload] = list(workloads)
+        self.time_scale = time_scale
+        #: Scale applied to the system-call period.  Defaults to the context-
+        #: switch scale; experiments may scale system calls less aggressively
+        #: so that the per-event warm-up cost amortises more realistically.
+        self.syscall_time_scale = (syscall_time_scale if syscall_time_scale is not None
+                                   else time_scale)
+        self._timing = BranchTimingModel(config)
+
+    def run(self, target_branches: int = 50_000, *,
+            warmup_branches: int = 0,
+            mechanism_name: Optional[str] = None) -> RunResult:
+        """Simulate until the target workload has committed ``target_branches``.
+
+        Args:
+            target_branches: conditional+unconditional branch records the
+                *target* (first) workload must commit after warm-up.
+            warmup_branches: target-workload branches executed before
+                statistics are reset (predictor warm-up).
+            mechanism_name: label recorded in the result.
+
+        Returns:
+            A :class:`repro.cpu.stats.RunResult`.
+        """
+        config = self.config
+        switch_interval = config.context_switch_interval / self.time_scale
+        kernel_cycles = float(config.syscall_kernel_cycles)
+        scheduler = RoundRobinScheduler(len(self.workloads), switch_interval)
+        iterators = [wl.records(seed_offset=i) for i, wl in enumerate(self.workloads)]
+        labels = unique_labels([wl.name for wl in self.workloads])
+        stats = [ThreadStats(name=label) for label in labels]
+        syscalls = [SyscallModel(wl, self.syscall_time_scale, phase=i * 17.0)
+                    for i, wl in enumerate(self.workloads)]
+
+        cycles = 0.0
+        privilege_switches = 0
+        target_committed = 0
+        warming = warmup_branches > 0
+        budget = warmup_branches if warming else target_branches
+        # Per-workload cycle clocks that drive its syscall schedule; unlike the
+        # statistics they are never reset at the warm-up boundary.
+        own_cycles = [0.0] * len(self.workloads)
+
+        while True:
+            current = scheduler.current
+            record = next(iterators[current])
+            outcome = self.bpu.execute_branch(record.pc, record.taken, record.target,
+                                              record.branch_type, self.HW_THREAD)
+            cost = self._timing.record_cost(record.instructions, outcome)
+            cycles += cost
+
+            own_cycles[current] += cost
+            stat = stats[current]
+            stat.cycles += cost
+            stat.instructions += record.instructions
+            stat.branches += 1
+            if record.branch_type is BranchType.CONDITIONAL:
+                stat.conditional_branches += 1
+                if outcome.direction_mispredicted:
+                    stat.direction_mispredicts += 1
+            if outcome.target_mispredicted:
+                stat.target_mispredicts += 1
+            if outcome.btb_accessed:
+                stat.btb_lookups += 1
+                if outcome.btb_hit:
+                    stat.btb_hits += 1
+
+            # System calls of the running workload (driven by its own cycles).
+            n_syscalls = syscalls[current].due(own_cycles[current])
+            for _ in range(n_syscalls):
+                self.bpu.notify_privilege_switch(self.HW_THREAD, Privilege.KERNEL)
+                self.bpu.notify_privilege_switch(self.HW_THREAD, Privilege.USER)
+                privilege_switches += 2
+                stat.syscalls += 1
+                cycles += kernel_cycles
+                stat.cycles += kernel_cycles
+                own_cycles[current] += kernel_cycles
+
+            # Timer tick: round-robin to the next software context.
+            if scheduler.maybe_switch(cycles):
+                stat.context_switches += 1
+                self.bpu.notify_context_switch(self.HW_THREAD)
+
+            if current == 0:
+                target_committed += 1
+                if target_committed >= budget:
+                    if warming:
+                        # Reset statistics and start the measured phase.
+                        warming = False
+                        budget = target_branches
+                        target_committed = 0
+                        for i, label in enumerate(labels):
+                            stats[i] = ThreadStats(name=label)
+                        cycles_offset = cycles
+                        privilege_switches = 0
+                        scheduler.switches = 0
+                        continue
+                    break
+
+        measured_cycles = cycles if warmup_branches == 0 else cycles - cycles_offset
+        result = RunResult(
+            config_name=config.name,
+            mechanism=mechanism_name or getattr(self.bpu.isolation, "name", "unknown"),
+            predictor=config.predictor,
+            cycles=measured_cycles,
+            instructions=sum(s.instructions for s in stats),
+            threads={s.name: s for s in stats},
+            context_switches=scheduler.switches,
+            privilege_switches=privilege_switches,
+            time_scale=self.time_scale,
+        )
+        return result

@@ -1,0 +1,117 @@
+"""OS scheduling events: timer-driven context switches and system calls.
+
+The isolation mechanisms react to exactly two event classes (Section 5.4):
+
+* **context switches** — driven by the OS timer (the paper uses the standard
+  Linux 250 Hz tick, i.e. one switch per 4 ms / 8 M cycles, and sweeps
+  4 M / 8 M / 12 M in Figures 1 and 7–9);
+* **privilege switches** — system calls and exceptions, whose per-benchmark
+  rate the paper reports in Table 4 and identifies as the dominant cause of
+  key regeneration.
+
+Both are modelled as periodic events in (simulated) cycle time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..workloads.generator import SyntheticWorkload
+
+__all__ = ["PeriodicEvent", "SyscallModel", "RoundRobinScheduler"]
+
+
+@dataclass
+class PeriodicEvent:
+    """A periodic event in cycle time.
+
+    Attributes:
+        interval: period in cycles (``None`` or ``<= 0`` disables the event).
+        phase: cycle time of the first occurrence.
+    """
+
+    interval: Optional[float]
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.interval is not None and self.interval <= 0:
+            self.interval = None
+        self._next = (self.phase + self.interval) if self.interval else float("inf")
+
+    @property
+    def next_fire(self) -> float:
+        """Cycle time of the next occurrence."""
+        return self._next
+
+    def pending(self, now: float) -> int:
+        """Number of occurrences due at time ``now``; advances the schedule."""
+        if self.interval is None or now < self._next:
+            return 0
+        fires = 0
+        while self._next <= now:
+            self._next += self.interval
+            fires += 1
+        return fires
+
+    def reset(self, now: float = 0.0) -> None:
+        """Restart the schedule from ``now``."""
+        if self.interval is None:
+            self._next = float("inf")
+        else:
+            self._next = now + self.interval
+
+
+class SyscallModel:
+    """System-call schedule of one workload.
+
+    The profile gives privilege transitions per million (real) cycles; a
+    system call is two transitions (enter + exit), so the syscall period in
+    simulated cycles is ``2e6 / rate / time_scale``.
+    """
+
+    def __init__(self, workload: SyntheticWorkload, time_scale: float = 1.0,
+                 phase: float = 0.0) -> None:
+        rate = workload.profile.privilege_switches_per_million_cycles
+        if rate > 0:
+            interval = 2e6 / rate / time_scale
+        else:
+            interval = None
+        self.event = PeriodicEvent(interval, phase)
+
+    def due(self, own_cycles: float) -> int:
+        """Number of system calls due given the workload's own elapsed cycles."""
+        return self.event.pending(own_cycles)
+
+
+class RoundRobinScheduler:
+    """Round-robin OS scheduler for a single-threaded core.
+
+    The scheduler time-shares one hardware thread among several software
+    contexts (the Table 3 pair), switching on every timer tick.
+
+    Args:
+        n_contexts: number of software contexts.
+        switch_interval: timer period in simulated cycles.
+    """
+
+    def __init__(self, n_contexts: int, switch_interval: float) -> None:
+        if n_contexts < 1:
+            raise ValueError("need at least one context")
+        self._n = n_contexts
+        self.timer = PeriodicEvent(switch_interval if n_contexts > 1 else switch_interval)
+        self.current = 0
+        self.switches = 0
+
+    @property
+    def n_contexts(self) -> int:
+        """Number of software contexts being scheduled."""
+        return self._n
+
+    def maybe_switch(self, now: float) -> int:
+        """Handle any due timer ticks; returns the number of switches taken."""
+        fires = self.timer.pending(now)
+        if fires:
+            self.current = (self.current + fires) % self._n
+            self.switches += fires
+        return fires

@@ -1,0 +1,184 @@
+"""Simulation statistics containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["ThreadStats", "RunResult"]
+
+
+@dataclass
+class ThreadStats:
+    """Per software-context (or per hardware-thread) execution statistics.
+
+    Attributes:
+        name: workload name.
+        instructions: committed instructions.
+        branches: committed branches of all kinds.
+        conditional_branches: committed conditional branches.
+        direction_mispredicts: conditional branches whose followed direction
+            was wrong.
+        target_mispredicts: correctly-directed taken branches whose predicted
+            target was wrong or unavailable.
+        btb_lookups: BTB probes.
+        btb_hits: BTB probes that hit.
+        cycles: cycles attributed to this context (base work + its penalties).
+        syscalls: system calls performed.
+        context_switches: times this context was switched in/out.
+    """
+
+    name: str = ""
+    instructions: int = 0
+    branches: int = 0
+    conditional_branches: int = 0
+    direction_mispredicts: int = 0
+    target_mispredicts: int = 0
+    btb_lookups: int = 0
+    btb_hits: int = 0
+    cycles: float = 0.0
+    syscalls: int = 0
+    context_switches: int = 0
+
+    @property
+    def mispredicts(self) -> int:
+        """All redirect-causing mispredictions."""
+        return self.direction_mispredicts + self.target_mispredicts
+
+    @property
+    def mpki(self) -> float:
+        """Mispredictions per thousand instructions."""
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.mispredicts / self.instructions
+
+    @property
+    def direction_mpki(self) -> float:
+        """Direction mispredictions per thousand instructions."""
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.direction_mispredicts / self.instructions
+
+    @property
+    def direction_accuracy(self) -> float:
+        """Conditional-branch direction prediction accuracy."""
+        if self.conditional_branches == 0:
+            return 1.0
+        return 1.0 - self.direction_mispredicts / self.conditional_branches
+
+    @property
+    def btb_hit_rate(self) -> float:
+        """BTB hit rate."""
+        if self.btb_lookups == 0:
+            return 1.0
+        return self.btb_hits / self.btb_lookups
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle attributed to this context."""
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+
+@dataclass
+class RunResult:
+    """Result of one simulation run.
+
+    Attributes:
+        config_name: core configuration name.
+        mechanism: protection preset name.
+        predictor: direction predictor name.
+        cycles: total elapsed core cycles.
+        instructions: total committed instructions across contexts.
+        threads: per-context statistics keyed by workload name.
+        context_switches: OS context switches that occurred.
+        privilege_switches: privilege transitions that occurred.
+        time_scale: how many real cycles one simulated cycle stands for.
+    """
+
+    config_name: str = ""
+    mechanism: str = "baseline"
+    predictor: str = ""
+    cycles: float = 0.0
+    instructions: int = 0
+    threads: Dict[str, ThreadStats] = field(default_factory=dict)
+    context_switches: int = 0
+    privilege_switches: int = 0
+    time_scale: float = 1.0
+
+    @property
+    def ipc(self) -> float:
+        """Aggregate instructions per cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def mpki(self) -> float:
+        """Aggregate mispredictions per thousand instructions."""
+        if self.instructions == 0:
+            return 0.0
+        total = sum(t.mispredicts for t in self.threads.values())
+        return 1000.0 * total / self.instructions
+
+    @property
+    def direction_mpki(self) -> float:
+        """Aggregate direction-mispredictions per thousand instructions."""
+        if self.instructions == 0:
+            return 0.0
+        total = sum(t.direction_mispredicts for t in self.threads.values())
+        return 1000.0 * total / self.instructions
+
+    def thread(self, name: str) -> ThreadStats:
+        """Statistics of one workload by name."""
+        return self.threads[name]
+
+    def target_cycles(self, name: str) -> float:
+        """Cycles attributed to one workload (single-thread overhead metric)."""
+        return self.threads[name].cycles
+
+    def privilege_switches_per_million_cycles(self) -> float:
+        """Privilege transitions per million (unscaled) cycles — Table 4."""
+        if self.cycles == 0:
+            return 0.0
+        return 1e6 * self.privilege_switches / (self.cycles * self.time_scale)
+
+    def overhead_vs(self, baseline: "RunResult", workload: str = None) -> float:
+        """Relative execution-time overhead versus a baseline run.
+
+        Args:
+            baseline: the run to normalise against (same workloads).
+            workload: when given, compare cycles attributed to that workload
+                (the single-thread target-benchmark metric); otherwise compare
+                total elapsed cycles (the SMT metric).
+
+        Returns:
+            ``cycles / baseline_cycles - 1`` (positive = slowdown).
+        """
+        if workload is not None:
+            mine = self.threads[workload].cycles
+            theirs = baseline.threads[workload].cycles
+        else:
+            mine = self.cycles
+            theirs = baseline.cycles
+        if theirs == 0:
+            return 0.0
+        return mine / theirs - 1.0
+
+
+def merge_thread_stats(results: List[ThreadStats]) -> ThreadStats:
+    """Sum a list of per-thread statistics into one aggregate."""
+    total = ThreadStats(name="total")
+    for stats in results:
+        total.instructions += stats.instructions
+        total.branches += stats.branches
+        total.conditional_branches += stats.conditional_branches
+        total.direction_mispredicts += stats.direction_mispredicts
+        total.target_mispredicts += stats.target_mispredicts
+        total.btb_lookups += stats.btb_lookups
+        total.btb_hits += stats.btb_hits
+        total.cycles += stats.cycles
+        total.syscalls += stats.syscalls
+        total.context_switches += stats.context_switches
+    return total

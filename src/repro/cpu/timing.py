@@ -1,0 +1,51 @@
+"""First-order out-of-order timing model.
+
+The paper's metric is the *relative* execution-time overhead caused by the
+additional branch and BTB mispredictions that an isolation mechanism (flush
+or key change) introduces.  That quantity is captured by a first-order cycle
+accounting:
+
+``cycles = instructions * base_cpi
+         + direction/target mispredictions * mispredict_penalty
+         + taken-branch BTB misses * btb_miss_penalty``
+
+``base_cpi`` folds in every non-branch bottleneck of the machine (it is the
+reciprocal of the IPC the core would achieve with a perfect front end) and is
+identical across mechanisms, so it only scales the denominator of the
+overhead — exactly the role the rest of the microarchitecture plays in the
+paper's measurements.
+"""
+
+from __future__ import annotations
+
+from ..core.secure import BranchOutcome
+from .config import CoreConfig
+
+__all__ = ["BranchTimingModel"]
+
+
+class BranchTimingModel:
+    """Cycle accounting for one core configuration."""
+
+    def __init__(self, config: CoreConfig) -> None:
+        self.config = config
+        self._base_cpi = config.base_cpi
+        self._mispredict_penalty = config.mispredict_penalty
+        self._btb_miss_penalty = config.btb_miss_penalty
+
+    def instruction_cost(self, instructions: int) -> float:
+        """Base cycles for a number of committed instructions."""
+        return instructions * self._base_cpi
+
+    def branch_penalty(self, outcome: BranchOutcome) -> float:
+        """Extra cycles caused by the front end's handling of one branch."""
+        if outcome.direction_mispredicted or outcome.target_mispredicted:
+            return float(self._mispredict_penalty)
+        if outcome.taken and outcome.btb_accessed and not outcome.btb_hit:
+            # Correct direction but the target had to come from decode.
+            return float(self._btb_miss_penalty)
+        return 0.0
+
+    def record_cost(self, instructions: int, outcome: BranchOutcome) -> float:
+        """Total cycles attributed to one branch record (gap + branch + penalty)."""
+        return self.instruction_cost(instructions) + self.branch_penalty(outcome)

@@ -1,0 +1,90 @@
+"""Experiment drivers: one module per paper table/figure, plus ablations.
+
+Every module exposes a ``run(scale=None, ...)`` function returning an
+:class:`repro.experiments.base.ExperimentResult`; the benchmark harness under
+``benchmarks/`` regenerates each table and figure by calling these, and the
+examples print them.
+"""
+
+from . import (
+    ablations,
+    fig1_flush_single,
+    fig2_flush_smt,
+    fig3_precise_flush,
+    fig7_xor_btb,
+    fig8_xor_pht,
+    fig9_xor_bp,
+    fig10_smt_predictors,
+    poc_attacks,
+    sensitivity,
+    table1_security,
+    table2_configs,
+    table3_benchmarks,
+    table4_privilege,
+    table5_hwcost,
+)
+from .base import ExperimentResult
+from .runner import (
+    build_bpu,
+    overhead_figure_single_thread,
+    overhead_figure_smt,
+    run_single_thread_case,
+    run_smt_case,
+    sweep_single_thread,
+    sweep_smt,
+)
+from .scaling import ExperimentScale, default_scale, env_scale_factor, quick_scale
+
+#: Registry of experiments keyed by the paper artefact they reproduce.
+EXPERIMENTS = {
+    "figure1": fig1_flush_single.run,
+    "figure2": fig2_flush_smt.run,
+    "figure3": fig3_precise_flush.run,
+    "figure7": fig7_xor_btb.run,
+    "figure8": fig8_xor_pht.run,
+    "figure9": fig9_xor_bp.run,
+    "figure10": fig10_smt_predictors.run,
+    "table1": table1_security.run,
+    "table2": table2_configs.run,
+    "table3": table3_benchmarks.run,
+    "table4": table4_privilege.run,
+    "table5": table5_hwcost.run,
+    "poc_attacks": poc_attacks.run,
+    "ablation_encoder": ablations.encoder_ablation,
+    "ablation_key_refresh": ablations.key_refresh_ablation,
+    "ablation_pht_granularity": ablations.pht_granularity_ablation,
+    "ablation_switch_interval": sensitivity.switch_interval_sensitivity,
+    "ablation_penalty": sensitivity.mispredict_penalty_sensitivity,
+    "smt4_noisy_xor": sensitivity.smt4_noisy_xor,
+}
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentScale",
+    "default_scale",
+    "quick_scale",
+    "env_scale_factor",
+    "EXPERIMENTS",
+    "build_bpu",
+    "run_single_thread_case",
+    "run_smt_case",
+    "sweep_single_thread",
+    "sweep_smt",
+    "overhead_figure_single_thread",
+    "overhead_figure_smt",
+    "fig1_flush_single",
+    "fig2_flush_smt",
+    "fig3_precise_flush",
+    "fig7_xor_btb",
+    "fig8_xor_pht",
+    "fig9_xor_bp",
+    "fig10_smt_predictors",
+    "table1_security",
+    "table2_configs",
+    "table3_benchmarks",
+    "table4_privilege",
+    "table5_hwcost",
+    "poc_attacks",
+    "ablations",
+    "sensitivity",
+]

@@ -1,0 +1,47 @@
+"""Common experiment result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..analysis.figures import FigureSeries
+from ..analysis.tables import render_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Result of reproducing one paper table or figure.
+
+    Attributes:
+        name: experiment identifier (``"Figure 7"``, ``"Table 5"``, ...).
+        description: what the experiment measures.
+        headers: column headers of the tabular result.
+        rows: tabular result rows.
+        figure: optional figure data series (for the bar-chart figures).
+        paper_claim: the paper's headline numbers for this experiment.
+        notes: reproduction caveats (scaling, substitutions).
+    """
+
+    name: str
+    description: str
+    headers: Sequence[str] = field(default_factory=list)
+    rows: List[Sequence] = field(default_factory=list)
+    figure: Optional[FigureSeries] = None
+    paper_claim: str = ""
+    notes: str = ""
+
+    def render(self) -> str:
+        """Render the experiment result as text."""
+        parts = [f"== {self.name}: {self.description} =="]
+        if self.paper_claim:
+            parts.append(f"Paper: {self.paper_claim}")
+        if self.figure is not None:
+            parts.append(self.figure.render())
+        if self.rows:
+            parts.append(render_table(self.headers, self.rows))
+        if self.notes:
+            parts.append(f"Notes: {self.notes}")
+        return "\n".join(parts)

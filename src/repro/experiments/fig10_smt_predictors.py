@@ -1,0 +1,99 @@
+"""Figure 10: three isolation mechanisms on four predictors on the SMT-2 core.
+
+For each of Gshare, Tournament, LTAGE and TAGE-SC-L, the figure shows the
+per-case overhead of Complete Flush, Precise Flush and Noisy-XOR-BP relative
+to the same predictor without protection.  The paper's three observations:
+
+1. per-case impacts span a wide range (some cases exceed 20%), but averages
+   stay at a few percent;
+2. Noisy-XOR-BP generally costs less than both flush mechanisms (26–37%
+   lower than Complete Flush on average), with exceptions;
+3. more accurate predictors show somewhat higher protection overhead
+   (2.3% for the least accurate up to 4.9% for the most accurate), and the
+   measured baseline MPKIs are 8.45 / 5.17 / 4.10 / 3.99.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.figures import FigureSeries
+from ..analysis.metrics import arithmetic_mean
+from ..cpu.config import sunny_cove_smt
+from ..workloads.pairs import SMT2_PAIRS, BenchmarkPair
+from .base import ExperimentResult
+from .runner import run_smt_case
+from .scaling import ExperimentScale, default_scale
+
+__all__ = ["run", "PREDICTORS", "MECHANISMS", "PAPER_BASELINE_MPKI"]
+
+#: Predictors evaluated in Figure 10, in the paper's accuracy order.
+PREDICTORS = ["gshare", "tournament", "ltage", "tage_sc_l"]
+
+#: Mechanisms evaluated in Figure 10: (figure label suffix, preset).
+MECHANISMS = [("CF", "complete_flush"), ("PF", "precise_flush"),
+              ("Noisy-XOR-BP", "noisy_xor_bp")]
+
+#: Baseline MPKI the paper measured for the four predictors.
+PAPER_BASELINE_MPKI = {"gshare": 8.45, "tournament": 5.17,
+                       "ltage": 4.10, "tage_sc_l": 3.99}
+
+
+def run(scale: Optional[ExperimentScale] = None,
+        predictors: Optional[Sequence[str]] = None,
+        pairs: Optional[Sequence[BenchmarkPair]] = None) -> ExperimentResult:
+    """Reproduce Figure 10.
+
+    Args:
+        scale: experiment scale.
+        predictors: subset of :data:`PREDICTORS` (all four by default; this
+            is the most expensive experiment in the suite).
+        pairs: subset of the SMT-2 pairs (all 12 by default).
+    """
+    scale = scale or default_scale()
+    predictors = list(predictors) if predictors is not None else list(PREDICTORS)
+    pairs = list(pairs) if pairs is not None else list(SMT2_PAIRS)
+
+    figure = FigureSeries(
+        name="Figure 10",
+        description="Isolation overhead per predictor and mechanism on SMT-2",
+        categories=[pair.case for pair in pairs])
+    baseline_mpki: Dict[str, float] = {}
+    averages: List[List] = []
+
+    for predictor in predictors:
+        config = sunny_cove_smt(predictor, 2)
+        baselines = {}
+        mpkis = []
+        for pair in pairs:
+            baselines[pair.case] = run_smt_case(pair, config, "baseline", scale)
+            mpkis.append(baselines[pair.case].direction_mpki)
+        baseline_mpki[predictor] = arithmetic_mean(mpkis)
+        for suffix, preset in MECHANISMS:
+            label = f"{predictor}-{suffix}"
+            values = []
+            for pair in pairs:
+                result = run_smt_case(pair, config, preset, scale)
+                values.append(result.overhead_vs(baselines[pair.case]))
+            figure.add_series(label, values)
+            averages.append([predictor, suffix,
+                             f"{100 * arithmetic_mean(values):+.2f}%"])
+
+    rows = [[predictor, f"{baseline_mpki[predictor]:.2f}",
+             PAPER_BASELINE_MPKI.get(predictor, float('nan'))]
+            for predictor in predictors]
+    return ExperimentResult(
+        name="Figure 10",
+        description="Performance cost of three isolation mechanisms on four "
+                    "predictors on an SMT-2 core",
+        headers=["predictor", "measured baseline MPKI", "paper baseline MPKI"],
+        rows=rows + [["--- averages ---", "", ""]] + averages,
+        figure=figure,
+        paper_claim="Noisy-XOR-BP is on average cheaper than Complete/Precise "
+                    "Flush (26-37% lower loss than CF); overhead grows mildly "
+                    "with predictor accuracy; baseline MPKI 8.45/5.17/4.10/3.99",
+        notes="Synthetic workloads inflate absolute MPKI; the predictor "
+              "accuracy ordering and the CF > PF ordering are reproduced. "
+              "For history-indexed untagged predictors our traces exaggerate "
+              "cross-thread constructive aliasing, which raises the apparent "
+              "steady-state cost of content encoding (see EXPERIMENTS.md).")

@@ -1,0 +1,66 @@
+"""Section 5.5(3): proof-of-concept attack & defense experiments.
+
+The paper runs the Listing 1 (BTB) and Listing 2 (PHT) proof-of-concept
+attacks 10 000 iterations on the FPGA prototype: without protection the
+training accuracy is 96.5% (BTB) and 97.2% (PHT); with XOR-based isolation it
+drops below 1%.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..attacks.harness import run_attack
+from .base import ExperimentResult
+from .scaling import ExperimentScale, default_scale
+
+__all__ = ["run", "PAPER_BASELINE_ACCURACY"]
+
+#: The paper's baseline PoC training accuracy per structure.
+PAPER_BASELINE_ACCURACY = {"btb": 0.965, "pht": 0.972}
+
+
+def run(scale: Optional[ExperimentScale] = None,
+        mechanisms: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Reproduce the PoC attack-and-defense experiment.
+
+    Args:
+        scale: experiment scale (controls the iteration count).
+        mechanisms: protection presets to evaluate; defaults to the baseline
+            plus the XOR-based mechanisms the paper reports.
+    """
+    scale = scale or default_scale()
+    mechanisms = list(mechanisms) if mechanisms is not None else [
+        "baseline", "xor_bp", "noisy_xor_bp"]
+
+    rows = []
+    for mechanism in mechanisms:
+        btb_result = run_attack("spectre_v2_btb_training", mechanism,
+                                iterations=scale.poc_iterations)
+        # One PHT iteration bundles 100 training attempts, so fewer iterations
+        # give the same number of attempts as the BTB attack.
+        pht_result = run_attack("pht_training", mechanism,
+                                iterations=max(20, scale.poc_iterations // 20))
+        pht_accuracy = pht_result.details.get("training_accuracy", 0.0)
+        rows.append([
+            mechanism,
+            f"{100 * btb_result.success_rate:.2f}%",
+            f"{100 * PAPER_BASELINE_ACCURACY['btb']:.1f}%" if mechanism == "baseline"
+            else "< 1%",
+            f"{100 * pht_accuracy:.2f}%",
+            f"{100 * PAPER_BASELINE_ACCURACY['pht']:.1f}%" if mechanism == "baseline"
+            else "< 1% (iteration criterion)",
+            f"{100 * pht_result.success_rate:.2f}%",
+        ])
+    return ExperimentResult(
+        name="PoC attacks (Section 5.5)",
+        description="Training accuracy of the Listing 1 (BTB) and Listing 2 (PHT) "
+                    "proof-of-concept attacks",
+        headers=["mechanism", "BTB training success", "paper",
+                 "PHT per-attempt training accuracy", "paper",
+                 "PHT >90/100 iteration success"],
+        rows=rows,
+        paper_claim="baseline accuracy 96.5% (BTB) / 97.2% (PHT); below 1% with "
+                    "XOR-based isolation",
+        notes="The BTB success rate is measured through a noisy Flush+Reload "
+              "channel, mirroring the paper's RISC-V measurement noise.")

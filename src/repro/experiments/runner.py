@@ -1,0 +1,197 @@
+"""Shared experiment plumbing: building systems and running cases."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.registry import make_bpu
+from ..core.secure import BranchPredictionUnit
+from ..cpu.config import CoreConfig, fpga_prototype, sunny_cove_smt
+from ..cpu.core import SingleThreadCore
+from ..cpu.smt import SmtCore
+from ..cpu.stats import RunResult
+from ..workloads.pairs import BenchmarkPair, make_pair_workloads
+from .scaling import ExperimentScale, default_scale
+
+__all__ = ["build_bpu", "run_single_thread_case", "run_smt_case",
+           "sweep_single_thread", "sweep_smt",
+           "overhead_figure_single_thread", "overhead_figure_smt"]
+
+
+def build_bpu(config: CoreConfig, preset: str, seed: int) -> BranchPredictionUnit:
+    """Build a branch prediction unit matching a core configuration."""
+    return make_bpu(config.predictor, preset, seed=seed,
+                    btb_sets=config.btb_sets, btb_ways=config.btb_ways,
+                    btb_miss_forces_not_taken=config.btb_miss_forces_not_taken,
+                    predictor_kwargs=dict(config.predictor_kwargs))
+
+
+def run_single_thread_case(pair: BenchmarkPair, config: CoreConfig, preset: str,
+                           scale: ExperimentScale, *,
+                           switch_interval: Optional[int] = None,
+                           seed_offset: int = 0) -> RunResult:
+    """Run one Table 3 pair on the single-threaded core under one mechanism.
+
+    Args:
+        pair: the benchmark pair; the first benchmark is the measured target.
+        config: core configuration (usually the FPGA prototype).
+        preset: protection preset name.
+        scale: experiment scale.
+        switch_interval: context-switch period in (real) cycles; defaults to
+            the configuration's standard Linux period.
+        seed_offset: varies workload and key seeds between repetitions.
+    """
+    if switch_interval is not None:
+        config = config.with_switch_interval(switch_interval)
+    workloads = make_pair_workloads(pair, seed=scale.seed + seed_offset)
+    bpu = build_bpu(config, preset, seed=scale.seed + 7 * seed_offset + 1)
+    core = SingleThreadCore(config, bpu, workloads,
+                            time_scale=scale.time_scale,
+                            syscall_time_scale=scale.syscall_time_scale)
+    return core.run(target_branches=scale.st_target_branches,
+                    warmup_branches=scale.st_warmup_branches,
+                    mechanism_name=preset)
+
+
+def run_smt_case(pair: BenchmarkPair, config: CoreConfig, preset: str,
+                 scale: ExperimentScale, *, se_mode: bool = True,
+                 seed_offset: int = 0) -> RunResult:
+    """Run one Table 3 pair/quad on the SMT core under one mechanism."""
+    workloads = make_pair_workloads(pair, seed=scale.seed + seed_offset)
+    if len(workloads) != config.smt_threads:
+        raise ValueError(
+            f"pair {pair.case} has {len(workloads)} benchmarks but the core has "
+            f"{config.smt_threads} hardware threads")
+    bpu = build_bpu(config, preset, seed=scale.seed + 7 * seed_offset + 1)
+    core = SmtCore(config, bpu, workloads, time_scale=scale.smt_time_scale,
+                   se_mode=se_mode)
+    return core.run(instructions=scale.smt_instructions,
+                    warmup_instructions=scale.smt_warmup_instructions,
+                    mechanism_name=preset)
+
+
+def sweep_single_thread(pairs: Iterable[BenchmarkPair], config: CoreConfig,
+                        presets: Iterable[str], scale: Optional[ExperimentScale] = None,
+                        *, switch_intervals: Optional[Dict[str, int]] = None
+                        ) -> Dict[Tuple[str, str], RunResult]:
+    """Run every (pair, preset) combination on the single-threaded core.
+
+    Args:
+        pairs: benchmark pairs to run.
+        config: core configuration.
+        presets: protection presets; ``baseline`` is always run once per pair.
+        scale: experiment scale (default scale when omitted).
+        switch_intervals: optional per-preset context-switch period override
+            (used for the ``-4M/-8M/-12M`` sweeps; keys are preset labels in
+            the returned dictionary).
+
+    Returns:
+        Results keyed by ``(case, preset_label)``.
+    """
+    scale = scale or default_scale()
+    results: Dict[Tuple[str, str], RunResult] = {}
+    for pair in pairs:
+        results[(pair.case, "baseline")] = run_single_thread_case(
+            pair, config, "baseline", scale)
+        for label in presets:
+            if label == "baseline":
+                continue
+            preset = label
+            interval = None
+            if switch_intervals and label in switch_intervals:
+                interval = switch_intervals[label]
+                preset = label.rsplit("-", 1)[0]
+            results[(pair.case, label)] = run_single_thread_case(
+                pair, config, preset, scale, switch_interval=interval)
+    return results
+
+
+def sweep_smt(pairs: Iterable[BenchmarkPair], config: CoreConfig,
+              presets: Iterable[str], scale: Optional[ExperimentScale] = None
+              ) -> Dict[Tuple[str, str], RunResult]:
+    """Run every (pair, preset) combination on the SMT core."""
+    scale = scale or default_scale()
+    results: Dict[Tuple[str, str], RunResult] = {}
+    for pair in pairs:
+        for preset in presets:
+            results[(pair.case, preset)] = run_smt_case(pair, config, preset, scale)
+    return results
+
+
+def overhead_figure_single_thread(name: str, description: str,
+                                  mechanisms: "List[Tuple[str, str, Optional[int]]]",
+                                  pairs: List[BenchmarkPair],
+                                  config: Optional[CoreConfig] = None,
+                                  scale: Optional[ExperimentScale] = None):
+    """Build a per-case overhead figure on the single-threaded core.
+
+    Args:
+        name: figure name.
+        description: figure description.
+        mechanisms: list of ``(series label, preset, switch_interval)``; the
+            interval is in real cycles (``None`` keeps the default).
+        pairs: benchmark pairs (x-axis categories).
+        config: core configuration; the FPGA prototype by default.
+        scale: experiment scale.
+
+    Returns:
+        A tuple ``(figure, baselines)`` where ``figure`` is the populated
+        :class:`repro.analysis.figures.FigureSeries` of overheads versus the
+        per-case baseline and ``baselines`` maps case name to its baseline
+        :class:`repro.cpu.stats.RunResult`.
+    """
+    from ..analysis.figures import FigureSeries
+
+    scale = scale or default_scale()
+    config = config or fpga_prototype()
+    figure = FigureSeries(name=name, description=description,
+                          categories=[pair.case for pair in pairs])
+    baselines: Dict[str, RunResult] = {}
+    for pair in pairs:
+        baselines[pair.case] = run_single_thread_case(pair, config, "baseline", scale)
+    for label, preset, interval in mechanisms:
+        values = []
+        for pair in pairs:
+            result = run_single_thread_case(pair, config, preset, scale,
+                                            switch_interval=interval)
+            values.append(result.overhead_vs(baselines[pair.case],
+                                             workload=pair.target))
+        figure.add_series(label, values)
+    return figure, baselines
+
+
+def overhead_figure_smt(name: str, description: str,
+                        mechanisms: "List[Tuple[str, str]]",
+                        pairs: List[BenchmarkPair],
+                        config: Optional[CoreConfig] = None,
+                        scale: Optional[ExperimentScale] = None):
+    """Build a per-case overhead figure on the SMT core.
+
+    Args:
+        name: figure name.
+        description: figure description.
+        mechanisms: list of ``(series label, preset)``.
+        pairs: benchmark pairs or quads (must match the core's thread count).
+        config: core configuration; the Sunny-Cove-like SMT-2 core by default.
+        scale: experiment scale.
+
+    Returns:
+        ``(figure, baselines)`` as for :func:`overhead_figure_single_thread`,
+        with overheads computed on total elapsed cycles.
+    """
+    from ..analysis.figures import FigureSeries
+
+    scale = scale or default_scale()
+    config = config or sunny_cove_smt()
+    figure = FigureSeries(name=name, description=description,
+                          categories=[pair.case for pair in pairs])
+    baselines: Dict[str, RunResult] = {}
+    for pair in pairs:
+        baselines[pair.case] = run_smt_case(pair, config, "baseline", scale)
+    for label, preset in mechanisms:
+        values = []
+        for pair in pairs:
+            result = run_smt_case(pair, config, preset, scale)
+            values.append(result.overhead_vs(baselines[pair.case]))
+        figure.add_series(label, values)
+    return figure, baselines

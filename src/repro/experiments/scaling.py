@@ -1,0 +1,88 @@
+"""Experiment scaling.
+
+The paper simulates billions of instructions per configuration; a pure-Python
+model cannot.  All experiments therefore run *scaled*: one simulated cycle
+stands for ``time_scale`` real cycles, so the OS-event intervals (timer
+context switches, system calls) shrink by that factor while the predictor
+warm-up cost — a property of the workload's branch working set — stays the
+same.  Relative overheads keep their per-case ordering and crossovers but are
+inflated in absolute terms; EXPERIMENTS.md quantifies this per figure.
+
+The ``REPRO_SCALE`` environment variable multiplies the trace-length budgets
+(values above 1 increase fidelity and run time; values below 1 speed up smoke
+runs).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+__all__ = ["ExperimentScale", "default_scale", "quick_scale", "env_scale_factor"]
+
+
+def env_scale_factor() -> float:
+    """Trace-length multiplier taken from the ``REPRO_SCALE`` environment variable."""
+    raw = os.environ.get("REPRO_SCALE", "1.0")
+    try:
+        value = float(raw)
+    except ValueError:
+        return 1.0
+    return max(0.05, min(value, 100.0))
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs controlling how much work each experiment simulates.
+
+    Attributes:
+        time_scale: real cycles represented by one simulated cycle (applied to
+            the context-switch interval) on the single-threaded core.
+        smt_time_scale: the same scale for the SMT experiments; larger because
+            the SMT runs are driven by an instruction budget shared between
+            threads and need several timer ticks per thread within it.
+        syscall_time_scale: scale applied to system-call intervals; kept
+            smaller than ``time_scale`` so that per-syscall warm-up amortises
+            over a window closer to its real relative size.
+        st_target_branches: branches the target benchmark commits in each
+            single-threaded measurement.
+        st_warmup_branches: single-threaded warm-up branches.
+        smt_instructions: combined instructions per SMT measurement.
+        smt_warmup_instructions: SMT warm-up instructions.
+        poc_iterations: iterations for the proof-of-concept attacks.
+        table1_iterations: attack iterations per Table 1 cell.
+        seed: base RNG seed shared by the experiments.
+    """
+
+    time_scale: float = 200.0
+    smt_time_scale: float = 600.0
+    syscall_time_scale: float = 25.0
+    st_target_branches: int = 12_000
+    st_warmup_branches: int = 3_000
+    smt_instructions: int = 120_000
+    smt_warmup_instructions: int = 30_000
+    poc_iterations: int = 2_000
+    table1_iterations: int = 120
+    seed: int = 2021
+
+    def scaled_by(self, factor: float) -> "ExperimentScale":
+        """Scale the trace-length budgets by ``factor``."""
+        return replace(
+            self,
+            st_target_branches=max(1_000, int(self.st_target_branches * factor)),
+            st_warmup_branches=max(500, int(self.st_warmup_branches * factor)),
+            smt_instructions=max(20_000, int(self.smt_instructions * factor)),
+            smt_warmup_instructions=max(5_000, int(self.smt_warmup_instructions * factor)),
+            poc_iterations=max(100, int(self.poc_iterations * factor)),
+            table1_iterations=max(40, int(self.table1_iterations * factor)),
+        )
+
+
+def default_scale() -> ExperimentScale:
+    """Default experiment scale, honouring ``REPRO_SCALE``."""
+    return ExperimentScale().scaled_by(env_scale_factor())
+
+
+def quick_scale() -> ExperimentScale:
+    """A small scale for smoke tests and examples."""
+    return ExperimentScale().scaled_by(0.25)

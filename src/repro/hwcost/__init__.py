@@ -1,0 +1,19 @@
+"""Analytic hardware cost model for Noisy-XOR-BP (Table 5, plus energy)."""
+
+from .energy import EnergyEstimate, btb_energy, pht_energy
+from .estimator import CostEstimate, btb_cost, tage_pht_cost
+from .gates import TSMC28_LIKE, TechnologyParameters
+from .sram import sram_access_ps, sram_area_um2
+
+__all__ = [
+    "CostEstimate",
+    "btb_cost",
+    "tage_pht_cost",
+    "EnergyEstimate",
+    "btb_energy",
+    "pht_energy",
+    "TechnologyParameters",
+    "TSMC28_LIKE",
+    "sram_access_ps",
+    "sram_area_um2",
+]

@@ -1,0 +1,110 @@
+"""Per-access energy overhead of the Noisy-XOR-BP additions.
+
+Table 5 of the paper covers area and timing; reviewers of such designs also
+routinely ask about energy.  This module extends the same cost model with a
+first-order dynamic-energy estimate: the XOR gates toggled per access and the
+key-register read are compared against the energy of the SRAM array access
+they accompany.  Like the rest of :mod:`repro.hwcost` it models a 28 nm-class
+technology; the meaningful output is the *relative* overhead, which stays a
+small fraction of the array access energy for every configuration in Table 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EnergyEstimate", "btb_energy", "pht_energy"]
+
+#: Dynamic energy of toggling one minimum-size XOR gate, in femtojoules.
+_XOR_ENERGY_FJ = 0.1
+#: Dynamic energy of reading one bit of a small register file, in femtojoules.
+_REGISTER_READ_ENERGY_FJ = 0.05
+#: Dynamic read energy per SRAM bit accessed, in femtojoules.  Bitline and
+#: sense-amplifier capacitance dominate, so the per-bit figure is an order of
+#: magnitude above a logic-gate toggle.
+_SRAM_READ_ENERGY_FJ_PER_BIT = 1.5
+#: Fixed per-array-access energy (address decoder, wordline drive), in
+#: femtojoules.
+_SRAM_ACCESS_FIXED_FJ = 25.0
+#: Fraction of accessed bits that actually toggle downstream logic.
+_ACTIVITY_FACTOR = 0.5
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Per-access energy of a protected structure versus its baseline.
+
+    Attributes:
+        structure: human-readable structure label.
+        baseline_fj: per-access energy of the unprotected structure (fJ).
+        added_fj: extra energy per access due to content/index encoding (fJ).
+    """
+
+    structure: str
+    baseline_fj: float
+    added_fj: float
+
+    @property
+    def total_fj(self) -> float:
+        """Per-access energy of the protected structure."""
+        return self.baseline_fj + self.added_fj
+
+    @property
+    def energy_overhead(self) -> float:
+        """Relative per-access energy overhead (``added / baseline``)."""
+        if self.baseline_fj <= 0:
+            return 0.0
+        return self.added_fj / self.baseline_fj
+
+
+def _encoding_energy_fj(encoded_bits: int, index_bits: int, key_bits: int) -> float:
+    """Energy of the XOR network plus key-register reads for one access."""
+    if encoded_bits < 0 or index_bits < 0 or key_bits < 0:
+        raise ValueError("bit counts must be non-negative")
+    xor_energy = (encoded_bits + index_bits) * _XOR_ENERGY_FJ * _ACTIVITY_FACTOR
+    key_energy = key_bits * _REGISTER_READ_ENERGY_FJ
+    return xor_energy + key_energy
+
+
+def btb_energy(entries_per_way: int, n_ways: int = 2, *, tag_bits: int = 16,
+               target_bits: int = 32) -> EnergyEstimate:
+    """Per-access energy overhead of Noisy-XOR-BTB.
+
+    Args:
+        entries_per_way: BTB entries per way.
+        n_ways: associativity (all ways are read on a lookup).
+        tag_bits: tag width per entry.
+        target_bits: stored target-address width per entry.
+    """
+    if entries_per_way < 1 or n_ways < 1:
+        raise ValueError("BTB geometry must be positive")
+    entry_bits = tag_bits + target_bits
+    baseline = n_ways * (entry_bits * _SRAM_READ_ENERGY_FJ_PER_BIT
+                         + _SRAM_ACCESS_FIXED_FJ)
+    index_bits = max(1, entries_per_way.bit_length() - 1)
+    added = _encoding_energy_fj(encoded_bits=n_ways * entry_bits,
+                                index_bits=index_bits,
+                                key_bits=entry_bits + index_bits)
+    return EnergyEstimate(structure=f"BTB {n_ways}w{entries_per_way}",
+                          baseline_fj=baseline, added_fj=added)
+
+
+def pht_energy(entries_per_table: int, n_tables: int = 6, *,
+               word_bits: int = 32) -> EnergyEstimate:
+    """Per-access energy overhead of Noisy-XOR on a TAGE-style PHT.
+
+    Args:
+        entries_per_table: entries per tagged table.
+        n_tables: tables read per prediction.
+        word_bits: physical word width used for Enhanced-XOR encoding.
+    """
+    if entries_per_table < 1 or n_tables < 1:
+        raise ValueError("PHT geometry must be positive")
+    baseline = n_tables * (word_bits * _SRAM_READ_ENERGY_FJ_PER_BIT
+                           + _SRAM_ACCESS_FIXED_FJ)
+    index_bits = max(1, entries_per_table.bit_length() - 1)
+    added = _encoding_energy_fj(encoded_bits=n_tables * word_bits,
+                                index_bits=n_tables * index_bits,
+                                key_bits=word_bits + index_bits)
+    return EnergyEstimate(structure=f"TAGE PHT {entries_per_table}x{n_tables}",
+                          baseline_fj=baseline, added_fj=added)

@@ -1,0 +1,136 @@
+"""Analytic area/timing overhead estimator for Noisy-XOR-BP (Table 5).
+
+Two structures are costed, matching the rows of Table 5:
+
+* a set-associative **BTB** (2-way, 128/256/512 entries per way) augmented
+  with content encoding of tag and target plus index encoding;
+* a **TAGE PHT** (six tagged tables of 1K/2K/4K entries) augmented the same
+  way.
+
+The added hardware per structure is: the XOR stages on the read/write data
+paths (most of which fold into existing compare/decode logic — the residual
+unhidden delay is a couple of picoseconds), and the key-distribution network
+whose delay grows with the physical size of the array (which is why the
+relative timing overhead *increases* with BTB size in Table 5 while the
+relative area overhead *decreases*).  Per-thread key registers are shared by
+every predictor structure in the core, so they are not charged to an
+individual table — consistent with the paper comparing "with original BTB
+and PHT".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .gates import TSMC28_LIKE, TechnologyParameters
+from .sram import sram_access_ps, sram_area_um2
+
+__all__ = ["CostEstimate", "btb_cost", "tage_pht_cost"]
+
+
+@dataclass
+class CostEstimate:
+    """Overhead of adding Noisy-XOR protection to one structure.
+
+    Attributes:
+        structure: description of the structure costed.
+        base_area_um2: area of the unprotected structure.
+        added_area_um2: area added by the protection logic.
+        base_delay_ps: critical-path delay of the unprotected structure.
+        added_delay_ps: delay added by the protection logic.
+    """
+
+    structure: str
+    base_area_um2: float
+    added_area_um2: float
+    base_delay_ps: float
+    added_delay_ps: float
+
+    @property
+    def area_overhead(self) -> float:
+        """Relative area overhead (fraction)."""
+        if self.base_area_um2 == 0:
+            return 0.0
+        return self.added_area_um2 / self.base_area_um2
+
+    @property
+    def timing_overhead(self) -> float:
+        """Relative critical-path overhead (fraction)."""
+        if self.base_delay_ps == 0:
+            return 0.0
+        return self.added_delay_ps / self.base_delay_ps
+
+
+def btb_cost(entries_per_way: int, n_ways: int = 2, *, tag_bits: int = 16,
+             target_bits: int = 32, branch_type_bits: int = 3,
+             tech: TechnologyParameters = TSMC28_LIKE) -> CostEstimate:
+    """Cost of Noisy-XOR-BTB relative to the unprotected BTB.
+
+    Args:
+        entries_per_way: rows per way (Table 5 uses 128 / 256 / 512).
+        n_ways: associativity (Table 5 uses 2).
+        tag_bits: stored partial-tag width.
+        target_bits: stored target width.
+        branch_type_bits: stored branch-type field width.
+        tech: technology constants.
+    """
+    entry_bits = 1 + branch_type_bits + tag_bits + target_bits
+    total_entries = entries_per_way * n_ways
+    total_bits = total_entries * entry_bits
+
+    base_area = sram_area_um2(total_bits, tech)
+    # Synthesis reports timing against the clock period of the design; the
+    # SRAM path itself fits comfortably within it.
+    base_delay = max(tech.cycle_time_ps,
+                     sram_access_ps(entries_per_way, tech)
+                     + tag_bits * tech.compare_per_bit_ps)
+
+    # Added logic: the target-address XOR bank (the tag XOR folds into the
+    # existing XNOR comparator and the index XOR into the decoder's input
+    # stage) plus the key-distribution network, whose buffers grow with the
+    # physical array size.
+    added_area = (target_bits * tech.xor2_area_um2
+                  + tech.key_buffer_area_per_entry_um2 * total_entries)
+    added_delay = (tech.xor_hidden_path_ps
+                   + tech.key_distribution_ps_per_entry * total_entries)
+
+    return CostEstimate(
+        structure=f"BTB {n_ways}w{entries_per_way}",
+        base_area_um2=base_area, added_area_um2=added_area,
+        base_delay_ps=base_delay, added_delay_ps=added_delay)
+
+
+def tage_pht_cost(entries_per_table: int, n_tables: int = 6, *,
+                  entry_bits: int = 16, index_bits: int = None,
+                  tech: TechnologyParameters = TSMC28_LIKE) -> CostEstimate:
+    """Cost of Noisy-XOR protection on a TAGE predictor's tagged tables.
+
+    Args:
+        entries_per_table: rows per tagged table (Table 5 uses 1K / 2K / 4K).
+        n_tables: number of tagged tables (the FPGA TAGE uses six).
+        entry_bits: bits per tagged entry (tag + counter + useful).
+        index_bits: index width; derived from the row count when omitted.
+        tech: technology constants.
+    """
+    if index_bits is None:
+        index_bits = max(1, entries_per_table.bit_length() - 1)
+    total_bits = entries_per_table * entry_bits * n_tables
+
+    base_area = sram_area_um2(total_bits, tech)
+    base_delay = max(tech.cycle_time_ps,
+                     sram_access_ps(entries_per_table, tech)
+                     + entry_bits * tech.compare_per_bit_ps)
+
+    # Added logic per table: entry-wide XOR on the read path plus the index
+    # XOR (the write-path XOR shares the same gates across the banked
+    # tables); the key-distribution delay is per table macro, so unlike the
+    # BTB it does not grow with the total predictor size.
+    added_xor_gates = n_tables * (2 * entry_bits + index_bits) // 2
+    added_area = added_xor_gates * tech.xor2_area_um2
+    added_delay = (tech.xor_hidden_path_ps
+                   + 0.08 * n_tables * entry_bits)
+
+    return CostEstimate(
+        structure=f"TAGE {n_tables}x{entries_per_table}",
+        base_area_um2=base_area, added_area_um2=added_area,
+        base_delay_ps=base_delay, added_delay_ps=added_delay)

@@ -1,0 +1,59 @@
+"""Gate-level technology constants (28 nm class).
+
+The paper's Table 5 comes from synthesising the RTL of Noisy-XOR-BP with a
+TSMC 28 nm library.  Synthesis is replaced here by an analytic model built on
+a handful of technology constants; they are calibrated so that the reference
+configurations land in the ballpark of Table 5, and the *trends* (timing
+overhead growing with BTB size, area overhead shrinking as tables grow,
+everything well under a few percent) follow from the model structure rather
+than from the calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TechnologyParameters", "TSMC28_LIKE"]
+
+
+@dataclass(frozen=True)
+class TechnologyParameters:
+    """Analytic technology constants.
+
+    Attributes:
+        xor2_area_um2: area of a 2-input XOR gate.
+        xor2_delay_ps: propagation delay of a 2-input XOR gate.
+        flop_area_um2: area of a scan flip-flop (key registers).
+        sram_bit_area_um2: effective SRAM bit area including array periphery
+            (decoders, sense amplifiers, redundancy).
+        sram_base_access_ps: access time of a small (≤128-row) SRAM macro.
+        sram_access_per_log2_row_ps: access-time growth per doubling of rows.
+        compare_per_bit_ps: tag comparator delay contribution per bit (log-ish
+            trees make this small).
+        key_distribution_ps_per_entry: wire/buffer delay of distributing the
+            key across the array, per entry (the component that makes the
+            relative timing overhead grow with BTB size in Table 5).
+        key_buffer_area_per_entry_um2: buffer/repeater area of the key
+            distribution network, per entry.
+        xor_hidden_path_ps: residual XOR delay that cannot be hidden behind
+            the comparator/decoder (most of the XOR folds into existing
+            XNOR-compare and decode logic).
+        cycle_time_ps: target cycle time of the synthesised design (2 GHz);
+            synthesis timing overheads are reported against the clock period.
+    """
+
+    xor2_area_um2: float = 0.45
+    xor2_delay_ps: float = 14.0
+    flop_area_um2: float = 2.1
+    sram_bit_area_um2: float = 0.45
+    sram_base_access_ps: float = 160.0
+    sram_access_per_log2_row_ps: float = 28.0
+    compare_per_bit_ps: float = 2.2
+    key_distribution_ps_per_entry: float = 0.005
+    key_buffer_area_per_entry_um2: float = 0.012
+    xor_hidden_path_ps: float = 2.2
+    cycle_time_ps: float = 500.0
+
+
+#: Default 28 nm-class constants used by Table 5.
+TSMC28_LIKE = TechnologyParameters()

@@ -1,0 +1,34 @@
+"""SRAM macro area and access-time model."""
+
+from __future__ import annotations
+
+import math
+
+from .gates import TSMC28_LIKE, TechnologyParameters
+
+__all__ = ["sram_area_um2", "sram_access_ps"]
+
+
+def sram_area_um2(total_bits: int,
+                  tech: TechnologyParameters = TSMC28_LIKE) -> float:
+    """Area of an SRAM macro storing ``total_bits`` bits.
+
+    The effective per-bit constant already folds in the array periphery, so
+    the model is linear in capacity — adequate for the *relative* overheads
+    Table 5 reports.
+    """
+    if total_bits < 0:
+        raise ValueError("total_bits must be non-negative")
+    return total_bits * tech.sram_bit_area_um2
+
+
+def sram_access_ps(rows: int, tech: TechnologyParameters = TSMC28_LIKE) -> float:
+    """Access time of an SRAM macro with ``rows`` rows.
+
+    Wordline/bitline delay grows roughly logarithmically with the row count
+    for the macro sizes branch predictors use.
+    """
+    if rows < 1:
+        raise ValueError("rows must be positive")
+    extra_doublings = max(0.0, math.log2(rows) - 7)  # relative to a 128-row macro
+    return tech.sram_base_access_ps + tech.sram_access_per_log2_row_ps * extra_doublings

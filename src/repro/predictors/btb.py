@@ -1,0 +1,269 @@
+"""Set-associative Branch Target Buffer (BTB).
+
+The BTB stores, per entry, a valid bit, a branch-type field, a partial tag
+taken from the upper PC bits and the predicted target address.  It is the
+structure attacked by Spectre-V2-style malicious training, Branch Shadowing
+and the contention-based SBPA / Jump-over-ASLR attacks, and the structure
+protected by **XOR-BTB** and **Noisy-XOR-BTB** (Section 5.1, Figure 4(a)):
+
+* the *tag* and the *target address* are XORed with the thread-private
+  content key before being written and after being read;
+* with Noisy-XOR-BTB the *set index* is additionally XORed with the
+  thread-private index key.
+
+Both transformations are delegated to the attached
+:class:`repro.predictors.table.TableIsolation` policy so that the same BTB
+code serves the Baseline, flush-based and XOR-based configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .table import IdentityIsolation, TableIsolation
+from ..types import BranchType
+
+__all__ = ["BTBEntry", "BTBResult", "BranchTargetBuffer"]
+
+_NO_OWNER = -1
+
+
+@dataclass
+class BTBEntry:
+    """One BTB way.
+
+    The ``tag`` and ``target`` fields hold the *stored* (possibly encoded)
+    values; decoding happens on lookup with the key of the requesting thread.
+    """
+
+    valid: bool = False
+    tag: int = 0
+    target: int = 0
+    branch_type: int = int(BranchType.DIRECT)
+    owner: int = _NO_OWNER
+    last_use: int = 0
+
+
+@dataclass
+class BTBResult:
+    """Result of a BTB lookup.
+
+    Attributes:
+        hit: True when a way's decoded tag matched the lookup PC.
+        target: decoded predicted target (``None`` on a miss).
+        set_index: physical set index that was probed.
+        way: hitting way (``None`` on a miss).
+    """
+
+    hit: bool
+    target: Optional[int]
+    set_index: int
+    way: Optional[int]
+
+
+class BranchTargetBuffer:
+    """Set-associative branch target buffer with pluggable isolation.
+
+    Args:
+        n_sets: number of sets (power of two).
+        n_ways: associativity.
+        tag_bits: width of the stored partial tag.
+        target_bits: width of the stored target address.
+        isolation: isolation policy (index mapping + tag/target encoding).
+    """
+
+    def __init__(self, n_sets: int = 512, n_ways: int = 2, *, tag_bits: int = 16,
+                 target_bits: int = 32,
+                 isolation: Optional[TableIsolation] = None) -> None:
+        if n_sets < 1 or n_sets & (n_sets - 1):
+            raise ValueError("n_sets must be a positive power of two")
+        if n_ways < 1:
+            raise ValueError("n_ways must be positive")
+        self._n_sets = n_sets
+        self._n_ways = n_ways
+        self._index_bits = n_sets.bit_length() - 1
+        self._index_mask = n_sets - 1
+        self._tag_bits = tag_bits
+        self._tag_mask = (1 << tag_bits) - 1
+        self._target_bits = target_bits
+        self._target_mask = (1 << target_bits) - 1
+        self._isolation = isolation if isolation is not None else IdentityIsolation()
+        self._sets: List[List[BTBEntry]] = [
+            [BTBEntry() for _ in range(n_ways)] for _ in range(n_sets)]
+        self._clock = 0
+        self.name = "btb"
+        self.lookups = 0
+        self.hits = 0
+        self._isolation.register_flushable(self)
+
+    # -- geometry -------------------------------------------------------------
+    @property
+    def n_sets(self) -> int:
+        """Number of sets."""
+        return self._n_sets
+
+    @property
+    def n_ways(self) -> int:
+        """Associativity."""
+        return self._n_ways
+
+    @property
+    def index_bits(self) -> int:
+        """Number of set-index bits."""
+        return self._index_bits
+
+    @property
+    def tag_bits(self) -> int:
+        """Width of the partial tag."""
+        return self._tag_bits
+
+    @property
+    def target_bits(self) -> int:
+        """Width of the stored target."""
+        return self._target_bits
+
+    @property
+    def entry_bits(self) -> int:
+        """Bits per entry (valid + type + tag + target), for the cost model."""
+        return 1 + 3 + self._tag_bits + self._target_bits
+
+    @property
+    def storage_bits(self) -> int:
+        """Total storage in bits."""
+        return self._n_sets * self._n_ways * self.entry_bits
+
+    @property
+    def isolation(self) -> TableIsolation:
+        """The attached isolation policy."""
+        return self._isolation
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit (1.0 when no lookups were made)."""
+        if self.lookups == 0:
+            return 1.0
+        return self.hits / self.lookups
+
+    # -- address decomposition ------------------------------------------------
+    def logical_set_of(self, pc: int) -> int:
+        """Set index derived from the PC before any index encoding."""
+        return (pc >> 2) & self._index_mask
+
+    def set_of(self, pc: int, thread_id: int = 0) -> int:
+        """Physical set index actually probed for a PC by a given thread."""
+        logical = self.logical_set_of(pc)
+        mapped = self._isolation.map_index(logical, self._index_bits, thread_id, self)
+        return mapped & self._index_mask
+
+    def tag_of(self, pc: int) -> int:
+        """Partial tag derived from the upper PC bits."""
+        return (pc >> (2 + self._index_bits)) & self._tag_mask
+
+    # -- prediction protocol --------------------------------------------------
+    def lookup(self, pc: int, thread_id: int = 0) -> BTBResult:
+        """Predict the target of the branch at ``pc`` for a hardware thread."""
+        self.lookups += 1
+        self._clock += 1
+        set_index = self.set_of(pc, thread_id)
+        lookup_tag = self.tag_of(pc)
+        for way, entry in enumerate(self._sets[set_index]):
+            if not entry.valid:
+                continue
+            if self._isolation.tracks_owner and entry.owner != thread_id:
+                # Thread-ID-tagged BTB (Precise Flush): entries are only
+                # visible to the hardware thread that installed them.
+                continue
+            stored_tag = self._isolation.decode(entry.tag, self._tag_bits, thread_id,
+                                                self, set_index)
+            if stored_tag == lookup_tag:
+                target = self._isolation.decode(entry.target, self._target_bits,
+                                                thread_id, self, set_index)
+                entry.last_use = self._clock
+                self.hits += 1
+                return BTBResult(hit=True, target=target & self._target_mask,
+                                 set_index=set_index, way=way)
+        return BTBResult(hit=False, target=None, set_index=set_index, way=None)
+
+    def update(self, pc: int, target: int, thread_id: int = 0,
+               branch_type: BranchType = BranchType.DIRECT) -> int:
+        """Install or refresh the entry for a *taken* branch.
+
+        Following the BTB update rule exploited by SBPA (Section 2.1), the BTB
+        is only updated for taken branches; the caller enforces that.
+
+        Returns:
+            The way that was written (useful for tests and attack analysis).
+        """
+        self._clock += 1
+        set_index = self.set_of(pc, thread_id)
+        lookup_tag = self.tag_of(pc)
+        encoded_tag = self._isolation.encode(lookup_tag, self._tag_bits, thread_id,
+                                             self, set_index) & self._tag_mask
+        encoded_target = self._isolation.encode(target & self._target_mask,
+                                                self._target_bits, thread_id,
+                                                self, set_index) & self._target_mask
+        ways = self._sets[set_index]
+
+        # Re-use a way whose decoded tag matches (same branch, same thread).
+        victim_way = None
+        for way, entry in enumerate(ways):
+            if entry.valid and entry.tag == encoded_tag:
+                victim_way = way
+                break
+        if victim_way is None:
+            for way, entry in enumerate(ways):
+                if not entry.valid:
+                    victim_way = way
+                    break
+        if victim_way is None:
+            victim_way = min(range(self._n_ways), key=lambda w: ways[w].last_use)
+
+        entry = ways[victim_way]
+        entry.valid = True
+        entry.tag = encoded_tag
+        entry.target = encoded_target
+        entry.branch_type = int(branch_type)
+        entry.owner = thread_id
+        entry.last_use = self._clock
+        return victim_way
+
+    # -- flush protocol -------------------------------------------------------
+    def flush(self) -> None:
+        """Invalidate every entry (Complete Flush)."""
+        for ways in self._sets:
+            for entry in ways:
+                entry.valid = False
+                entry.owner = _NO_OWNER
+
+    def flush_thread(self, thread_id: int) -> None:
+        """Invalidate entries installed by one hardware thread (Precise Flush)."""
+        for ways in self._sets:
+            for entry in ways:
+                if entry.valid and entry.owner == thread_id:
+                    entry.valid = False
+                    entry.owner = _NO_OWNER
+
+    # -- introspection (tests, attacks, cost model) ---------------------------
+    def entries_in_set(self, set_index: int) -> List[BTBEntry]:
+        """Raw (stored/encoded) entries of a physical set."""
+        return self._sets[set_index & self._index_mask]
+
+    def valid_entry_count(self, thread_id: Optional[int] = None) -> int:
+        """Number of valid entries, optionally restricted to one owner."""
+        count = 0
+        for ways in self._sets:
+            for entry in ways:
+                if entry.valid and (thread_id is None or entry.owner == thread_id):
+                    count += 1
+        return count
+
+    def snapshot(self) -> List[List[BTBEntry]]:
+        """Deep-ish copy of all entries (attack framework uses it to diff state)."""
+        return [[BTBEntry(e.valid, e.tag, e.target, e.branch_type, e.owner, e.last_use)
+                 for e in ways] for ways in self._sets]
+
+    def reset_stats(self) -> None:
+        """Clear lookup/hit counters (state is untouched)."""
+        self.lookups = 0
+        self.hits = 0

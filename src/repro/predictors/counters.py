@@ -1,0 +1,144 @@
+"""Saturating counters and counter arrays.
+
+Every direction predictor in this package expresses its per-entry state with
+saturating counters: the classic 2-bit counter of a PHT, the 3-bit prediction
+counters of TAGE tagged entries, the signed counters of a GEHL-style
+statistical corrector, and so on.  This module provides both a scalar helper
+(:class:`SaturatingCounter`) used where readability matters more than speed
+and plain integer helper functions used in hot loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "SaturatingCounter",
+    "saturating_update",
+    "counter_is_taken",
+    "counter_strength",
+    "signed_saturating_update",
+    "WEAK_NOT_TAKEN",
+    "WEAK_TAKEN",
+    "STRONG_NOT_TAKEN",
+    "STRONG_TAKEN",
+]
+
+# Canonical 2-bit counter states (values of an unsigned 2-bit counter).
+STRONG_NOT_TAKEN = 0
+WEAK_NOT_TAKEN = 1
+WEAK_TAKEN = 2
+STRONG_TAKEN = 3
+
+
+def saturating_update(value: int, taken: bool, bits: int = 2) -> int:
+    """Return the updated value of an unsigned saturating counter.
+
+    The counter increments when the branch is taken and decrements when it is
+    not taken, saturating at ``0`` and ``2**bits - 1``.
+
+    Args:
+        value: current counter value (``0 <= value < 2**bits``).
+        taken: resolved branch direction.
+        bits: counter width in bits.
+
+    Returns:
+        The new counter value.
+    """
+    limit = (1 << bits) - 1
+    if taken:
+        return value + 1 if value < limit else limit
+    return value - 1 if value > 0 else 0
+
+
+def counter_is_taken(value: int, bits: int = 2) -> bool:
+    """Return the predicted direction for an unsigned saturating counter."""
+    return value >= (1 << (bits - 1))
+
+
+def counter_strength(value: int, bits: int = 2) -> int:
+    """Return the distance of ``value`` from the taken/not-taken boundary.
+
+    A value of ``0`` means the counter is *weak* (one update away from
+    flipping direction); larger values mean more hysteresis.
+    """
+    midpoint = 1 << (bits - 1)
+    if value >= midpoint:
+        return value - midpoint
+    return midpoint - 1 - value
+
+
+def signed_saturating_update(value: int, taken: bool, bits: int) -> int:
+    """Update a signed (two's-complement style) saturating counter.
+
+    Signed counters are centred at zero: positive means taken, negative means
+    not taken.  They are used by the statistical corrector and by the TAGE
+    ``USE_ALT_ON_NA`` counters.
+
+    Args:
+        value: current counter value in ``[-2**(bits-1), 2**(bits-1) - 1]``.
+        taken: resolved branch direction.
+        bits: total counter width in bits.
+
+    Returns:
+        The new signed counter value.
+    """
+    lo = -(1 << (bits - 1))
+    hi = (1 << (bits - 1)) - 1
+    if taken:
+        return value + 1 if value < hi else hi
+    return value - 1 if value > lo else lo
+
+
+@dataclass
+class SaturatingCounter:
+    """A scalar unsigned saturating counter.
+
+    Attributes:
+        bits: counter width in bits.
+        value: current counter value.
+    """
+
+    bits: int = 2
+    value: int = WEAK_NOT_TAKEN
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError("counter width must be at least 1 bit")
+        limit = (1 << self.bits) - 1
+        if not 0 <= self.value <= limit:
+            raise ValueError(
+                f"counter value {self.value} out of range for {self.bits}-bit counter"
+            )
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable counter value."""
+        return (1 << self.bits) - 1
+
+    @property
+    def taken(self) -> bool:
+        """Predicted direction."""
+        return counter_is_taken(self.value, self.bits)
+
+    @property
+    def is_weak(self) -> bool:
+        """True when a single opposite-direction update flips the prediction."""
+        return counter_strength(self.value, self.bits) == 0
+
+    def update(self, taken: bool) -> None:
+        """Train the counter with a resolved branch direction."""
+        self.value = saturating_update(self.value, taken, self.bits)
+
+    def set(self, value: int) -> None:
+        """Force the counter to an absolute value (used by attackers priming state)."""
+        if not 0 <= value <= self.max_value:
+            raise ValueError(f"value {value} out of range")
+        self.value = value
+
+    def reset(self, value: int = WEAK_NOT_TAKEN) -> None:
+        """Reset the counter to ``value`` (defaults to weakly not-taken)."""
+        self.set(value)
+
+    def __int__(self) -> int:
+        return self.value

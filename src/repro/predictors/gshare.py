@@ -1,0 +1,88 @@
+"""Gshare direction predictor.
+
+Gshare XORs the branch PC with the global history register to index a single
+table of 2-bit counters.  It is the smallest predictor evaluated in the
+paper's SMT study (Table 2 lists a 2 KB Gshare) and the one used to describe
+the Noisy-XOR-PHT microarchitecture in Figure 4(b).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .base import DirectionPrediction, DirectionPredictor
+from .counters import counter_is_taken, saturating_update
+from .history import GlobalHistory
+from .table import PackedCounterTable, PredictorTable, TableIsolation
+
+__all__ = ["GsharePredictor"]
+
+
+class GsharePredictor(DirectionPredictor):
+    """Global-history XOR PC indexed pattern history table.
+
+    Args:
+        n_entries: number of 2-bit counters (power of two).  The paper's 2 KB
+            Gshare corresponds to 8192 entries.
+        history_bits: length of the global history register; defaults to the
+            index width.
+        isolation: isolation policy applied to the PHT.
+        word_bits: physical word width for Enhanced-XOR-PHT style packing.
+    """
+
+    name = "gshare"
+
+    def __init__(self, n_entries: int = 8192, history_bits: Optional[int] = None, *,
+                 isolation: Optional[TableIsolation] = None,
+                 word_bits: int = 32) -> None:
+        super().__init__(isolation)
+        self._index_bits = n_entries.bit_length() - 1
+        self._index_mask = n_entries - 1
+        self._history_bits = history_bits if history_bits is not None else self._index_bits
+        self._ghr = GlobalHistory(self._history_bits)
+        self._pht = PackedCounterTable(n_entries, 2, word_bits=word_bits,
+                                       reset_value=1, name="gshare_pht",
+                                       isolation=isolation)
+
+    def index_of(self, pc: int, thread_id: int = 0) -> int:
+        """Logical PHT index: PC bits XOR folded global history."""
+        history = self._ghr.folded(self._index_bits, thread_id)
+        return ((pc >> 2) ^ history) & self._index_mask
+
+    def lookup(self, pc: int, thread_id: int = 0) -> DirectionPrediction:
+        index = self.index_of(pc, thread_id)
+        counter = self._pht.read(index, thread_id)
+        return DirectionPrediction(taken=counter_is_taken(counter),
+                                   meta={"index": index, "counter": counter})
+
+    def update(self, pc: int, taken: bool,
+               prediction: Optional[DirectionPrediction] = None,
+               thread_id: int = 0) -> None:
+        if prediction is not None and "index" in prediction.meta:
+            index = prediction.meta["index"]
+        else:
+            index = self.index_of(pc, thread_id)
+        counter = self._pht.read(index, thread_id)
+        self._pht.write(index, saturating_update(counter, taken), thread_id)
+        self._ghr.push(taken, thread_id)
+
+    def tables(self) -> List[PredictorTable]:
+        return [self._pht.word_table]
+
+    @property
+    def pht(self) -> PackedCounterTable:
+        """The underlying counter table (exposed for attacks and tests)."""
+        return self._pht
+
+    @property
+    def global_history(self) -> GlobalHistory:
+        """The per-thread global history register."""
+        return self._ghr
+
+    def flush(self) -> None:
+        self._pht.flush()
+        self._ghr.clear()
+
+    def flush_thread(self, thread_id: int) -> None:
+        self._pht.flush_thread(thread_id)
+        self._ghr.clear(thread_id)

@@ -1,0 +1,250 @@
+"""ITTAGE-style indirect-branch target predictor.
+
+The paper protects the BTB, which in commercial cores is backed up for
+indirect branches by a history-tagged target predictor (ITTAGE, the indirect
+cousin of TAGE).  Because Spectre-V2-style malicious training specifically
+targets indirect-branch prediction, a reproduction that lets downstream users
+study the mechanism on a modern front end needs this structure too.  Like
+every other predictor in the package it stores all state in
+:class:`repro.predictors.table.PredictorTable`, so XOR-BP / Noisy-XOR-BP (or
+any flush mechanism) attach without modification — tags, targets and
+confidence counters are all encoded with the thread-private content key, and
+the table index is remapped by the index key.
+
+The implementation follows the textbook ITTAGE organisation: a set of tagged
+tables indexed by the branch PC hashed with geometrically increasing global
+history lengths; the longest matching history provides the target, and a
+small confidence counter arbitrates against the alternate prediction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .history import GlobalHistory, fold_history
+from .table import PredictorTable, TableIsolation
+from .tage import geometric_history_lengths
+
+__all__ = ["IttagePrediction", "IttagePredictor"]
+
+_CONFIDENCE_BITS = 2
+_USEFUL_BITS = 1
+
+
+@dataclass
+class IttagePrediction:
+    """Result of an ITTAGE lookup.
+
+    Attributes:
+        target: predicted target address, or ``None`` when no component hit.
+        provider: index of the providing table (-1 when none hit).
+        confidence: provider's confidence counter value.
+        meta: bookkeeping carried from ``lookup`` to ``update``.
+    """
+
+    target: Optional[int]
+    provider: int = -1
+    confidence: int = 0
+    meta: Dict[str, object] = None
+
+
+class IttagePredictor:
+    """Tagged geometric-history indirect-target predictor.
+
+    Args:
+        n_tables: number of tagged components.
+        table_entries: entries per component (power of two).
+        tag_bits: tag width per entry.
+        target_bits: stored target width per entry.
+        min_history: shortest history length.
+        max_history: longest history length.
+        isolation: isolation policy applied to every component table.
+        seed: seed of the allocation-tie-breaking RNG (kept deterministic).
+    """
+
+    name = "ittage"
+
+    def __init__(self, n_tables: int = 4, table_entries: int = 512,
+                 tag_bits: int = 9, target_bits: int = 30,
+                 min_history: int = 4, max_history: int = 64, *,
+                 isolation: Optional[TableIsolation] = None,
+                 seed: int = 0x17A6E) -> None:
+        if n_tables < 1:
+            raise ValueError("need at least one tagged table")
+        self._n_tables = n_tables
+        self._tag_bits = tag_bits
+        self._target_bits = target_bits
+        self._index_bits = table_entries.bit_length() - 1
+        self._index_mask = table_entries - 1
+        self._tag_mask = (1 << tag_bits) - 1
+        self._target_mask = (1 << target_bits) - 1
+        self._entry_bits = tag_bits + target_bits + _CONFIDENCE_BITS + _USEFUL_BITS
+        self._history_lengths = geometric_history_lengths(n_tables, min_history,
+                                                          max_history)
+        self._ghr = GlobalHistory(max_history)
+        self._rng = random.Random(seed)
+        self._tables: List[PredictorTable] = [
+            PredictorTable(table_entries, self._entry_bits, reset_value=0,
+                           name=f"ittage_t{i}", isolation=isolation)
+            for i in range(n_tables)
+        ]
+
+    # -- geometry --------------------------------------------------------------
+    @property
+    def history_lengths(self) -> List[int]:
+        """Global-history length used by each component."""
+        return list(self._history_lengths)
+
+    @property
+    def storage_bits(self) -> int:
+        """Total table storage in bits."""
+        return sum(table.storage_bits for table in self._tables)
+
+    def tables(self) -> List[PredictorTable]:
+        """All component tables (for cost models and isolation tests)."""
+        return list(self._tables)
+
+    @property
+    def global_history(self) -> GlobalHistory:
+        """The per-thread global history register."""
+        return self._ghr
+
+    # -- entry packing ---------------------------------------------------------
+    def _pack(self, tag: int, target: int, confidence: int, useful: int) -> int:
+        word = tag & self._tag_mask
+        word |= (target & self._target_mask) << self._tag_bits
+        word |= (confidence & ((1 << _CONFIDENCE_BITS) - 1)) \
+            << (self._tag_bits + self._target_bits)
+        word |= (useful & 1) << (self._tag_bits + self._target_bits + _CONFIDENCE_BITS)
+        return word
+
+    def _unpack(self, word: int) -> Dict[str, int]:
+        tag = word & self._tag_mask
+        target = (word >> self._tag_bits) & self._target_mask
+        confidence = (word >> (self._tag_bits + self._target_bits)) \
+            & ((1 << _CONFIDENCE_BITS) - 1)
+        useful = (word >> (self._tag_bits + self._target_bits + _CONFIDENCE_BITS)) & 1
+        return {"tag": tag, "target": target, "confidence": confidence,
+                "useful": useful}
+
+    # -- indexing --------------------------------------------------------------
+    def _index_of(self, pc: int, component: int, thread_id: int) -> int:
+        length = self._history_lengths[component]
+        history = fold_history(self._ghr.low_bits(length, thread_id), length,
+                               self._index_bits)
+        return ((pc >> 2) ^ history ^ (component * 0x55)) & self._index_mask
+
+    def _tag_of(self, pc: int, component: int, thread_id: int) -> int:
+        length = self._history_lengths[component]
+        history = fold_history(self._ghr.low_bits(length, thread_id), length,
+                               self._tag_bits)
+        tag = ((pc >> (2 + self._index_bits)) ^ (pc >> 2) ^ (history << 1))
+        return (tag | 1) & self._tag_mask  # never zero, so empty entries miss
+
+    def _compress_target(self, target: int) -> int:
+        return (target >> 2) & self._target_mask
+
+    def _expand_target(self, compressed: int, pc: int) -> int:
+        region = pc & ~((self._target_mask << 2) | 0x3)
+        return region | (compressed << 2)
+
+    # -- prediction protocol ---------------------------------------------------
+    def lookup(self, pc: int, thread_id: int = 0) -> IttagePrediction:
+        """Predict the target of the indirect branch at ``pc``."""
+        provider = -1
+        provider_entry = None
+        provider_index = -1
+        entries = []
+        for component in range(self._n_tables):
+            index = self._index_of(pc, component, thread_id)
+            entry = self._unpack(self._tables[component].read(index, thread_id))
+            entries.append((index, entry))
+            if entry["tag"] == self._tag_of(pc, component, thread_id):
+                provider = component
+                provider_entry = entry
+                provider_index = index
+        if provider_entry is None:
+            return IttagePrediction(target=None, provider=-1, confidence=0,
+                                    meta={"entries": entries})
+        return IttagePrediction(
+            target=self._expand_target(provider_entry["target"], pc),
+            provider=provider,
+            confidence=provider_entry["confidence"],
+            meta={"entries": entries, "provider_index": provider_index})
+
+    def update(self, pc: int, target: int,
+               prediction: Optional[IttagePrediction] = None,
+               thread_id: int = 0, *, taken: bool = True) -> None:
+        """Train the predictor with the resolved target of ``pc``.
+
+        Args:
+            pc: indirect branch address.
+            target: resolved target address.
+            prediction: the object returned by the matching ``lookup`` call
+                (re-computed when omitted).
+            thread_id: hardware thread executing the branch.
+            taken: resolved direction pushed into the global history.
+        """
+        if prediction is None or prediction.meta is None:
+            prediction = self.lookup(pc, thread_id)
+        compressed = self._compress_target(target)
+        mispredicted = (prediction.target is None
+                        or self._compress_target(prediction.target) != compressed)
+        provider = prediction.provider
+        if provider >= 0:
+            index = prediction.meta["provider_index"]
+            entry = dict(prediction.meta["entries"][provider][1])
+            if self._compress_target(self._expand_target(entry["target"], pc)) \
+                    == compressed:
+                entry["confidence"] = min(entry["confidence"] + 1,
+                                          (1 << _CONFIDENCE_BITS) - 1)
+                entry["useful"] = 1
+            elif entry["confidence"] > 0:
+                entry["confidence"] -= 1
+            else:
+                entry["target"] = compressed
+                entry["confidence"] = 0
+            self._tables[provider].write(
+                index, self._pack(entry["tag"], entry["target"],
+                                  entry["confidence"], entry["useful"]),
+                thread_id)
+        if mispredicted:
+            self._allocate(pc, compressed, provider, thread_id)
+        self._ghr.push(taken, thread_id)
+
+    def _allocate(self, pc: int, compressed_target: int, provider: int,
+                  thread_id: int) -> None:
+        """Allocate a new entry in a component with longer history."""
+        candidates = list(range(provider + 1, self._n_tables))
+        if not candidates:
+            return
+        component = self._rng.choice(candidates)
+        index = self._index_of(pc, component, thread_id)
+        entry = self._unpack(self._tables[component].read(index, thread_id))
+        if entry["useful"]:
+            # Decay instead of stealing a useful entry.
+            entry["useful"] = 0
+            self._tables[component].write(
+                index, self._pack(entry["tag"], entry["target"],
+                                  entry["confidence"], entry["useful"]),
+                thread_id)
+            return
+        self._tables[component].write(
+            index, self._pack(self._tag_of(pc, component, thread_id),
+                              compressed_target, 0, 0),
+            thread_id)
+
+    # -- flush protocol ---------------------------------------------------------
+    def flush(self) -> None:
+        """Clear all component tables and histories (Complete Flush)."""
+        for table in self._tables:
+            table.flush()
+        self._ghr.clear()
+
+    def flush_thread(self, thread_id: int) -> None:
+        """Clear one hardware thread's entries (Precise Flush)."""
+        for table in self._tables:
+            table.flush_thread(thread_id)
+        self._ghr.clear(thread_id)

@@ -1,0 +1,81 @@
+"""LTAGE: TAGE augmented with a loop predictor.
+
+LTAGE (Seznec, CBP-2) is one of the four predictors evaluated in the paper's
+SMT study (Table 2 lists a 32 KB LTAGE).  The loop predictor overrides TAGE
+whenever it has a confident entry for the branch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .base import DirectionPrediction, DirectionPredictor
+from .loop import LoopPredictor
+from .table import PredictorTable, TableIsolation
+from .tage import TageConfig, TagePredictor
+
+__all__ = ["LTagePredictor"]
+
+
+class LTagePredictor(DirectionPredictor):
+    """TAGE + loop predictor.
+
+    Args:
+        tage_config: sizing of the TAGE component.
+        loop_entries: number of loop-table entries.
+        isolation: isolation policy applied to every table.
+        word_bits: physical word width used for base-PHT packing.
+    """
+
+    name = "ltage"
+
+    def __init__(self, tage_config: Optional[TageConfig] = None,
+                 loop_entries: int = 256, *,
+                 isolation: Optional[TableIsolation] = None,
+                 word_bits: int = 32) -> None:
+        super().__init__(isolation)
+        self._tage = TagePredictor(tage_config, isolation=isolation,
+                                   word_bits=word_bits)
+        self._loop = LoopPredictor(loop_entries, isolation=isolation)
+
+    def lookup(self, pc: int, thread_id: int = 0) -> DirectionPrediction:
+        tage_pred = self._tage.lookup(pc, thread_id)
+        loop_pred = self._loop.lookup(pc, thread_id)
+        if loop_pred.valid:
+            taken = loop_pred.taken
+        else:
+            taken = tage_pred.taken
+        return DirectionPrediction(taken=taken, meta={
+            "tage": tage_pred,
+            "loop_valid": loop_pred.valid,
+            "loop_taken": loop_pred.taken,
+        })
+
+    def update(self, pc: int, taken: bool,
+               prediction: Optional[DirectionPrediction] = None,
+               thread_id: int = 0) -> None:
+        if prediction is None or "tage" not in prediction.meta:
+            prediction = self.lookup(pc, thread_id)
+        self._loop.update(pc, taken, thread_id)
+        self._tage.update(pc, taken, prediction.meta["tage"], thread_id)
+
+    def tables(self) -> List[PredictorTable]:
+        return self._tage.tables() + [self._loop.table]
+
+    @property
+    def tage(self) -> TagePredictor:
+        """The TAGE component."""
+        return self._tage
+
+    @property
+    def loop(self) -> LoopPredictor:
+        """The loop-predictor component."""
+        return self._loop
+
+    def flush(self) -> None:
+        self._tage.flush()
+        self._loop.flush()
+
+    def flush_thread(self, thread_id: int) -> None:
+        self._tage.flush_thread(thread_id)
+        self._loop.flush_thread(thread_id)

@@ -1,0 +1,183 @@
+"""Perceptron direction predictor.
+
+The paper argues its isolation mechanisms are "versatile to accommodate
+multiple branch predictors" (Section 4.2) because all protection is applied
+at the storage layer.  The perceptron predictor is the classic example of a
+predictor whose per-entry state is *not* a small saturating counter but a
+vector of signed weights — exactly the case where the paper's word-basis
+Enhanced-XOR encoding matters: the whole weight vector of a perceptron row is
+stored as one wide word and encoded/decoded with the thread-private content
+key in a single XOR, regardless of the logical meaning of the bits.
+
+This module is an extension beyond the paper's evaluated predictors (Gshare,
+Tournament, LTAGE, TAGE-SC-L); it exists to demonstrate — and test — that a
+structurally different predictor picks up XOR-BP / Noisy-XOR-BP protection
+with no change to the isolation code.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .base import DirectionPrediction, DirectionPredictor
+from .history import GlobalHistory
+from .table import PredictorTable, TableIsolation
+
+__all__ = ["PerceptronPredictor"]
+
+
+def _to_signed(value: int, bits: int) -> int:
+    """Interpret an unsigned ``bits``-wide field as a two's-complement integer."""
+    sign_bit = 1 << (bits - 1)
+    return (value & (sign_bit - 1)) - (value & sign_bit)
+
+
+def _to_unsigned(value: int, bits: int) -> int:
+    """Store a signed integer in an unsigned ``bits``-wide field."""
+    return value & ((1 << bits) - 1)
+
+
+class PerceptronPredictor(DirectionPredictor):
+    """Perceptron branch predictor (Jiménez & Lin style).
+
+    Each table row holds a bias weight plus one signed weight per global
+    history bit.  The dot product of the weights with the (bipolar) history
+    decides the prediction; training only adjusts the weights when the
+    prediction was wrong or the output magnitude was below the training
+    threshold.
+
+    The whole weight vector of a row is packed into a single
+    :class:`repro.predictors.table.PredictorTable` word so that content
+    encoding operates on the full row, mirroring the paper's word-basis
+    Enhanced-XOR-PHT scheme.
+
+    Args:
+        n_entries: number of perceptrons (power of two).
+        history_bits: number of global-history bits (and per-row weights,
+            excluding the bias weight).
+        weight_bits: width of each signed weight.
+        isolation: isolation policy applied to the weight table.
+    """
+
+    name = "perceptron"
+
+    def __init__(self, n_entries: int = 512, history_bits: int = 24,
+                 weight_bits: int = 8, *,
+                 isolation: Optional[TableIsolation] = None) -> None:
+        super().__init__(isolation)
+        if history_bits < 1:
+            raise ValueError("history_bits must be positive")
+        if weight_bits < 2:
+            raise ValueError("weight_bits must be at least 2")
+        self._index_bits = n_entries.bit_length() - 1
+        self._index_mask = n_entries - 1
+        self._history_bits = history_bits
+        self._weight_bits = weight_bits
+        self._weights_per_row = history_bits + 1  # bias + one per history bit
+        self._weight_max = (1 << (weight_bits - 1)) - 1
+        self._weight_min = -(1 << (weight_bits - 1))
+        # Classic threshold heuristic from the perceptron-predictor literature.
+        self._threshold = int(1.93 * history_bits + 14)
+        self._ghr = GlobalHistory(history_bits)
+        self._table = PredictorTable(
+            n_entries, self._weights_per_row * weight_bits,
+            reset_value=0, name="perceptron_weights", isolation=isolation)
+
+    # -- geometry -------------------------------------------------------------
+    @property
+    def history_bits(self) -> int:
+        """Number of global-history bits consumed per prediction."""
+        return self._history_bits
+
+    @property
+    def weight_bits(self) -> int:
+        """Width of each signed weight."""
+        return self._weight_bits
+
+    @property
+    def threshold(self) -> int:
+        """Training threshold on the output magnitude."""
+        return self._threshold
+
+    @property
+    def weight_table(self) -> PredictorTable:
+        """The packed weight table (exposed for tests and the cost model)."""
+        return self._table
+
+    @property
+    def global_history(self) -> GlobalHistory:
+        """The per-thread global history register."""
+        return self._ghr
+
+    # -- weight packing -------------------------------------------------------
+    def _unpack(self, word: int) -> List[int]:
+        """Unpack a table word into a list of signed weights (bias first)."""
+        weights = []
+        mask = (1 << self._weight_bits) - 1
+        for i in range(self._weights_per_row):
+            field = (word >> (i * self._weight_bits)) & mask
+            weights.append(_to_signed(field, self._weight_bits))
+        return weights
+
+    def _pack(self, weights: List[int]) -> int:
+        """Pack signed weights (bias first) into a single table word."""
+        word = 0
+        for i, weight in enumerate(weights):
+            word |= _to_unsigned(weight, self._weight_bits) << (i * self._weight_bits)
+        return word
+
+    def _history_bipolar(self, thread_id: int) -> List[int]:
+        """Global history as a list of +1/-1 values, oldest last."""
+        value = self._ghr.value(thread_id)
+        return [1 if (value >> i) & 1 else -1 for i in range(self._history_bits)]
+
+    # -- prediction protocol --------------------------------------------------
+    def index_of(self, pc: int, thread_id: int = 0) -> int:
+        """Logical row index for a branch PC."""
+        del thread_id  # the index depends only on the PC, like the paper's PHTs
+        return (pc >> 2) & self._index_mask
+
+    def lookup(self, pc: int, thread_id: int = 0) -> DirectionPrediction:
+        index = self.index_of(pc, thread_id)
+        weights = self._unpack(self._table.read(index, thread_id))
+        history = self._history_bipolar(thread_id)
+        output = weights[0] + sum(w * h for w, h in zip(weights[1:], history))
+        return DirectionPrediction(
+            taken=output >= 0,
+            meta={"index": index, "output": output, "weights": weights,
+                  "history": history})
+
+    def update(self, pc: int, taken: bool,
+               prediction: Optional[DirectionPrediction] = None,
+               thread_id: int = 0) -> None:
+        if prediction is None or "weights" not in prediction.meta:
+            prediction = self.lookup(pc, thread_id)
+        meta = prediction.meta
+        index = meta["index"]
+        weights = list(meta["weights"])
+        history = meta["history"]
+        output = meta["output"]
+        mispredicted = (output >= 0) != taken
+        if mispredicted or abs(output) <= self._threshold:
+            step = 1 if taken else -1
+            weights[0] = self._clip(weights[0] + step)
+            for i, h in enumerate(history):
+                weights[i + 1] = self._clip(weights[i + 1] + step * h)
+            self._table.write(index, self._pack(weights), thread_id)
+        self._ghr.push(taken, thread_id)
+
+    def _clip(self, weight: int) -> int:
+        """Saturate a weight to the representable range."""
+        return max(self._weight_min, min(self._weight_max, weight))
+
+    # -- structure access / flush protocol ------------------------------------
+    def tables(self) -> List[PredictorTable]:
+        return [self._table]
+
+    def flush(self) -> None:
+        self._table.flush()
+        self._ghr.clear()
+
+    def flush_thread(self, thread_id: int) -> None:
+        self._table.flush_thread(thread_id)
+        self._ghr.clear(thread_id)

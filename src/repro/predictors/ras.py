@@ -1,0 +1,76 @@
+"""Return address stack (RAS).
+
+The paper's threat model (Section 3) notes that commercial SMT processors
+already keep the RAS thread-private, so it is not a sharing-based attack
+surface; the proposed mechanisms nevertheless apply to a shared RAS.  We model
+the common case: a fixed-depth, per-hardware-thread circular stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["ReturnAddressStack"]
+
+
+class ReturnAddressStack:
+    """Per-hardware-thread circular return address stack.
+
+    Args:
+        depth: number of entries per hardware thread.
+    """
+
+    def __init__(self, depth: int = 16) -> None:
+        if depth < 1:
+            raise ValueError("RAS depth must be positive")
+        self._depth = depth
+        self._stacks: Dict[int, List[int]] = {}
+        self._tops: Dict[int, int] = {}
+        self._counts: Dict[int, int] = {}
+
+    @property
+    def depth(self) -> int:
+        """Number of entries per hardware thread."""
+        return self._depth
+
+    def _ensure(self, thread_id: int) -> None:
+        if thread_id not in self._stacks:
+            self._stacks[thread_id] = [0] * self._depth
+            self._tops[thread_id] = 0
+            self._counts[thread_id] = 0
+
+    def push(self, return_address: int, thread_id: int = 0) -> None:
+        """Push the return address of a call instruction."""
+        self._ensure(thread_id)
+        top = self._tops[thread_id]
+        self._stacks[thread_id][top] = return_address
+        self._tops[thread_id] = (top + 1) % self._depth
+        self._counts[thread_id] = min(self._counts[thread_id] + 1, self._depth)
+
+    def pop(self, thread_id: int = 0) -> Optional[int]:
+        """Pop the predicted target of a return instruction.
+
+        Returns ``None`` when the stack is empty (predicted as a miss).
+        """
+        self._ensure(thread_id)
+        if self._counts[thread_id] == 0:
+            return None
+        self._tops[thread_id] = (self._tops[thread_id] - 1) % self._depth
+        self._counts[thread_id] -= 1
+        return self._stacks[thread_id][self._tops[thread_id]]
+
+    def occupancy(self, thread_id: int = 0) -> int:
+        """Number of valid entries for one hardware thread."""
+        return self._counts.get(thread_id, 0)
+
+    def flush(self) -> None:
+        """Clear all threads' stacks."""
+        self._stacks.clear()
+        self._tops.clear()
+        self._counts.clear()
+
+    def flush_thread(self, thread_id: int) -> None:
+        """Clear one thread's stack."""
+        self._stacks.pop(thread_id, None)
+        self._tops.pop(thread_id, None)
+        self._counts.pop(thread_id, None)

@@ -1,0 +1,333 @@
+"""Predictor storage arrays and the isolation attachment point.
+
+Every history table in this package (PHTs, TAGE tagged tables, choosers,
+statistical-corrector tables, BTB ways) stores its state in a
+:class:`PredictorTable`.  The table routes *every* index computation and
+*every* content read/write through an attached :class:`TableIsolation`
+policy.  This is the single mechanism by which the paper's defenses are
+applied:
+
+* **XOR-BP** (content encoding) encodes values on write and decodes on read
+  with a thread-private content key;
+* **Noisy-XOR-BP** (index encoding) additionally remaps the index with a
+  thread-private index key;
+* **Complete Flush / Precise Flush** leave reads and writes untouched but
+  flush registered tables on context/privilege switches.
+
+Keeping the policy at the storage layer means the predictor algorithms
+(Gshare, Tournament, TAGE, ...) are written once and are oblivious to which
+isolation mechanism is active — mirroring the paper's claim that the scheme
+is "versatile to accommodate multiple branch predictors".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+__all__ = ["TableIsolation", "IdentityIsolation", "PredictorTable", "PackedCounterTable"]
+
+_NO_OWNER = -1
+
+
+class TableIsolation:
+    """Interface for isolation policies attached to predictor storage.
+
+    The default implementation is the identity transform (no isolation).
+    Concrete mechanisms live in :mod:`repro.core.isolation`; they override the
+    methods below and are notified about context/privilege switches by the
+    secure-predictor wrappers in :mod:`repro.core.secure`.
+    """
+
+    #: Whether tables should track the owning hardware thread of each entry.
+    #: Precise Flush needs this; everything else does not.  When owners are
+    #: tracked, entries are also *visible only to their owner* (the paper's
+    #: footnote to Table 1: with thread IDs attached, branches in different
+    #: hardware threads cannot use each other's history).
+    tracks_owner: bool = False
+
+    def map_index(self, index: int, index_bits: int, thread_id: int, table: object) -> int:
+        """Map a logical table index to a physical one (index encoding)."""
+        return index
+
+    def encode(self, value: int, width_bits: int, thread_id: int, table: object,
+               row: int) -> int:
+        """Encode a value before it is written to storage (content encoding)."""
+        return value
+
+    def decode(self, value: int, width_bits: int, thread_id: int, table: object,
+               row: int) -> int:
+        """Decode a value after it is read from storage."""
+        return value
+
+    def register_flushable(self, flushable: object) -> None:
+        """Register a structure exposing ``flush()``/``flush_thread()``.
+
+        Flush-based mechanisms keep a list of registered structures and flush
+        them on switches; encoding-based mechanisms ignore the registration.
+        """
+
+    # -- switch notifications -------------------------------------------------
+    def on_context_switch(self, thread_id: int) -> None:
+        """Called when the OS switches the software context on ``thread_id``."""
+
+    def on_privilege_switch(self, thread_id: int, privilege: int) -> None:
+        """Called when ``thread_id`` changes privilege level."""
+
+
+class IdentityIsolation(TableIsolation):
+    """Explicit no-op isolation (the paper's *Baseline* configuration)."""
+
+    name = "baseline"
+
+
+_IDENTITY = IdentityIsolation()
+
+
+def _require_power_of_two(n: int, what: str) -> None:
+    if n < 1 or n & (n - 1):
+        raise ValueError(f"{what} must be a positive power of two, got {n}")
+
+
+class PredictorTable:
+    """A direct-mapped array of fixed-width unsigned words.
+
+    Args:
+        n_entries: number of rows; must be a power of two.
+        entry_bits: width of each stored word in bits.
+        reset_value: value every row takes on reset/flush.
+        name: human-readable name (used by per-table key derivation).
+        isolation: the isolation policy; defaults to the identity policy.
+    """
+
+    def __init__(self, n_entries: int, entry_bits: int, *, reset_value: int = 0,
+                 name: str = "table", isolation: Optional[TableIsolation] = None) -> None:
+        _require_power_of_two(n_entries, "n_entries")
+        if entry_bits < 1:
+            raise ValueError("entry_bits must be positive")
+        max_value = (1 << entry_bits) - 1
+        if not 0 <= reset_value <= max_value:
+            raise ValueError("reset_value does not fit in entry_bits")
+        self._n_entries = n_entries
+        self._entry_bits = entry_bits
+        self._index_bits = n_entries.bit_length() - 1
+        self._index_mask = n_entries - 1
+        self._value_mask = max_value
+        self._reset_value = reset_value
+        self.name = name
+        self._isolation = isolation if isolation is not None else _IDENTITY
+        self._data: List[int] = [reset_value] * n_entries
+        self._owner: List[int] = [_NO_OWNER] * n_entries
+        self._isolation.register_flushable(self)
+
+    # -- geometry -------------------------------------------------------------
+    @property
+    def n_entries(self) -> int:
+        """Number of rows."""
+        return self._n_entries
+
+    @property
+    def entry_bits(self) -> int:
+        """Width of each row in bits."""
+        return self._entry_bits
+
+    @property
+    def index_bits(self) -> int:
+        """Number of index bits (log2 of the row count)."""
+        return self._index_bits
+
+    @property
+    def storage_bits(self) -> int:
+        """Total storage in bits (used by the hardware cost model)."""
+        return self._n_entries * self._entry_bits
+
+    @property
+    def isolation(self) -> TableIsolation:
+        """The attached isolation policy."""
+        return self._isolation
+
+    def set_isolation(self, isolation: TableIsolation) -> None:
+        """Attach a different isolation policy (contents are reset)."""
+        self._isolation = isolation
+        isolation.register_flushable(self)
+        self.flush()
+
+    # -- access ---------------------------------------------------------------
+    def physical_index(self, index: int, thread_id: int = 0) -> int:
+        """Return the physical row selected for a logical index."""
+        mapped = self._isolation.map_index(index & self._index_mask, self._index_bits,
+                                           thread_id, self)
+        return mapped & self._index_mask
+
+    def read(self, index: int, thread_id: int = 0) -> int:
+        """Read and decode the word at a logical index.
+
+        Under an owner-tracking policy (Precise Flush), entries written by a
+        different hardware thread read as the reset value: the thread-ID tag
+        makes them invisible to other threads.
+        """
+        row = self.physical_index(index, thread_id)
+        if self._isolation.tracks_owner:
+            owner = self._owner[row]
+            if owner != _NO_OWNER and owner != thread_id:
+                return self._reset_value
+        raw = self._data[row]
+        value = self._isolation.decode(raw, self._entry_bits, thread_id, self, row)
+        return value & self._value_mask
+
+    def write(self, index: int, value: int, thread_id: int = 0) -> None:
+        """Encode and write a word at a logical index."""
+        row = self.physical_index(index, thread_id)
+        encoded = self._isolation.encode(value & self._value_mask, self._entry_bits,
+                                         thread_id, self, row)
+        self._data[row] = encoded & self._value_mask
+        if self._isolation.tracks_owner:
+            self._owner[row] = thread_id
+
+    def read_raw(self, row: int) -> int:
+        """Read the stored (still encoded) word at a *physical* row.
+
+        This bypasses the isolation policy entirely.  It exists for tests and
+        for the attack framework, which models an adversary that can observe
+        side effects of the physical storage but not the decoded contents.
+        """
+        return self._data[row & self._index_mask]
+
+    def write_raw(self, row: int, value: int) -> None:
+        """Write a raw (pre-encoded) word at a physical row (tests only)."""
+        self._data[row & self._index_mask] = value & self._value_mask
+
+    def owner_of(self, row: int) -> int:
+        """Owning hardware thread of a physical row, or ``-1`` if untracked."""
+        return self._owner[row & self._index_mask]
+
+    # -- flush support --------------------------------------------------------
+    def flush(self) -> None:
+        """Reset every row (Complete Flush)."""
+        self._data = [self._reset_value] * self._n_entries
+        self._owner = [_NO_OWNER] * self._n_entries
+
+    def flush_thread(self, thread_id: int) -> None:
+        """Reset only rows owned by ``thread_id`` (Precise Flush).
+
+        When owners are not tracked this degenerates to a complete flush,
+        which is the conservative behaviour.
+        """
+        if not self._isolation.tracks_owner:
+            self.flush()
+            return
+        for row, owner in enumerate(self._owner):
+            if owner == thread_id:
+                self._data[row] = self._reset_value
+                self._owner[row] = _NO_OWNER
+
+    def rows(self) -> Iterable[int]:
+        """Iterate over raw stored words (for tests and entropy analysis)."""
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return self._n_entries
+
+
+class PackedCounterTable:
+    """A table of small saturating counters packed into wide physical words.
+
+    This models the paper's **Enhanced-XOR-PHT** observation (Section 5.2,
+    Figure 5): a 4K-entry, 2-bit PHT can be viewed as a 256-entry array of
+    32-bit words, and content encoding can be applied to the whole word with a
+    wide key rather than to each 2-bit counter with a 2-bit key.  Logically
+    the structure still behaves as ``n_counters`` independent counters; the
+    packing only changes the granularity at which the isolation policy's
+    encode/decode runs — and therefore the obfuscation strength.
+
+    Args:
+        n_counters: number of logical counters; power of two.
+        counter_bits: width of each logical counter.
+        word_bits: width of each physical word; multiple of ``counter_bits``.
+        reset_value: initial value of every counter.
+        name: table name.
+        isolation: isolation policy (applied at word granularity).
+    """
+
+    def __init__(self, n_counters: int, counter_bits: int = 2, *, word_bits: int = 32,
+                 reset_value: int = 1, name: str = "pht",
+                 isolation: Optional[TableIsolation] = None) -> None:
+        _require_power_of_two(n_counters, "n_counters")
+        if word_bits % counter_bits:
+            raise ValueError("word_bits must be a multiple of counter_bits")
+        self._counters_per_word = word_bits // counter_bits
+        if self._counters_per_word > n_counters:
+            # Degenerate tiny tables: fall back to one counter per word.
+            self._counters_per_word = 1
+            word_bits = counter_bits
+        self._n_counters = n_counters
+        self._counter_bits = counter_bits
+        self._counter_mask = (1 << counter_bits) - 1
+        self._word_bits = word_bits
+        n_words = n_counters // self._counters_per_word
+        packed_reset = 0
+        for slot in range(self._counters_per_word):
+            packed_reset |= (reset_value & self._counter_mask) << (slot * counter_bits)
+        self._words = PredictorTable(n_words, word_bits, reset_value=packed_reset,
+                                     name=name, isolation=isolation)
+        self._reset_counter = reset_value & self._counter_mask
+
+    # -- geometry -------------------------------------------------------------
+    @property
+    def n_counters(self) -> int:
+        """Number of logical counters."""
+        return self._n_counters
+
+    @property
+    def counter_bits(self) -> int:
+        """Width of each logical counter."""
+        return self._counter_bits
+
+    @property
+    def counters_per_word(self) -> int:
+        """Number of counters packed in each physical word."""
+        return self._counters_per_word
+
+    @property
+    def word_table(self) -> PredictorTable:
+        """The underlying physical word array."""
+        return self._words
+
+    @property
+    def storage_bits(self) -> int:
+        """Total storage in bits."""
+        return self._words.storage_bits
+
+    def set_isolation(self, isolation: TableIsolation) -> None:
+        """Attach a different isolation policy (contents are reset)."""
+        self._words.set_isolation(isolation)
+
+    # -- access ---------------------------------------------------------------
+    def _locate(self, index: int) -> tuple:
+        index &= self._n_counters - 1
+        return index // self._counters_per_word, index % self._counters_per_word
+
+    def read(self, index: int, thread_id: int = 0) -> int:
+        """Read the logical counter at ``index``."""
+        word_index, slot = self._locate(index)
+        word = self._words.read(word_index, thread_id)
+        return (word >> (slot * self._counter_bits)) & self._counter_mask
+
+    def write(self, index: int, value: int, thread_id: int = 0) -> None:
+        """Write the logical counter at ``index`` (read-modify-write the word)."""
+        word_index, slot = self._locate(index)
+        word = self._words.read(word_index, thread_id)
+        shift = slot * self._counter_bits
+        word &= ~(self._counter_mask << shift)
+        word |= (value & self._counter_mask) << shift
+        self._words.write(word_index, word, thread_id)
+
+    def flush(self) -> None:
+        """Reset every counter."""
+        self._words.flush()
+
+    def flush_thread(self, thread_id: int) -> None:
+        """Reset counters in words owned by ``thread_id``."""
+        self._words.flush_thread(thread_id)
+
+    def __len__(self) -> int:
+        return self._n_counters

@@ -1,0 +1,394 @@
+"""TAGE: TAgged GEometric history length direction predictor.
+
+TAGE is the core of the LTAGE and TAGE-SC-L predictors evaluated in the
+paper's SMT study (Table 2).  It combines a bimodal *base* predictor with a
+set of *tagged* tables indexed by hashes of the PC and geometrically
+increasing global-history lengths.  The longest-history table whose tag
+matches provides the prediction; a ``USE_ALT_ON_NA`` counter arbitrates
+between the provider and the alternate prediction when the provider entry is
+not confident.
+
+Every tagged entry (tag, prediction counter, useful counter) is packed into a
+single word of a :class:`repro.predictors.table.PredictorTable`, so content
+encoding covers the whole entry and index encoding covers the table index —
+exactly the attachment points shown for the TAGE tables in Figure 6(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .base import DirectionPrediction, DirectionPredictor
+from .bimodal import BimodalPredictor
+from .counters import counter_is_taken, saturating_update
+from .history import GlobalHistory, PathHistory
+from .table import PredictorTable, TableIsolation
+
+__all__ = ["TageConfig", "TagePredictor", "geometric_history_lengths"]
+
+
+def geometric_history_lengths(n_tables: int, min_length: int, max_length: int) -> List[int]:
+    """Return ``n_tables`` geometrically spaced history lengths.
+
+    The classic TAGE formulation spaces history lengths as
+    ``L(i) = min * (max/min)^((i-1)/(n-1))``, rounded to integers.
+    """
+    if n_tables == 1:
+        return [min_length]
+    ratio = (max_length / min_length) ** (1.0 / (n_tables - 1))
+    lengths = []
+    for i in range(n_tables):
+        lengths.append(int(round(min_length * (ratio ** i))))
+    # Enforce strict monotonicity after rounding.
+    for i in range(1, n_tables):
+        if lengths[i] <= lengths[i - 1]:
+            lengths[i] = lengths[i - 1] + 1
+    return lengths
+
+
+@dataclass
+class TageConfig:
+    """Sizing of a TAGE predictor.
+
+    The defaults follow the paper's FPGA-prototype TAGE (Table 2): six tagged
+    tables of 4096 entries with history lengths 12...130.
+    """
+
+    n_tables: int = 6
+    table_entries: int = 4096
+    tag_bits: int = 11
+    counter_bits: int = 3
+    useful_bits: int = 2
+    min_history: int = 12
+    max_history: int = 130
+    base_entries: int = 8192
+    use_alt_bits: int = 4
+    useful_reset_period: int = 1 << 18
+
+    def history_lengths(self) -> List[int]:
+        """Geometric history lengths for the tagged tables."""
+        return geometric_history_lengths(self.n_tables, self.min_history,
+                                          self.max_history)
+
+
+class _DeterministicLfsr:
+    """Tiny deterministic pseudo-random source for TAGE allocation decisions.
+
+    Real TAGE implementations use an LFSR to break allocation ties; using a
+    deterministic one keeps simulations reproducible.
+    """
+
+    def __init__(self, seed: int = 0xACE1) -> None:
+        self._state = seed & 0xFFFF or 0xACE1
+
+    def next_bits(self, bits: int = 2) -> int:
+        value = 0
+        for _ in range(bits):
+            lsb = self._state & 1
+            self._state >>= 1
+            if lsb:
+                self._state ^= 0xB400
+            value = (value << 1) | lsb
+        return value
+
+
+class TagePredictor(DirectionPredictor):
+    """TAGE direction predictor with pluggable isolation.
+
+    Args:
+        config: table sizing; defaults to :class:`TageConfig`.
+        isolation: isolation policy applied to the base and tagged tables.
+        word_bits: physical word width used for the base PHT packing.
+    """
+
+    name = "tage"
+
+    def __init__(self, config: Optional[TageConfig] = None, *,
+                 isolation: Optional[TableIsolation] = None,
+                 word_bits: int = 32) -> None:
+        super().__init__(isolation)
+        self.config = config if config is not None else TageConfig()
+        cfg = self.config
+        self._base = BimodalPredictor(cfg.base_entries, 2, isolation=isolation,
+                                      word_bits=word_bits)
+        self._history_lengths = cfg.history_lengths()
+        self._entry_bits = cfg.tag_bits + cfg.counter_bits + cfg.useful_bits
+        self._tag_mask = (1 << cfg.tag_bits) - 1
+        self._ctr_mask = (1 << cfg.counter_bits) - 1
+        self._u_mask = (1 << cfg.useful_bits) - 1
+        self._ctr_weak_taken = 1 << (cfg.counter_bits - 1)
+        self._index_bits = cfg.table_entries.bit_length() - 1
+        self._tables: List[PredictorTable] = []
+        for i in range(cfg.n_tables):
+            table = PredictorTable(cfg.table_entries, self._entry_bits,
+                                   reset_value=0, name=f"tage_t{i}",
+                                   isolation=isolation)
+            self._tables.append(table)
+        self._ghr = GlobalHistory(max(cfg.max_history, max(self._history_lengths)) + 1)
+        self._path = PathHistory(32)
+        self._use_alt = (1 << (cfg.use_alt_bits - 1))  # neutral
+        self._use_alt_max = (1 << cfg.use_alt_bits) - 1
+        self._lfsr = _DeterministicLfsr()
+        self._update_count = 0
+        # Incrementally folded global histories, per hardware thread: one
+        # index-width register and two tag-width registers per tagged table
+        # (the standard TAGE circular-shift-register implementation).  They
+        # avoid re-folding hundreds of history bits on every lookup.
+        self._folded_state: dict = {}
+
+    # -- entry packing --------------------------------------------------------
+    def _pack(self, tag: int, ctr: int, useful: int) -> int:
+        cfg = self.config
+        return ((tag & self._tag_mask) << (cfg.counter_bits + cfg.useful_bits)
+                | (ctr & self._ctr_mask) << cfg.useful_bits
+                | (useful & self._u_mask))
+
+    def _unpack(self, word: int) -> tuple:
+        cfg = self.config
+        useful = word & self._u_mask
+        ctr = (word >> cfg.useful_bits) & self._ctr_mask
+        tag = (word >> (cfg.useful_bits + cfg.counter_bits)) & self._tag_mask
+        return tag, ctr, useful
+
+    # -- folded-history maintenance --------------------------------------------
+    def _folded(self, thread_id: int) -> dict:
+        state = self._folded_state.get(thread_id)
+        if state is None:
+            state = {
+                "index": [0] * self.config.n_tables,
+                "tag0": [0] * self.config.n_tables,
+                "tag1": [0] * self.config.n_tables,
+            }
+            self._folded_state[thread_id] = state
+        return state
+
+    @staticmethod
+    def _fold_step(folded: int, width: int, new_bit: int, old_bit: int,
+                   length: int) -> int:
+        """One circular-shift-register update of a folded history."""
+        folded = (folded << 1) | new_bit
+        folded ^= old_bit << (length % width)
+        folded ^= folded >> width
+        return folded & ((1 << width) - 1)
+
+    def _push_history(self, taken: bool, thread_id: int) -> None:
+        """Shift the outcome into the GHR and all folded registers."""
+        ghr_value = self._ghr.value(thread_id)
+        state = self._folded(thread_id)
+        new_bit = int(taken)
+        cfg = self.config
+        index_bits = self._index_bits
+        tag_bits = cfg.tag_bits
+        index_regs = state["index"]
+        tag0_regs = state["tag0"]
+        tag1_regs = state["tag1"]
+        index_mask = (1 << index_bits) - 1
+        tag0_mask = (1 << tag_bits) - 1
+        tag1_mask = (1 << (tag_bits - 1)) - 1
+        for table, length in enumerate(self._history_lengths):
+            old_bit = (ghr_value >> (length - 1)) & 1
+            # Inlined circular-shift-register updates (hot path).
+            folded = (index_regs[table] << 1) | new_bit
+            folded ^= old_bit << (length % index_bits)
+            folded ^= folded >> index_bits
+            index_regs[table] = folded & index_mask
+            folded = (tag0_regs[table] << 1) | new_bit
+            folded ^= old_bit << (length % tag_bits)
+            folded ^= folded >> tag_bits
+            tag0_regs[table] = folded & tag0_mask
+            folded = (tag1_regs[table] << 1) | new_bit
+            folded ^= old_bit << (length % (tag_bits - 1))
+            folded ^= folded >> (tag_bits - 1)
+            tag1_regs[table] = folded & tag1_mask
+        self._ghr.push(taken, thread_id)
+
+    # -- index / tag hashing --------------------------------------------------
+    def _table_index(self, pc: int, table: int, thread_id: int) -> int:
+        history = self._folded(thread_id)["index"][table]
+        path = self._path.folded(self._index_bits, thread_id)
+        pc_bits = (pc >> 2) ^ (pc >> (2 + self._index_bits))
+        return (pc_bits ^ history ^ (path >> (table & 3)) ^ (table * 0x1F)) \
+            & ((1 << self._index_bits) - 1)
+
+    def _table_tag(self, pc: int, table: int, thread_id: int) -> int:
+        state = self._folded(thread_id)
+        return ((pc >> 2) ^ state["tag0"][table] ^ (state["tag1"][table] << 1)) \
+            & self._tag_mask
+
+    # -- prediction protocol --------------------------------------------------
+    def lookup(self, pc: int, thread_id: int = 0) -> DirectionPrediction:
+        cfg = self.config
+        base_pred = self._base.lookup(pc, thread_id)
+        provider = -1
+        alt = -1
+        provider_info = None
+        alt_info = None
+        indices = []
+        tags = []
+        for table in range(cfg.n_tables):
+            index = self._table_index(pc, table, thread_id)
+            tag = self._table_tag(pc, table, thread_id)
+            indices.append(index)
+            tags.append(tag)
+            word = self._tables[table].read(index, thread_id)
+            stored_tag, ctr, useful = self._unpack(word)
+            if stored_tag == tag and word != 0:
+                alt, alt_info = provider, provider_info
+                provider, provider_info = table, (index, tag, ctr, useful)
+        provider_taken = None
+        alt_taken = base_pred.taken
+        if alt >= 0 and alt_info is not None:
+            alt_taken = counter_is_taken(alt_info[2], cfg.counter_bits)
+        if provider >= 0 and provider_info is not None:
+            provider_taken = counter_is_taken(provider_info[2], cfg.counter_bits)
+            weak = provider_info[2] in (self._ctr_weak_taken, self._ctr_weak_taken - 1)
+            newly_allocated = weak and provider_info[3] == 0
+            use_alt = newly_allocated and self._use_alt >= (1 << (cfg.use_alt_bits - 1))
+            taken = alt_taken if use_alt else provider_taken
+        else:
+            use_alt = False
+            taken = base_pred.taken
+        return DirectionPrediction(taken=taken, meta={
+            "base": base_pred,
+            "provider": provider,
+            "alt": alt,
+            "provider_taken": provider_taken,
+            "alt_taken": alt_taken,
+            "use_alt": use_alt,
+            "indices": indices,
+            "tags": tags,
+        })
+
+    def update(self, pc: int, taken: bool,
+               prediction: Optional[DirectionPrediction] = None,
+               thread_id: int = 0) -> None:
+        cfg = self.config
+        if prediction is None or "indices" not in prediction.meta:
+            prediction = self.lookup(pc, thread_id)
+        meta = prediction.meta
+        provider = meta["provider"]
+        indices: Sequence[int] = meta["indices"]
+        tags: Sequence[int] = meta["tags"]
+        mispredicted = prediction.taken != taken
+
+        self._update_count += 1
+        if self._update_count % cfg.useful_reset_period == 0:
+            self._graceful_useful_reset(thread_id)
+
+        if provider >= 0:
+            index = indices[provider]
+            word = self._tables[provider].read(index, thread_id)
+            stored_tag, ctr, useful = self._unpack(word)
+            provider_taken = counter_is_taken(ctr, cfg.counter_bits)
+            alt_taken = meta["alt_taken"]
+            # Train USE_ALT_ON_NA when the provider entry was newly allocated.
+            if meta["use_alt"] or (useful == 0 and ctr in (self._ctr_weak_taken,
+                                                           self._ctr_weak_taken - 1)):
+                if provider_taken != alt_taken:
+                    if alt_taken == taken:
+                        self._use_alt = min(self._use_alt + 1, self._use_alt_max)
+                    else:
+                        self._use_alt = max(self._use_alt - 1, 0)
+            new_ctr = saturating_update(ctr, taken, cfg.counter_bits)
+            new_useful = useful
+            if provider_taken != alt_taken:
+                if provider_taken == taken:
+                    new_useful = min(useful + 1, self._u_mask)
+                else:
+                    new_useful = max(useful - 1, 0)
+            self._tables[provider].write(index, self._pack(stored_tag, new_ctr,
+                                                           new_useful), thread_id)
+        else:
+            self._base.update(pc, taken, meta["base"], thread_id)
+
+        # Also train the base predictor when it provided the alternate.
+        if provider >= 0 and meta["alt"] < 0:
+            self._base.update(pc, taken, meta["base"], thread_id)
+
+        # Allocation on misprediction: try to allocate one entry in a table
+        # with a longer history than the provider.
+        if mispredicted and provider < cfg.n_tables - 1:
+            self._allocate(pc, taken, provider, indices, tags, thread_id)
+
+        self._push_history(taken, thread_id)
+        self._path.push(pc, thread_id)
+
+    def _allocate(self, pc: int, taken: bool, provider: int,
+                  indices: Sequence[int], tags: Sequence[int],
+                  thread_id: int) -> None:
+        cfg = self.config
+        start = provider + 1
+        candidates = []
+        for table in range(start, cfg.n_tables):
+            word = self._tables[table].read(indices[table], thread_id)
+            _, _, useful = self._unpack(word)
+            if useful == 0:
+                candidates.append(table)
+        if not candidates:
+            # No free entry: age the useful counters of all longer tables.
+            for table in range(start, cfg.n_tables):
+                word = self._tables[table].read(indices[table], thread_id)
+                tag, ctr, useful = self._unpack(word)
+                if useful > 0:
+                    self._tables[table].write(indices[table],
+                                              self._pack(tag, ctr, useful - 1),
+                                              thread_id)
+            return
+        # Prefer the shortest-history candidate, with a pseudo-random skip to
+        # avoid ping-ponging (as in the reference TAGE implementation).
+        choice = candidates[0]
+        if len(candidates) > 1 and self._lfsr.next_bits(2) == 0:
+            choice = candidates[1]
+        ctr = self._ctr_weak_taken if taken else self._ctr_weak_taken - 1
+        self._tables[choice].write(indices[choice],
+                                   self._pack(tags[choice], ctr, 0), thread_id)
+
+    def _graceful_useful_reset(self, thread_id: int) -> None:
+        """Periodically clear the low bit of every useful counter."""
+        for table in self._tables:
+            for row in range(table.n_entries):
+                word = table.read(row, thread_id)
+                tag, ctr, useful = self._unpack(word)
+                if useful:
+                    table.write(row, self._pack(tag, ctr, useful >> 1), thread_id)
+
+    # -- structure access -----------------------------------------------------
+    def tables(self) -> List[PredictorTable]:
+        return self._base.tables() + list(self._tables)
+
+    @property
+    def tagged_tables(self) -> List[PredictorTable]:
+        """The tagged component tables."""
+        return list(self._tables)
+
+    @property
+    def base_predictor(self) -> BimodalPredictor:
+        """The bimodal base component."""
+        return self._base
+
+    @property
+    def global_history(self) -> GlobalHistory:
+        """The per-thread global history register."""
+        return self._ghr
+
+    @property
+    def history_lengths(self) -> List[int]:
+        """Geometric history lengths of the tagged tables."""
+        return list(self._history_lengths)
+
+    def flush(self) -> None:
+        self._base.flush()
+        for table in self._tables:
+            table.flush()
+        self._ghr.clear()
+        self._path.clear()
+        self._folded_state.clear()
+
+    def flush_thread(self, thread_id: int) -> None:
+        self._base.flush_thread(thread_id)
+        for table in self._tables:
+            table.flush_thread(thread_id)
+        self._ghr.clear(thread_id)
+        self._path.clear(thread_id)
+        self._folded_state.pop(thread_id, None)

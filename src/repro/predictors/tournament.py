@@ -1,0 +1,181 @@
+"""Alpha-21264-style Tournament direction predictor.
+
+The Tournament predictor combines a two-level *local* predictor (per-branch
+pattern history feeding a table of counters) with a *global* predictor indexed
+by the recent path/global history, and a *chooser* that learns, per history
+pattern, which of the two components to trust.
+
+Sizing follows the paper's Figure 6(a): a 2048-entry, 11-bit local history
+table, a 2048-entry local prediction table, an 8192-entry global prediction
+table and an 8192-entry choice table, both indexed by the global (path)
+history.  All second-level tables are built on
+:class:`repro.predictors.table.PackedCounterTable` so that content and index
+encoding apply uniformly, as shown in the figure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .base import DirectionPrediction, DirectionPredictor
+from .counters import counter_is_taken, saturating_update
+from .history import GlobalHistory, LocalHistoryTable, PathHistory
+from .table import PackedCounterTable, PredictorTable, TableIsolation
+
+__all__ = ["TournamentPredictor"]
+
+
+class TournamentPredictor(DirectionPredictor):
+    """Local/global/chooser hybrid predictor.
+
+    Args:
+        local_history_entries: rows in the first-level local history table.
+        local_history_bits: pattern length kept per static branch.
+        local_entries: counters in the local prediction table.
+        global_entries: counters in the global prediction table.
+        choice_entries: counters in the chooser table.
+        global_history_bits: length of the global history register.
+        isolation: isolation policy applied to all second-level tables.
+        word_bits: physical word width for Enhanced-XOR-PHT style packing.
+    """
+
+    name = "tournament"
+
+    def __init__(self,
+                 local_history_entries: int = 2048,
+                 local_history_bits: int = 11,
+                 local_entries: int = 2048,
+                 global_entries: int = 8192,
+                 choice_entries: int = 8192,
+                 global_history_bits: int = 13, *,
+                 isolation: Optional[TableIsolation] = None,
+                 word_bits: int = 32) -> None:
+        super().__init__(isolation)
+        self._local_history = LocalHistoryTable(local_history_entries, local_history_bits)
+        self._local_pht = PackedCounterTable(local_entries, 2, word_bits=word_bits,
+                                             reset_value=1, name="tournament_local",
+                                             isolation=isolation)
+        self._global_pht = PackedCounterTable(global_entries, 2, word_bits=word_bits,
+                                              reset_value=1, name="tournament_global",
+                                              isolation=isolation)
+        self._choice_pht = PackedCounterTable(choice_entries, 2, word_bits=word_bits,
+                                              reset_value=1, name="tournament_choice",
+                                              isolation=isolation)
+        self._local_mask = local_entries - 1
+        self._global_mask = global_entries - 1
+        self._choice_mask = choice_entries - 1
+        self._ghr = GlobalHistory(global_history_bits)
+        # The paper describes the second level as "indexed by the path (or
+        # global) history of the last 12 branches" (Figure 6a); hashing the
+        # outcome history with the path history keeps outcome correlation
+        # while decorrelating different programs' footprints.
+        self._path = PathHistory(24, pc_bits_per_branch=2)
+        if isolation is not None:
+            isolation.register_flushable(self._local_history)
+
+    # -- index computation ----------------------------------------------------
+    def _local_index(self, pc: int) -> int:
+        # Second level of the local component: indexed by the branch's pattern
+        # history, as in the Alpha 21264 and gem5's TournamentBP.
+        return self._local_history.read(pc) & self._local_mask
+
+    def _global_index(self, thread_id: int) -> int:
+        history = self._ghr.folded(self._global_mask.bit_length(), thread_id)
+        path = self._path.folded(self._global_mask.bit_length(), thread_id)
+        return (history ^ path) & self._global_mask
+
+    def _choice_index(self, thread_id: int) -> int:
+        history = self._ghr.folded(self._choice_mask.bit_length(), thread_id)
+        path = self._path.folded(self._choice_mask.bit_length(), thread_id)
+        return (history ^ path) & self._choice_mask
+
+    # -- prediction protocol --------------------------------------------------
+    def lookup(self, pc: int, thread_id: int = 0) -> DirectionPrediction:
+        local_index = self._local_index(pc)
+        global_index = self._global_index(thread_id)
+        choice_index = self._choice_index(thread_id)
+        local_counter = self._local_pht.read(local_index, thread_id)
+        global_counter = self._global_pht.read(global_index, thread_id)
+        choice_counter = self._choice_pht.read(choice_index, thread_id)
+        local_taken = counter_is_taken(local_counter)
+        global_taken = counter_is_taken(global_counter)
+        use_global = counter_is_taken(choice_counter)
+        taken = global_taken if use_global else local_taken
+        return DirectionPrediction(taken=taken, meta={
+            "local_index": local_index,
+            "global_index": global_index,
+            "choice_index": choice_index,
+            "local_taken": local_taken,
+            "global_taken": global_taken,
+            "use_global": use_global,
+        })
+
+    def update(self, pc: int, taken: bool,
+               prediction: Optional[DirectionPrediction] = None,
+               thread_id: int = 0) -> None:
+        if prediction is None or "local_index" not in prediction.meta:
+            prediction = self.lookup(pc, thread_id)
+        meta = prediction.meta
+        local_index = meta["local_index"]
+        global_index = meta["global_index"]
+        choice_index = meta["choice_index"]
+        local_correct = meta["local_taken"] == taken
+        global_correct = meta["global_taken"] == taken
+
+        # Train the chooser only when the components disagree.
+        if local_correct != global_correct:
+            choice = self._choice_pht.read(choice_index, thread_id)
+            self._choice_pht.write(choice_index,
+                                   saturating_update(choice, global_correct),
+                                   thread_id)
+
+        local_counter = self._local_pht.read(local_index, thread_id)
+        self._local_pht.write(local_index, saturating_update(local_counter, taken),
+                              thread_id)
+        global_counter = self._global_pht.read(global_index, thread_id)
+        self._global_pht.write(global_index, saturating_update(global_counter, taken),
+                               thread_id)
+
+        self._local_history.push(pc, taken)
+        self._ghr.push(taken, thread_id)
+        self._path.push(pc, thread_id)
+
+    # -- structure access -----------------------------------------------------
+    def tables(self) -> List[PredictorTable]:
+        return [self._local_pht.word_table, self._global_pht.word_table,
+                self._choice_pht.word_table]
+
+    @property
+    def local_history(self) -> LocalHistoryTable:
+        """First-level local history table."""
+        return self._local_history
+
+    @property
+    def local_pht(self) -> PackedCounterTable:
+        """Second-level local prediction table."""
+        return self._local_pht
+
+    @property
+    def global_pht(self) -> PackedCounterTable:
+        """Global prediction table."""
+        return self._global_pht
+
+    @property
+    def choice_pht(self) -> PackedCounterTable:
+        """Chooser table."""
+        return self._choice_pht
+
+    def flush(self) -> None:
+        self._local_pht.flush()
+        self._global_pht.flush()
+        self._choice_pht.flush()
+        self._local_history.flush()
+        self._ghr.clear()
+        self._path.clear()
+
+    def flush_thread(self, thread_id: int) -> None:
+        self._local_pht.flush_thread(thread_id)
+        self._global_pht.flush_thread(thread_id)
+        self._choice_pht.flush_thread(thread_id)
+        self._ghr.clear(thread_id)
+        self._path.clear(thread_id)

@@ -1,0 +1,45 @@
+"""Security classification analysis (Table 1) and analytic bounds."""
+
+from .analysis import (
+    PAPER_TABLE1,
+    TABLE1_COLUMNS,
+    TABLE1_ROWS,
+    SecurityCell,
+    SecurityRow,
+    build_security_table,
+)
+from .classification import (
+    Verdict,
+    btb_tag_hit_probability,
+    classify_success_rate,
+    malicious_redirect_probability,
+)
+from .leakage import (
+    LeakageEstimate,
+    binary_entropy,
+    leakage_bandwidth,
+    leakage_report,
+    measure_btb_occupancy_leakage,
+    measure_direction_leakage,
+    mutual_information,
+)
+
+__all__ = [
+    "Verdict",
+    "classify_success_rate",
+    "btb_tag_hit_probability",
+    "malicious_redirect_probability",
+    "SecurityCell",
+    "SecurityRow",
+    "build_security_table",
+    "PAPER_TABLE1",
+    "TABLE1_ROWS",
+    "TABLE1_COLUMNS",
+    "LeakageEstimate",
+    "binary_entropy",
+    "mutual_information",
+    "measure_direction_leakage",
+    "measure_btb_occupancy_leakage",
+    "leakage_bandwidth",
+    "leakage_report",
+]

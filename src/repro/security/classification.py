@@ -1,0 +1,78 @@
+"""Security verdicts and analytic success-probability bounds.
+
+Table 1 of the paper classifies every (mechanism, attack class, core type)
+combination as *Defend*, *Mitigate* or *No Protection*.  This module defines
+those verdicts, the rule that maps an empirical attack success rate to a
+verdict, and the analytic bounds from Section 5.5 (the probability that a
+malicious BTB entry is both hit and redirects to a chosen address is
+``2^-(N+T)``).
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Verdict", "classify_success_rate", "btb_tag_hit_probability",
+           "malicious_redirect_probability"]
+
+
+class Verdict(enum.Enum):
+    """Protection verdict for one mechanism against one attack class."""
+
+    DEFEND = "Defend"
+    MITIGATE = "Mitigate"
+    NO_PROTECTION = "No Protection"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+def classify_success_rate(success_rate: float, chance_level: float, *,
+                          defend_margin: float = 0.15,
+                          mitigate_margin: float = 0.60) -> Verdict:
+    """Map an empirical attack success rate to a Table-1 verdict.
+
+    The attacker's *normalised advantage* is how far above blind guessing the
+    success rate lies, rescaled so that 0 means guessing and 1 means a
+    perfectly reliable attack:
+
+    ``advantage = (success - chance) / (1 - chance)``
+
+    Args:
+        success_rate: measured success rate of the best applicable attack.
+        chance_level: success rate of a blind-guessing attacker.
+        defend_margin: advantages at or below this are classified Defend.
+        mitigate_margin: advantages at or below this are classified Mitigate;
+            anything higher is No Protection.
+
+    Returns:
+        The :class:`Verdict`.
+    """
+    if not 0.0 <= chance_level < 1.0:
+        raise ValueError("chance_level must be in [0, 1)")
+    advantage = (success_rate - chance_level) / (1.0 - chance_level)
+    advantage = max(0.0, min(1.0, advantage))
+    if advantage <= defend_margin:
+        return Verdict.DEFEND
+    if advantage <= mitigate_margin:
+        return Verdict.MITIGATE
+    return Verdict.NO_PROTECTION
+
+
+def btb_tag_hit_probability(tag_bits: int) -> float:
+    """Probability that one encoded trap entry produces a BTB tag hit (1/2^T)."""
+    if tag_bits < 0:
+        raise ValueError("tag_bits must be non-negative")
+    return 2.0 ** (-tag_bits)
+
+
+def malicious_redirect_probability(tag_bits: int, target_bits: int) -> float:
+    """Probability a trap both hits and steers to a chosen address (1/2^(N+T)).
+
+    Section 5.5, Scenario 1: the attacker's encoded tag must match the
+    victim's encoded lookup *and* the encoded target must decode to the
+    attacker's gadget address under the victim's (unknown) key.
+    """
+    if target_bits < 0:
+        raise ValueError("target_bits must be non-negative")
+    return 2.0 ** (-(tag_bits + target_bits))

@@ -1,0 +1,59 @@
+"""Shared low-level types used across the package.
+
+These enums are deliberately kept in a dependency-free module so that the
+predictor substrate (:mod:`repro.predictors`), the isolation mechanisms
+(:mod:`repro.core`), the CPU model (:mod:`repro.cpu`) and the workload
+generator (:mod:`repro.workloads`) can all share them without import cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Privilege", "BranchType"]
+
+
+class Privilege(enum.IntEnum):
+    """Privilege level of the code executing a branch.
+
+    The paper requires isolation not only between different programs but also
+    between privilege levels of the *same* program (Section 5.4): the
+    thread-private keys are regenerated whenever the privilege level changes
+    (system call, exception, hypervisor entry).
+    """
+
+    USER = 0
+    KERNEL = 1
+    HYPERVISOR = 2
+
+
+class BranchType(enum.IntEnum):
+    """Classification of a branch instruction.
+
+    Only the structures relevant to the paper are modelled: conditional
+    branches train the direction predictor (PHT-style structures), indirect
+    branches and calls train the BTB, and returns use the (thread-private)
+    return address stack.
+    """
+
+    CONDITIONAL = 0
+    DIRECT = 1
+    INDIRECT = 2
+    CALL = 3
+    RETURN = 4
+
+    @property
+    def uses_direction_predictor(self) -> bool:
+        """True when the branch direction is predicted by the PHT."""
+        return self is BranchType.CONDITIONAL
+
+    @property
+    def uses_btb(self) -> bool:
+        """True when the branch target is predicted by the BTB."""
+        return self in (BranchType.CONDITIONAL, BranchType.DIRECT,
+                        BranchType.INDIRECT, BranchType.CALL)
+
+    @property
+    def uses_ras(self) -> bool:
+        """True when the branch target is predicted by the return address stack."""
+        return self is BranchType.RETURN

@@ -1,0 +1,50 @@
+"""Synthetic SPEC-CPU2006-like workloads and the paper's benchmark pairings."""
+
+from .calibration import CalibrationPoint, calibrate_benchmark, calibrate_suite
+from .generator import BranchSite, SyntheticWorkload, make_workload
+from .traceio import (
+    TraceFormatError,
+    TraceWorkload,
+    read_trace,
+    record_workload,
+    write_trace,
+)
+from .pairs import (
+    SINGLE_THREAD_PAIRS,
+    SMT2_PAIRS,
+    SMT4_QUADS,
+    BenchmarkPair,
+    case_names,
+    get_pair,
+    make_pair_workloads,
+)
+from .spec_profiles import SPEC_PROFILES, BenchmarkProfile, get_profile, profile_names
+from .trace import BranchRecord, TraceStats, collect_stats
+
+__all__ = [
+    "CalibrationPoint",
+    "calibrate_benchmark",
+    "calibrate_suite",
+    "BranchSite",
+    "SyntheticWorkload",
+    "make_workload",
+    "BenchmarkPair",
+    "SINGLE_THREAD_PAIRS",
+    "SMT2_PAIRS",
+    "SMT4_QUADS",
+    "case_names",
+    "get_pair",
+    "make_pair_workloads",
+    "BenchmarkProfile",
+    "SPEC_PROFILES",
+    "get_profile",
+    "profile_names",
+    "BranchRecord",
+    "TraceStats",
+    "collect_stats",
+    "TraceFormatError",
+    "TraceWorkload",
+    "read_trace",
+    "write_trace",
+    "record_workload",
+]

@@ -1,0 +1,120 @@
+"""Calibration checks for the synthetic SPEC-like workloads.
+
+The reproduction replaces SPEC CPU2006 binaries with synthetic branch-trace
+generators (`repro.workloads.generator`) whose per-benchmark profiles encode
+the characteristics the isolation mechanisms interact with.  Each profile
+carries two *reporting hints* — the approximate baseline direction-prediction
+accuracy and BTB hit rate the benchmark should exhibit — plus the
+privilege-switch rate that Table 4 reports.  This module measures those
+quantities by actually running the generated trace through a baseline
+predictor, so the calibration can be inspected (and regression-tested)
+instead of trusted blindly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from ..core.registry import make_bpu
+from ..types import BranchType
+from .generator import make_workload
+from .spec_profiles import get_profile, profile_names
+from .trace import collect_stats
+
+__all__ = ["CalibrationPoint", "calibrate_benchmark", "calibrate_suite"]
+
+
+@dataclass
+class CalibrationPoint:
+    """Measured versus profiled behaviour of one synthetic benchmark.
+
+    Attributes:
+        benchmark: benchmark name.
+        branches: number of branch records measured.
+        measured_direction_accuracy: baseline conditional-branch accuracy on
+            the generated trace.
+        hinted_direction_accuracy: the profile's ``pht_accuracy_hint``.
+        measured_btb_hit_rate: baseline BTB hit rate on the generated trace.
+        hinted_btb_hit_rate: the profile's ``btb_hit_hint``.
+        measured_conditional_ratio: conditional branches per instruction.
+        syscalls_per_million_instructions: syscall markers in the trace.
+    """
+
+    benchmark: str
+    branches: int
+    measured_direction_accuracy: float
+    hinted_direction_accuracy: float
+    measured_btb_hit_rate: float
+    hinted_btb_hit_rate: float
+    measured_conditional_ratio: float
+    syscalls_per_million_instructions: float
+
+    @property
+    def direction_accuracy_error(self) -> float:
+        """Measured minus hinted direction accuracy."""
+        return self.measured_direction_accuracy - self.hinted_direction_accuracy
+
+    @property
+    def btb_hit_rate_error(self) -> float:
+        """Measured minus hinted BTB hit rate."""
+        return self.measured_btb_hit_rate - self.hinted_btb_hit_rate
+
+    def within(self, tolerance: float = 0.10) -> bool:
+        """True when both measured figures are within ``tolerance`` of the hints."""
+        return (abs(self.direction_accuracy_error) <= tolerance
+                and abs(self.btb_hit_rate_error) <= tolerance)
+
+
+def calibrate_benchmark(benchmark: str, *, branches: int = 20_000,
+                        predictor: str = "tage", seed: int = 2021,
+                        btb_sets: int = 256, btb_ways: int = 2
+                        ) -> CalibrationPoint:
+    """Measure one benchmark's baseline behaviour against its profile hints.
+
+    Args:
+        benchmark: Table 3 benchmark name.
+        branches: branch records to run (larger = tighter estimate).
+        predictor: baseline direction predictor used for the measurement.
+        seed: workload seed.
+        btb_sets: BTB geometry used for the measurement.
+        btb_ways: BTB associativity.
+
+    Returns:
+        A :class:`CalibrationPoint` comparing measurement and hints.
+    """
+    profile = get_profile(benchmark)
+    workload = make_workload(benchmark, seed=seed)
+    records = workload.segment(branches)
+    stats = collect_stats(records)
+    bpu = make_bpu(predictor, "baseline", seed=seed, btb_sets=btb_sets,
+                   btb_ways=btb_ways)
+    conditional = mispredicted = 0
+    for record in records:
+        outcome = bpu.execute_branch(record.pc, record.taken, record.target,
+                                     record.branch_type)
+        if record.branch_type is BranchType.CONDITIONAL:
+            conditional += 1
+            mispredicted += outcome.direction_mispredicted
+    accuracy = 1.0 - (mispredicted / conditional if conditional else 0.0)
+    return CalibrationPoint(
+        benchmark=benchmark,
+        branches=branches,
+        measured_direction_accuracy=accuracy,
+        hinted_direction_accuracy=profile.pht_accuracy_hint,
+        measured_btb_hit_rate=bpu.btb.hit_rate,
+        hinted_btb_hit_rate=profile.btb_hit_hint,
+        measured_conditional_ratio=stats.conditional_ratio,
+        syscalls_per_million_instructions=stats.syscalls_per_million_instructions,
+    )
+
+
+def calibrate_suite(benchmarks: Optional[Iterable[str]] = None, *,
+                    branches: int = 20_000, predictor: str = "tage",
+                    seed: int = 2021) -> List[CalibrationPoint]:
+    """Calibrate several benchmarks (the whole profile set by default)."""
+    names: Sequence[str] = list(benchmarks) if benchmarks is not None \
+        else profile_names()
+    return [calibrate_benchmark(name, branches=branches, predictor=predictor,
+                                seed=seed)
+            for name in names]

@@ -1,0 +1,308 @@
+"""Deterministic synthetic branch-trace generator.
+
+Given a :class:`repro.workloads.spec_profiles.BenchmarkProfile`, the generator
+builds a static population of branch sites (loops, biased branches,
+history-correlated branches, hard branches, calls/returns and indirect jumps)
+laid out over a synthetic text segment, then emits an endless, reproducible
+stream of :class:`repro.workloads.trace.BranchRecord` whose aggregate
+behaviour matches the profile: branch density, taken ratio, working-set size,
+predictability mix and BTB/RAS traffic.
+
+The stream is driven by a seeded :class:`random.Random`, so the same
+(profile, seed) pair always produces the same trace — experiments are
+reproducible and paired comparisons (Baseline vs. protected) see identical
+workloads.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from ..types import BranchType
+from .spec_profiles import BenchmarkProfile, get_profile
+from .trace import BranchRecord
+
+__all__ = ["BranchSite", "SyntheticWorkload", "make_workload"]
+
+# Behaviour classes of conditional branch sites.
+_LOOP = 0
+_BIASED = 1
+_PATTERN = 2
+_RANDOM = 3
+
+
+def _stable_hash(text: str) -> int:
+    """Deterministic string hash (``hash()`` is salted per process)."""
+    value = 0x811C9DC5
+    for ch in text:
+        value ^= ord(ch)
+        value = (value * 0x01000193) & 0xFFFFFFFF
+    return value
+
+
+@dataclass
+class BranchSite:
+    """A static conditional branch site.
+
+    Attributes:
+        pc: instruction address.
+        target: taken-path target address.
+        kind: behaviour class (loop, biased, pattern, random).
+        param: class parameter (trip count, bias, local pattern, ...).
+        aux: secondary parameter (dominant direction, pattern period, ...).
+    """
+
+    pc: int
+    target: int
+    kind: int
+    param: float
+    aux: float = 0.0
+
+
+class SyntheticWorkload:
+    """Reproducible branch-trace stream for one benchmark profile.
+
+    Args:
+        profile: the benchmark behaviour profile (or its Table 3 name).
+        seed: RNG seed; combined with the profile name so different
+            benchmarks sharing a seed still diverge.
+        text_base: base address of the synthetic text segment.
+    """
+
+    def __init__(self, profile, seed: int = 0, text_base: int = 0x0040_0000) -> None:
+        if isinstance(profile, str):
+            profile = get_profile(profile)
+        self.profile: BenchmarkProfile = profile
+        self.seed = seed
+        self._text_base = text_base
+        rng = random.Random((_stable_hash(profile.name) ^ (seed * 0x9E3779B1))
+                            & 0xFFFFFFFF)
+        self._build_rng = rng
+        self._sites: List[BranchSite] = []
+        self._call_sites: List[int] = []
+        self._indirect_sites: List[tuple] = []
+        self._cumulative_weights: List[float] = []
+        self._build_population()
+        self._mean_gap = max(1.0, 1.0 / max(profile.branch_ratio, 1e-3) - 1.0)
+
+    # -- population construction -----------------------------------------------
+    def _place_pc(self, index: int) -> int:
+        # Spread sites over a text segment with function-sized clustering so
+        # that BTB sets and tags are exercised realistically.
+        function = index // 24
+        offset_in_function = index % 24
+        return (self._text_base + function * 0x400
+                + offset_in_function * 12 + (self._build_rng.randrange(3) * 4))
+
+    def _build_population(self) -> None:
+        profile = self.profile
+        rng = self._build_rng
+        n = profile.static_conditional
+        counts = [int(round(n * f)) for f in (profile.loop_fraction,
+                                              profile.biased_fraction,
+                                              profile.pattern_fraction)]
+        counts.append(max(0, n - sum(counts)))
+        kinds = ([_LOOP] * counts[0] + [_BIASED] * counts[1]
+                 + [_PATTERN] * counts[2] + [_RANDOM] * counts[3])
+        rng.shuffle(kinds)
+
+        for i, kind in enumerate(kinds):
+            pc = self._place_pc(i)
+            target = pc + rng.choice([-1, 1]) * rng.randrange(16, 512, 4)
+            if kind == _LOOP:
+                trip = max(2, int(rng.expovariate(1.0 / profile.mean_trip_count)) + 2)
+                site = BranchSite(pc, pc - rng.randrange(16, 256, 4), _LOOP,
+                                  float(trip))
+            elif kind == _BIASED:
+                # Strongly biased branches skew towards not-taken (guard/error
+                # checks), keeping the overall taken ratio near the ~60% that
+                # real integer codes exhibit once loop back-edges are added.
+                dominant_taken = rng.random() < 0.40
+                site = BranchSite(pc, target, _BIASED, profile.bias_strength,
+                                  1.0 if dominant_taken else 0.0)
+            elif kind == _PATTERN:
+                # A short repeating local outcome pattern (e.g. TTNTN...): fully
+                # deterministic, so history-based predictors learn it while a
+                # lone 2-bit counter cannot.
+                period = rng.randrange(2, max(3, min(profile.pattern_history, 8) + 1))
+                pattern = 0
+                while pattern in (0, (1 << period) - 1):
+                    pattern = rng.getrandbits(period)
+                site = BranchSite(pc, target, _PATTERN, float(pattern), float(period))
+            else:
+                bias = rng.uniform(0.70, 0.90)
+                dominant_taken = rng.random() < 0.5
+                site = BranchSite(pc, target, _RANDOM, bias,
+                                  1.0 if dominant_taken else 0.0)
+            self._sites.append(site)
+
+        # Zipf-like reuse weights over a shuffled hotness order.
+        order = list(range(len(self._sites)))
+        rng.shuffle(order)
+        weights = [0.0] * len(self._sites)
+        for rank, site_index in enumerate(order):
+            weights[site_index] = 1.0 / ((rank + 1) ** self.profile.locality)
+        total = 0.0
+        self._cumulative_weights = []
+        for w in weights:
+            total += w
+            self._cumulative_weights.append(total)
+
+        # Call and indirect-branch sites.
+        for i in range(profile.static_calls):
+            self._call_sites.append(self._text_base + 0x100000 + i * 0x200)
+        for i in range(profile.static_indirect):
+            pc = self._text_base + 0x180000 + i * 0x140
+            targets = [pc + 0x40 + t * 0x80 for t in range(profile.indirect_targets)]
+            self._indirect_sites.append((pc, targets))
+
+    # -- accessors ---------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Benchmark name."""
+        return self.profile.name
+
+    @property
+    def sites(self) -> List[BranchSite]:
+        """Static conditional branch sites."""
+        return self._sites
+
+    def static_branch_count(self) -> int:
+        """Number of distinct conditional branch addresses."""
+        return len(self._sites)
+
+    def working_set_size(self) -> int:
+        """Size of the active branch working set (sites in flight at a time).
+
+        Large-code benchmarks (gcc, gobmk, perlbench) keep a few hundred
+        branch sites hot — matching the residual-BTB-entry counts the paper
+        quotes — while kernel-dominated FP codes keep only a few dozen.
+        """
+        return max(16, min(448, self.profile.static_conditional // 14))
+
+    # -- trace generation --------------------------------------------------------
+    def records(self, seed_offset: int = 0) -> Iterator[BranchRecord]:
+        """Endless stream of branch records.
+
+        The stream walks an *active working set* of branch sites that drifts
+        slowly over the full static population: real programs execute within a
+        phase (a loop nest, a function neighbourhood) and revisit the same
+        branches many times before moving on.  This is what gives predictors
+        something to warm up — and what a flush or key change throws away.
+
+        Args:
+            seed_offset: perturbs the dynamic RNG so the same workload can be
+                replayed with a different interleaving (used by SMT runs to
+                decorrelate the two copies of a benchmark).
+        """
+        profile = self.profile
+        rng = random.Random((_stable_hash(profile.name)
+                             ^ ((self.seed + seed_offset + 1) * 0x85EBCA6B))
+                            & 0xFFFFFFFF)
+        cumulative = self._cumulative_weights
+        total_weight = cumulative[-1]
+        sites = self._sites
+        mean_gap = self._mean_gap
+        call_prob = profile.call_fraction / max(profile.conditional_fraction, 1e-6)
+        indirect_prob = profile.indirect_fraction / max(profile.conditional_fraction, 1e-6)
+        indirect_counters = [0] * max(1, len(self._indirect_sites))
+        pattern_phase = [0] * len(sites)
+
+        def sample_site_index() -> int:
+            pick = rng.random() * total_weight
+            return bisect.bisect_left(cumulative, pick)
+
+        # Active working set: an *ordered*, nested-loop-like tour of branch
+        # sites.  Real code is loops over code — a small inner region (a
+        # "block" of sites) repeats several times, then execution moves to the
+        # next region, and the whole working set is revisited tour after tour.
+        # This is what makes global-history predictors work, keeps each
+        # thread's dynamic table footprint compact, and gives residual
+        # predictor state its value (the thing a flush or key change throws
+        # away).  The working set itself drifts slowly across the static
+        # population (phase changes), and occasional random jumps model
+        # data-dependent paths.
+        window = self.working_set_size()
+        active = [sample_site_index() for _ in range(window)]
+        drift_probability = 1.0 / max(32, window)
+        jump_probability = 0.01
+        block_size = min(16, window)
+        block_start = 0
+        block_position = 0
+        block_repeats = 1 + rng.randrange(6)
+
+        def gap() -> int:
+            return max(0, int(rng.expovariate(1.0 / mean_gap)))
+
+        while True:
+            if rng.random() < drift_probability:
+                active[rng.randrange(window)] = sample_site_index()
+            # Advance the nested-loop tour.
+            block_position += 1
+            if block_position >= block_size:
+                block_position = 0
+                block_repeats -= 1
+                if block_repeats <= 0:
+                    block_repeats = 1 + rng.randrange(6)
+                    if rng.random() < jump_probability:
+                        block_start = rng.randrange(window)
+                    else:
+                        block_start = (block_start + block_size) % window
+            site_index = active[(block_start + block_position) % window]
+            site = sites[site_index]
+
+            if site.kind == _LOOP:
+                trip = int(site.param)
+                # Emit the whole loop: (trip - 1) taken back-edges, then exit.
+                for _ in range(trip - 1):
+                    yield BranchRecord(site.pc, True, site.target,
+                                       BranchType.CONDITIONAL, gap())
+                yield BranchRecord(site.pc, False, site.target,
+                                   BranchType.CONDITIONAL, gap())
+            else:
+                if site.kind == _BIASED:
+                    dominant = bool(site.aux)
+                    taken = dominant if rng.random() < site.param else not dominant
+                elif site.kind == _PATTERN:
+                    period = int(site.aux)
+                    pattern = int(site.param)
+                    phase = pattern_phase[site_index]
+                    taken = bool((pattern >> (phase % period)) & 1)
+                    pattern_phase[site_index] = (phase + 1) % period
+                else:
+                    dominant = bool(site.aux)
+                    biased_taken = rng.random() < site.param
+                    taken = biased_taken if dominant else not biased_taken
+                yield BranchRecord(site.pc, taken, site.target,
+                                   BranchType.CONDITIONAL, gap())
+
+            # Occasionally interleave call/return pairs and indirect jumps.
+            if self._call_sites and rng.random() < call_prob:
+                call_pc = rng.choice(self._call_sites)
+                callee = call_pc + 0x1000
+                yield BranchRecord(call_pc, True, callee, BranchType.CALL, gap())
+                yield BranchRecord(callee + 0x40, True, call_pc + 4,
+                                   BranchType.RETURN, gap())
+            if self._indirect_sites and rng.random() < indirect_prob:
+                index = rng.randrange(len(self._indirect_sites))
+                pc, targets = self._indirect_sites[index]
+                indirect_counters[index] += 1
+                # Targets rotate deterministically so the BTB is neither
+                # perfect nor hopeless on indirect branches.
+                target = targets[indirect_counters[index] % len(targets)]
+                yield BranchRecord(pc, True, target, BranchType.INDIRECT, gap())
+
+    def segment(self, n_branches: int, seed_offset: int = 0) -> List[BranchRecord]:
+        """Materialise the first ``n_branches`` records of the stream."""
+        return list(itertools.islice(self.records(seed_offset), n_branches))
+
+
+def make_workload(name: str, seed: int = 0,
+                  profile: Optional[BenchmarkProfile] = None) -> SyntheticWorkload:
+    """Convenience constructor by benchmark name."""
+    return SyntheticWorkload(profile if profile is not None else get_profile(name),
+                             seed=seed)

@@ -1,0 +1,341 @@
+"""SPEC CPU2006-like benchmark behaviour profiles.
+
+The paper evaluates on SPEC CPU2006 (train inputs) pairs listed in Table 3.
+Running the real suite is impossible here, so each benchmark is replaced by a
+*behaviour profile*: the handful of branch-level characteristics the isolation
+mechanisms actually interact with —
+
+* the size of the static conditional-branch working set (how long the PHT and
+  BTB take to warm up, and how much residual state a context switch wipes),
+* the dynamic branch density and taken ratio,
+* the mix of branch behaviours (loops, strongly biased branches,
+  history-correlated branches, hard-to-predict branches),
+* the number of indirect branches and call/return activity (BTB/RAS traffic),
+* the privilege-switch (system call / exception) rate, which drives key
+  regeneration and reproduces Table 4.
+
+The numeric values are calibrated from published SPEC CPU2006
+characterisations and from the per-benchmark details the paper itself gives
+(e.g. gcc 12.1% / calculix 8.1% conditional-branch ratios with 90.1% / 94.0%
+PHT accuracy, gromacs 4.8% with 88.9%, gobmk's 500–800 residual BTB entries
+versus namd/sphinx3's 30–300, libquantum's 99.3% BTB hit rate).  They do not
+need to be exact: the experiments depend on the *relative* behaviour of the
+pairs, which these profiles preserve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["BenchmarkProfile", "SPEC_PROFILES", "get_profile", "profile_names"]
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Branch-behaviour profile of one benchmark.
+
+    Attributes:
+        name: benchmark name as it appears in Table 3.
+        description: one-line characterisation.
+        static_conditional: number of distinct (hot) conditional branch sites.
+        static_calls: number of distinct call sites.
+        static_indirect: number of distinct indirect-branch sites.
+        indirect_targets: typical number of targets per indirect branch.
+        branch_ratio: dynamic branches per committed instruction.
+        conditional_fraction: fraction of dynamic branches that are conditional.
+        call_fraction: fraction of dynamic branches that are calls (an equal
+            fraction of returns is generated).
+        indirect_fraction: fraction of dynamic branches that are indirect jumps.
+        loop_fraction: fraction of conditional sites that are loop back-edges.
+        biased_fraction: fraction of conditional sites that are strongly biased.
+        pattern_fraction: fraction of conditional sites whose outcome follows a
+            global-history pattern (rewarding history-based predictors).
+        random_fraction: fraction of conditional sites with weak bias
+            (hard to predict).
+        mean_trip_count: mean loop trip count for loop back-edges.
+        bias_strength: probability a biased branch goes its dominant way.
+        pattern_history: history depth the patterned branches correlate with.
+        locality: Zipf exponent of branch-site reuse (higher = hotter subset).
+        privilege_switches_per_million_cycles: privilege transitions (syscall
+            entry or exit counts as one) per million cycles, reproducing
+            Table 4 when paired.
+        pht_accuracy_hint: approximate baseline direction accuracy (reporting
+            aid only; not used by the generator).
+        btb_hit_hint: approximate baseline BTB hit rate (reporting aid only).
+    """
+
+    name: str
+    description: str
+    static_conditional: int
+    static_calls: int
+    static_indirect: int
+    indirect_targets: int
+    branch_ratio: float
+    conditional_fraction: float
+    call_fraction: float
+    indirect_fraction: float
+    loop_fraction: float
+    biased_fraction: float
+    pattern_fraction: float
+    random_fraction: float
+    mean_trip_count: float
+    bias_strength: float
+    pattern_history: int
+    locality: float
+    privilege_switches_per_million_cycles: float
+    pht_accuracy_hint: float
+    btb_hit_hint: float
+
+    def __post_init__(self) -> None:
+        total = (self.loop_fraction + self.biased_fraction + self.pattern_fraction
+                 + self.random_fraction)
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(
+                f"{self.name}: behaviour fractions must sum to 1.0, got {total}")
+        dynamic = self.conditional_fraction + 2 * self.call_fraction + self.indirect_fraction
+        if abs(dynamic - 1.0) > 1e-3:
+            raise ValueError(
+                f"{self.name}: dynamic branch mix must sum to 1.0, got {dynamic}")
+
+
+def _profile(name: str, description: str, *, static_conditional: int,
+             static_calls: int = 64, static_indirect: int = 8,
+             indirect_targets: int = 4, branch_ratio: float = 0.15,
+             conditional_fraction: float = 0.84, call_fraction: float = 0.07,
+             indirect_fraction: float = 0.02, loop_fraction: float = 0.30,
+             biased_fraction: float = 0.40, pattern_fraction: float = 0.20,
+             random_fraction: float = 0.10, mean_trip_count: float = 12.0,
+             bias_strength: float = 0.95, pattern_history: int = 8,
+             locality: float = 1.1,
+             privilege_switches_per_million_cycles: float = 2.0,
+             pht_accuracy_hint: float = 0.93,
+             btb_hit_hint: float = 0.95) -> BenchmarkProfile:
+    return BenchmarkProfile(
+        name=name, description=description,
+        static_conditional=static_conditional, static_calls=static_calls,
+        static_indirect=static_indirect, indirect_targets=indirect_targets,
+        branch_ratio=branch_ratio, conditional_fraction=conditional_fraction,
+        call_fraction=call_fraction, indirect_fraction=indirect_fraction,
+        loop_fraction=loop_fraction, biased_fraction=biased_fraction,
+        pattern_fraction=pattern_fraction, random_fraction=random_fraction,
+        mean_trip_count=mean_trip_count, bias_strength=bias_strength,
+        pattern_history=pattern_history, locality=locality,
+        privilege_switches_per_million_cycles=privilege_switches_per_million_cycles,
+        pht_accuracy_hint=pht_accuracy_hint, btb_hit_hint=btb_hit_hint)
+
+
+#: Profiles for every benchmark appearing in Table 3.
+SPEC_PROFILES: Dict[str, BenchmarkProfile] = {p.name: p for p in [
+    _profile(
+        "gcc", "large integer code, many static branches, moderate predictability",
+        static_conditional=6144, static_calls=512, static_indirect=48,
+        branch_ratio=0.16, conditional_fraction=0.80, call_fraction=0.085,
+        indirect_fraction=0.03, loop_fraction=0.18, biased_fraction=0.38,
+        pattern_fraction=0.24, random_fraction=0.20, mean_trip_count=6.0,
+        locality=0.95, privilege_switches_per_million_cycles=6.0,
+        pht_accuracy_hint=0.901, btb_hit_hint=0.92),
+    _profile(
+        "calculix", "FP structural analysis, loop dominated with branchy setup code",
+        static_conditional=1536, static_calls=192, static_indirect=12,
+        branch_ratio=0.10, conditional_fraction=0.86, call_fraction=0.06,
+        indirect_fraction=0.02, loop_fraction=0.42, biased_fraction=0.36,
+        pattern_fraction=0.14, random_fraction=0.08, mean_trip_count=24.0,
+        locality=1.15, privilege_switches_per_million_cycles=3.8,
+        pht_accuracy_hint=0.940, btb_hit_hint=0.96),
+    _profile(
+        "milc", "quantum chromodynamics, tight FP loops, tiny branch footprint",
+        static_conditional=224, static_calls=48, static_indirect=4,
+        branch_ratio=0.045, conditional_fraction=0.88, call_fraction=0.05,
+        indirect_fraction=0.02, loop_fraction=0.58, biased_fraction=0.32,
+        pattern_fraction=0.06, random_fraction=0.04, mean_trip_count=48.0,
+        locality=1.3, privilege_switches_per_million_cycles=2.0,
+        pht_accuracy_hint=0.976, btb_hit_hint=0.985),
+    _profile(
+        "povray", "ray tracer, branchy FP with recursion and frequent I/O syscalls",
+        static_conditional=2816, static_calls=384, static_indirect=40,
+        branch_ratio=0.14, conditional_fraction=0.78, call_fraction=0.095,
+        indirect_fraction=0.03, loop_fraction=0.22, biased_fraction=0.40,
+        pattern_fraction=0.22, random_fraction=0.16, mean_trip_count=8.0,
+        locality=1.0, privilege_switches_per_million_cycles=12.0,
+        pht_accuracy_hint=0.934, btb_hit_hint=0.93),
+    _profile(
+        "bzip2_source", "compression, data-dependent branches, small code",
+        static_conditional=512, static_calls=56, static_indirect=4,
+        branch_ratio=0.15, conditional_fraction=0.90, call_fraction=0.04,
+        indirect_fraction=0.02, loop_fraction=0.28, biased_fraction=0.30,
+        pattern_fraction=0.22, random_fraction=0.20, mean_trip_count=10.0,
+        locality=1.2, privilege_switches_per_million_cycles=2.2,
+        pht_accuracy_hint=0.915, btb_hit_hint=0.97),
+    _profile(
+        "soplex", "linear programming solver, pointer-heavy C++",
+        static_conditional=1792, static_calls=288, static_indirect=24,
+        branch_ratio=0.12, conditional_fraction=0.80, call_fraction=0.085,
+        indirect_fraction=0.03, loop_fraction=0.30, biased_fraction=0.38,
+        pattern_fraction=0.18, random_fraction=0.14, mean_trip_count=14.0,
+        locality=1.05, privilege_switches_per_million_cycles=1.6,
+        pht_accuracy_hint=0.936, btb_hit_hint=0.95),
+    _profile(
+        "namd", "molecular dynamics, tiny predictable branch footprint",
+        static_conditional=288, static_calls=64, static_indirect=6,
+        branch_ratio=0.05, conditional_fraction=0.86, call_fraction=0.06,
+        indirect_fraction=0.02, loop_fraction=0.52, biased_fraction=0.36,
+        pattern_fraction=0.08, random_fraction=0.04, mean_trip_count=32.0,
+        locality=1.3, privilege_switches_per_million_cycles=1.8,
+        pht_accuracy_hint=0.978, btb_hit_hint=0.985),
+    _profile(
+        "sphinx3", "speech recognition, moderate branch working set",
+        static_conditional=896, static_calls=144, static_indirect=10,
+        branch_ratio=0.11, conditional_fraction=0.85, call_fraction=0.06,
+        indirect_fraction=0.03, loop_fraction=0.34, biased_fraction=0.36,
+        pattern_fraction=0.18, random_fraction=0.12, mean_trip_count=16.0,
+        locality=1.15, privilege_switches_per_million_cycles=2.2,
+        pht_accuracy_hint=0.945, btb_hit_hint=0.96),
+    _profile(
+        "hmmer", "hidden Markov model search, highly biased inner loop",
+        static_conditional=384, static_calls=48, static_indirect=4,
+        branch_ratio=0.09, conditional_fraction=0.92, call_fraction=0.03,
+        indirect_fraction=0.02, loop_fraction=0.40, biased_fraction=0.44,
+        pattern_fraction=0.10, random_fraction=0.06, mean_trip_count=20.0,
+        bias_strength=0.97, locality=1.25, privilege_switches_per_million_cycles=2.0,
+        pht_accuracy_hint=0.960, btb_hit_hint=0.98),
+    _profile(
+        "GemsFDTD", "finite-difference time-domain FP solver, loop dominated",
+        static_conditional=448, static_calls=96, static_indirect=6,
+        branch_ratio=0.076, conditional_fraction=0.86, call_fraction=0.06,
+        indirect_fraction=0.02, loop_fraction=0.52, biased_fraction=0.32,
+        pattern_fraction=0.10, random_fraction=0.06, mean_trip_count=40.0,
+        locality=1.25, privilege_switches_per_million_cycles=1.4,
+        pht_accuracy_hint=0.965, btb_hit_hint=0.975),
+    _profile(
+        "gobmk", "go-playing AI, very large branch working set, hard to predict",
+        static_conditional=5120, static_calls=640, static_indirect=36,
+        branch_ratio=0.155, conditional_fraction=0.78, call_fraction=0.095,
+        indirect_fraction=0.03, loop_fraction=0.14, biased_fraction=0.34,
+        pattern_fraction=0.26, random_fraction=0.26, mean_trip_count=5.0,
+        locality=0.9, privilege_switches_per_million_cycles=1.6,
+        pht_accuracy_hint=0.870, btb_hit_hint=0.852),
+    _profile(
+        "libquantum", "quantum simulation, tiny loop kernel, near-perfect prediction",
+        static_conditional=96, static_calls=24, static_indirect=2,
+        branch_ratio=0.13, conditional_fraction=0.92, call_fraction=0.03,
+        indirect_fraction=0.02, loop_fraction=0.62, biased_fraction=0.30,
+        pattern_fraction=0.05, random_fraction=0.03, mean_trip_count=64.0,
+        bias_strength=0.985, locality=1.4, privilege_switches_per_million_cycles=1.6,
+        pht_accuracy_hint=0.990, btb_hit_hint=0.993),
+    _profile(
+        "gromacs", "molecular dynamics, few branches but hard-to-predict ones",
+        static_conditional=640, static_calls=112, static_indirect=8,
+        branch_ratio=0.048, conditional_fraction=0.84, call_fraction=0.07,
+        indirect_fraction=0.02, loop_fraction=0.30, biased_fraction=0.30,
+        pattern_fraction=0.18, random_fraction=0.22, mean_trip_count=12.0,
+        locality=1.1, privilege_switches_per_million_cycles=2.0,
+        pht_accuracy_hint=0.889, btb_hit_hint=0.95),
+    _profile(
+        "mcf", "combinatorial optimisation, data-dependent pointer chasing",
+        static_conditional=320, static_calls=40, static_indirect=4,
+        branch_ratio=0.17, conditional_fraction=0.92, call_fraction=0.03,
+        indirect_fraction=0.02, loop_fraction=0.24, biased_fraction=0.30,
+        pattern_fraction=0.20, random_fraction=0.26, mean_trip_count=8.0,
+        locality=1.15, privilege_switches_per_million_cycles=2.4,
+        pht_accuracy_hint=0.905, btb_hit_hint=0.97),
+    _profile(
+        "astar", "path finding, data-dependent control flow",
+        static_conditional=448, static_calls=56, static_indirect=4,
+        branch_ratio=0.14, conditional_fraction=0.90, call_fraction=0.04,
+        indirect_fraction=0.02, loop_fraction=0.26, biased_fraction=0.32,
+        pattern_fraction=0.20, random_fraction=0.22, mean_trip_count=9.0,
+        locality=1.1, privilege_switches_per_million_cycles=1.6,
+        pht_accuracy_hint=0.912, btb_hit_hint=0.96),
+    _profile(
+        "perlbench", "perl interpreter, huge code footprint, many indirect branches",
+        static_conditional=4608, static_calls=576, static_indirect=96,
+        indirect_targets=12, branch_ratio=0.16, conditional_fraction=0.76,
+        call_fraction=0.10, indirect_fraction=0.04, loop_fraction=0.16,
+        biased_fraction=0.40, pattern_fraction=0.26, random_fraction=0.18,
+        mean_trip_count=6.0, locality=0.95,
+        privilege_switches_per_million_cycles=4.6,
+        pht_accuracy_hint=0.932, btb_hit_hint=0.90),
+    _profile(
+        "bwaves", "blast-wave FP solver, extremely regular loops",
+        static_conditional=192, static_calls=32, static_indirect=2,
+        branch_ratio=0.035, conditional_fraction=0.90, call_fraction=0.04,
+        indirect_fraction=0.02, loop_fraction=0.66, biased_fraction=0.26,
+        pattern_fraction=0.05, random_fraction=0.03, mean_trip_count=80.0,
+        bias_strength=0.99, locality=1.35, privilege_switches_per_million_cycles=2.0,
+        pht_accuracy_hint=0.988, btb_hit_hint=0.99),
+    _profile(
+        "zeusmp", "astrophysical magnetohydrodynamics, regular FP loops",
+        static_conditional=256, static_calls=48, static_indirect=4,
+        branch_ratio=0.04, conditional_fraction=0.88, call_fraction=0.05,
+        indirect_fraction=0.02, loop_fraction=0.60, biased_fraction=0.28,
+        pattern_fraction=0.08, random_fraction=0.04, mean_trip_count=56.0,
+        locality=1.3, privilege_switches_per_million_cycles=1.8,
+        pht_accuracy_hint=0.982, btb_hit_hint=0.985),
+    _profile(
+        "lbm", "lattice Boltzmann method, single dominant loop nest",
+        static_conditional=96, static_calls=16, static_indirect=2,
+        branch_ratio=0.025, conditional_fraction=0.92, call_fraction=0.03,
+        indirect_fraction=0.02, loop_fraction=0.68, biased_fraction=0.26,
+        pattern_fraction=0.04, random_fraction=0.02, mean_trip_count=96.0,
+        bias_strength=0.99, locality=1.4, privilege_switches_per_million_cycles=1.6,
+        pht_accuracy_hint=0.992, btb_hit_hint=0.995),
+    _profile(
+        "dealII", "finite-element C++ library, deep call chains, many virtual calls",
+        static_conditional=2304, static_calls=448, static_indirect=64,
+        indirect_targets=8, branch_ratio=0.13, conditional_fraction=0.76,
+        call_fraction=0.10, indirect_fraction=0.04, loop_fraction=0.26,
+        biased_fraction=0.40, pattern_fraction=0.20, random_fraction=0.14,
+        mean_trip_count=10.0, locality=1.0,
+        privilege_switches_per_million_cycles=1.8,
+        pht_accuracy_hint=0.947, btb_hit_hint=0.93),
+    _profile(
+        "leslie3d", "computational fluid dynamics, regular FP loops",
+        static_conditional=224, static_calls=40, static_indirect=4,
+        branch_ratio=0.04, conditional_fraction=0.88, call_fraction=0.05,
+        indirect_fraction=0.02, loop_fraction=0.58, biased_fraction=0.30,
+        pattern_fraction=0.08, random_fraction=0.04, mean_trip_count=44.0,
+        locality=1.3, privilege_switches_per_million_cycles=1.6,
+        pht_accuracy_hint=0.980, btb_hit_hint=0.985),
+    _profile(
+        "sjeng", "chess engine, deep recursion, hard-to-predict branches",
+        static_conditional=1280, static_calls=176, static_indirect=12,
+        branch_ratio=0.155, conditional_fraction=0.82, call_fraction=0.075,
+        indirect_fraction=0.03, loop_fraction=0.16, biased_fraction=0.32,
+        pattern_fraction=0.24, random_fraction=0.28, mean_trip_count=5.0,
+        locality=1.0, privilege_switches_per_million_cycles=2.0,
+        pht_accuracy_hint=0.883, btb_hit_hint=0.94),
+    _profile(
+        "h264ref", "video encoder, large code with biased mode-decision branches",
+        static_conditional=2048, static_calls=256, static_indirect=24,
+        branch_ratio=0.12, conditional_fraction=0.82, call_fraction=0.075,
+        indirect_fraction=0.03, loop_fraction=0.30, biased_fraction=0.42,
+        pattern_fraction=0.16, random_fraction=0.12, mean_trip_count=16.0,
+        locality=1.1, privilege_switches_per_million_cycles=2.2,
+        pht_accuracy_hint=0.942, btb_hit_hint=0.94),
+    _profile(
+        "omnetpp", "discrete event simulator, virtual dispatch heavy",
+        static_conditional=1536, static_calls=320, static_indirect=72,
+        indirect_targets=10, branch_ratio=0.14, conditional_fraction=0.74,
+        call_fraction=0.11, indirect_fraction=0.04, loop_fraction=0.20,
+        biased_fraction=0.38, pattern_fraction=0.22, random_fraction=0.20,
+        mean_trip_count=7.0, locality=1.0,
+        privilege_switches_per_million_cycles=2.6,
+        pht_accuracy_hint=0.918, btb_hit_hint=0.92),
+]}
+
+
+def get_profile(name: str) -> BenchmarkProfile:
+    """Look up a benchmark profile by its Table 3 name.
+
+    Raises:
+        KeyError: when ``name`` is not a known benchmark.
+    """
+    if name not in SPEC_PROFILES:
+        raise KeyError(f"unknown benchmark: {name!r}")
+    return SPEC_PROFILES[name]
+
+
+def profile_names() -> List[str]:
+    """All benchmark names, sorted."""
+    return sorted(SPEC_PROFILES)

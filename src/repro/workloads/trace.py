@@ -1,0 +1,127 @@
+"""Branch trace primitives.
+
+The CPU timing model is trace driven: a workload is a deterministic stream of
+:class:`BranchRecord` objects, each describing one committed branch, the
+number of non-branch instructions preceding it, and whether the program
+performs a system call right after it (the privilege-switch events that
+Section 6.2.2 identifies as the dominant cause of key regeneration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List
+
+from ..types import BranchType
+
+__all__ = ["BranchRecord", "TraceStats", "collect_stats"]
+
+
+@dataclass
+class BranchRecord:
+    """One committed branch.
+
+    Attributes:
+        pc: branch instruction address.
+        taken: resolved direction (True for unconditional branches).
+        target: resolved target address when taken.
+        branch_type: kind of branch.
+        gap: number of non-branch instructions committed since the previous
+            branch (drives the base cycle accounting).
+        syscall_after: the program enters the kernel right after this branch
+            (privilege switch to kernel and back).
+    """
+
+    pc: int
+    taken: bool
+    target: int
+    branch_type: BranchType = BranchType.CONDITIONAL
+    gap: int = 8
+    syscall_after: bool = False
+
+    @property
+    def instructions(self) -> int:
+        """Instructions this record accounts for (the branch plus its gap)."""
+        return self.gap + 1
+
+
+@dataclass
+class TraceStats:
+    """Summary statistics of a branch trace (used for calibration tests).
+
+    Attributes:
+        branches: total branch records.
+        instructions: total instructions (branches plus gaps).
+        conditional: number of conditional branches.
+        taken_conditional: number of taken conditional branches.
+        indirect: number of indirect branches (including indirect calls).
+        calls: number of calls.
+        returns: number of returns.
+        syscalls: number of records followed by a system call.
+        distinct_pcs: number of distinct branch addresses.
+    """
+
+    branches: int = 0
+    instructions: int = 0
+    conditional: int = 0
+    taken_conditional: int = 0
+    indirect: int = 0
+    calls: int = 0
+    returns: int = 0
+    syscalls: int = 0
+    distinct_pcs: int = 0
+
+    @property
+    def conditional_ratio(self) -> float:
+        """Conditional branches per instruction."""
+        if self.instructions == 0:
+            return 0.0
+        return self.conditional / self.instructions
+
+    @property
+    def taken_ratio(self) -> float:
+        """Fraction of conditional branches that are taken."""
+        if self.conditional == 0:
+            return 0.0
+        return self.taken_conditional / self.conditional
+
+    @property
+    def syscalls_per_million_instructions(self) -> float:
+        """System calls per million committed instructions."""
+        if self.instructions == 0:
+            return 0.0
+        return 1e6 * self.syscalls / self.instructions
+
+
+def collect_stats(records: Iterable[BranchRecord]) -> TraceStats:
+    """Compute :class:`TraceStats` over a finite iterable of records."""
+    stats = TraceStats()
+    pcs = set()
+    for record in records:
+        stats.branches += 1
+        stats.instructions += record.instructions
+        pcs.add(record.pc)
+        if record.branch_type is BranchType.CONDITIONAL:
+            stats.conditional += 1
+            if record.taken:
+                stats.taken_conditional += 1
+        elif record.branch_type in (BranchType.INDIRECT,):
+            stats.indirect += 1
+        elif record.branch_type is BranchType.CALL:
+            stats.calls += 1
+        elif record.branch_type is BranchType.RETURN:
+            stats.returns += 1
+        if record.syscall_after:
+            stats.syscalls += 1
+    stats.distinct_pcs = len(pcs)
+    return stats
+
+
+def materialise(records: Iterator[BranchRecord], limit: int) -> List[BranchRecord]:
+    """Pull at most ``limit`` records from a generator into a list."""
+    out: List[BranchRecord] = []
+    for record in records:
+        out.append(record)
+        if len(out) >= limit:
+            break
+    return out

@@ -1,0 +1,258 @@
+"""Branch-trace persistence and replay.
+
+The synthetic workloads in :mod:`repro.workloads.generator` stand in for the
+paper's SPEC CPU2006 runs, but a downstream user may have *real* branch
+traces (from a gem5 run, a Pin tool, or an FPGA trace port).  This module
+defines a small line-oriented text format for such traces, readers/writers
+for it (with optional gzip compression), and :class:`TraceWorkload`, which
+replays a recorded trace through the same CPU timing models as the synthetic
+workloads.
+
+Format
+------
+One record per line, comma separated::
+
+    pc,taken,target,type,gap,syscall
+
+* ``pc`` and ``target`` are hexadecimal (``0x`` prefix optional);
+* ``taken`` and ``syscall`` are ``0``/``1``;
+* ``type`` is one of ``cond``, ``direct``, ``indirect``, ``call``, ``ret``;
+* ``gap`` is the number of non-branch instructions since the previous branch.
+
+Lines starting with ``#`` are comments.  Trailing fields may be omitted and
+default to ``gap=8``, ``syscall=0``.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from dataclasses import dataclass
+from typing import IO, Iterable, Iterator, List, Optional, Sequence
+
+from ..types import BranchType
+from .trace import BranchRecord, TraceStats, collect_stats
+
+__all__ = [
+    "TraceFormatError",
+    "format_record",
+    "parse_record",
+    "write_trace",
+    "read_trace",
+    "TraceWorkload",
+    "record_workload",
+]
+
+_TYPE_NAMES = {
+    BranchType.CONDITIONAL: "cond",
+    BranchType.DIRECT: "direct",
+    BranchType.INDIRECT: "indirect",
+    BranchType.CALL: "call",
+    BranchType.RETURN: "ret",
+}
+_TYPES_BY_NAME = {name: kind for kind, name in _TYPE_NAMES.items()}
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace line cannot be parsed."""
+
+
+def format_record(record: BranchRecord) -> str:
+    """Render one :class:`BranchRecord` as a trace line."""
+    return (f"0x{record.pc:x},{int(record.taken)},0x{record.target:x},"
+            f"{_TYPE_NAMES[record.branch_type]},{record.gap},"
+            f"{int(record.syscall_after)}")
+
+
+def parse_record(line: str, lineno: int = 0) -> BranchRecord:
+    """Parse one trace line into a :class:`BranchRecord`.
+
+    Raises:
+        TraceFormatError: when the line is malformed.
+    """
+    fields = [part.strip() for part in line.split(",")]
+    if len(fields) < 4:
+        raise TraceFormatError(
+            f"line {lineno}: expected at least 4 fields, got {len(fields)}: {line!r}")
+    try:
+        pc = int(fields[0], 16) if fields[0].lower().startswith("0x") else int(fields[0], 0)
+        taken = bool(int(fields[1]))
+        target = int(fields[2], 16) if fields[2].lower().startswith("0x") else int(fields[2], 0)
+    except ValueError as exc:
+        raise TraceFormatError(f"line {lineno}: bad numeric field: {line!r}") from exc
+    type_name = fields[3].lower()
+    if type_name not in _TYPES_BY_NAME:
+        raise TraceFormatError(
+            f"line {lineno}: unknown branch type {type_name!r} "
+            f"(expected one of {sorted(_TYPES_BY_NAME)})")
+    gap = 8
+    syscall = False
+    try:
+        if len(fields) > 4 and fields[4]:
+            gap = int(fields[4])
+        if len(fields) > 5 and fields[5]:
+            syscall = bool(int(fields[5]))
+    except ValueError as exc:
+        raise TraceFormatError(f"line {lineno}: bad gap/syscall field: {line!r}") from exc
+    if gap < 0:
+        raise TraceFormatError(f"line {lineno}: gap must be non-negative")
+    return BranchRecord(pc=pc, taken=taken, target=target,
+                        branch_type=_TYPES_BY_NAME[type_name],
+                        gap=gap, syscall_after=syscall)
+
+
+def _open_for_write(path: str) -> IO[str]:
+    if path.endswith(".gz"):
+        return io.TextIOWrapper(gzip.open(path, "wb"), encoding="utf-8")
+    return open(path, "w", encoding="utf-8")
+
+
+def _open_for_read(path: str) -> IO[str]:
+    if path.endswith(".gz"):
+        return io.TextIOWrapper(gzip.open(path, "rb"), encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
+def write_trace(records: Iterable[BranchRecord], path: str, *,
+                header: Optional[str] = None) -> int:
+    """Write records to a trace file (gzip-compressed when ``path`` ends in .gz).
+
+    Args:
+        records: branch records to store.
+        path: output file path.
+        header: optional comment written as the first line.
+
+    Returns:
+        The number of records written.
+    """
+    count = 0
+    with _open_for_write(path) as handle:
+        if header:
+            handle.write(f"# {header}\n")
+        handle.write("# pc,taken,target,type,gap,syscall\n")
+        for record in records:
+            handle.write(format_record(record) + "\n")
+            count += 1
+    return count
+
+
+def read_trace(path: str, *, limit: Optional[int] = None) -> List[BranchRecord]:
+    """Read a trace file written by :func:`write_trace`.
+
+    Args:
+        path: trace file path (gzip-compressed when it ends in ``.gz``).
+        limit: stop after this many records when given.
+
+    Returns:
+        The parsed records.
+
+    Raises:
+        TraceFormatError: when a line is malformed.
+    """
+    records: List[BranchRecord] = []
+    with _open_for_read(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            records.append(parse_record(stripped, lineno))
+            if limit is not None and len(records) >= limit:
+                break
+    return records
+
+
+@dataclass
+class _TraceProfile:
+    """Minimal profile facade so a replayed trace can drive the OS models.
+
+    Only the attribute actually consumed by
+    :class:`repro.cpu.scheduler.SyscallModel` is provided; when the trace
+    embeds explicit ``syscall`` markers, the periodic model is disabled by
+    setting the rate to zero and the embedded markers drive privilege
+    switches instead.
+    """
+
+    privilege_switches_per_million_cycles: float = 0.0
+
+
+class TraceWorkload:
+    """Replays a recorded branch trace through the CPU timing models.
+
+    Presents the same interface as
+    :class:`repro.workloads.generator.SyntheticWorkload` (``name``,
+    ``records()``, ``segment()``, ``profile``), so it can be passed anywhere a
+    synthetic workload is accepted — including the Table 3 pair runners.  The
+    trace is replayed cyclically so that arbitrarily long simulations can be
+    driven from a finite recording.
+
+    Args:
+        records: the recorded branch records (must be non-empty).
+        name: workload label used in results.
+        syscall_rate_per_million_cycles: optional periodic privilege-switch
+            rate; leave at 0 when the trace carries its own ``syscall``
+            markers.
+    """
+
+    def __init__(self, records: Sequence[BranchRecord], name: str = "trace", *,
+                 syscall_rate_per_million_cycles: float = 0.0) -> None:
+        if not records:
+            raise ValueError("a trace workload needs at least one record")
+        self._records = list(records)
+        self._name = name
+        self.profile = _TraceProfile(syscall_rate_per_million_cycles)
+
+    @classmethod
+    def from_file(cls, path: str, name: Optional[str] = None, *,
+                  limit: Optional[int] = None,
+                  syscall_rate_per_million_cycles: float = 0.0) -> "TraceWorkload":
+        """Load a trace file into a replayable workload."""
+        records = read_trace(path, limit=limit)
+        label = name if name is not None else path.rsplit("/", 1)[-1].split(".")[0]
+        return cls(records, label,
+                   syscall_rate_per_million_cycles=syscall_rate_per_million_cycles)
+
+    @property
+    def name(self) -> str:
+        """Workload label used in results."""
+        return self._name
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def stats(self) -> TraceStats:
+        """Summary statistics of one pass over the recorded trace."""
+        return collect_stats(self._records)
+
+    def records(self, seed_offset: int = 0) -> Iterator[BranchRecord]:
+        """Yield records cyclically, starting at an offset for variety."""
+        n = len(self._records)
+        position = (seed_offset * 7919) % n
+        while True:
+            yield self._records[position]
+            position += 1
+            if position >= n:
+                position = 0
+
+    def segment(self, n_branches: int, seed_offset: int = 0) -> List[BranchRecord]:
+        """Return the next ``n_branches`` records as a list."""
+        iterator = self.records(seed_offset)
+        return [next(iterator) for _ in range(n_branches)]
+
+
+def record_workload(workload, n_branches: int, path: str, *,
+                    seed_offset: int = 0) -> int:
+    """Record a finite segment of any workload to a trace file.
+
+    Args:
+        workload: any object with a ``segment(n_branches, seed_offset)`` method
+            (synthetic or trace workloads alike).
+        n_branches: number of branch records to capture.
+        path: output trace path.
+        seed_offset: forwarded to the workload.
+
+    Returns:
+        The number of records written.
+    """
+    records = workload.segment(n_branches, seed_offset)
+    header = f"recorded from {getattr(workload, 'name', 'workload')} ({n_branches} branches)"
+    return write_trace(records, path, header=header)

@@ -1,0 +1,91 @@
+"""Tests for the reporting helpers (metrics, tables, figures)."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    FigureSeries,
+    arithmetic_mean,
+    geometric_mean,
+    mpki,
+    normalise,
+    percent,
+    relative_overhead,
+    render_csv,
+    render_table,
+)
+
+
+class TestMetrics:
+    def test_relative_overhead(self):
+        assert relative_overhead(110, 100) == pytest.approx(0.10)
+        assert relative_overhead(90, 100) == pytest.approx(-0.10)
+        assert relative_overhead(1, 0) == 0.0
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1, 2, 3]) == 2
+        assert arithmetic_mean([]) == 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+        with pytest.raises(ValueError):
+            geometric_mean([1, 0])
+
+    def test_percent(self):
+        assert percent(0.0123) == "+1.23%"
+        assert percent(-0.5, digits=1) == "-50.0%"
+
+    def test_mpki(self):
+        assert mpki(10, 1000) == 10.0
+        assert mpki(10, 0) == 0.0
+
+    def test_normalise(self):
+        assert normalise([2, 4], 2) == [1.0, 2.0]
+        assert normalise([2, 4], 0) == [1.0, 1.0]
+
+
+class TestTables:
+    def test_render_table_aligns_columns(self):
+        text = render_table(["name", "value"], [["a", 1], ["long-name", 2.5]],
+                            title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 2 + 1 + 2  # title + header + rule + rows
+
+    def test_render_csv(self):
+        text = render_csv(["a", "b"], [[1, 2], [3, 4]])
+        assert text.splitlines() == ["a,b", "1,2", "3,4"]
+
+
+class TestFigureSeries:
+    def _figure(self):
+        figure = FigureSeries("Fig", "demo", ["case1", "case2"])
+        figure.add_series("m1", [0.01, 0.03])
+        figure.add_series("m2", [0.02, 0.02])
+        return figure
+
+    def test_add_series_validates_length(self):
+        figure = FigureSeries("Fig", "demo", ["case1", "case2"])
+        with pytest.raises(ValueError):
+            figure.add_series("bad", [0.01])
+
+    def test_averages(self):
+        figure = self._figure()
+        assert figure.average("m1") == pytest.approx(0.02)
+        assert figure.averages()["m2"] == pytest.approx(0.02)
+
+    def test_rows_include_average_row(self):
+        rows = self._figure().to_rows()
+        assert rows[-1][0] == "average"
+        assert len(rows) == 3
+
+    def test_render_formats_percentages(self):
+        text = self._figure().render()
+        assert "+1.00%" in text and "case1" in text
+
+    def test_csv_export(self):
+        text = self._figure().to_csv()
+        assert text.splitlines()[0] == "case,m1,m2"

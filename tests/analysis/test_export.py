@@ -1,0 +1,105 @@
+"""Tests for experiment-result serialisation."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    FigureSeries,
+    figure_from_dict,
+    figure_to_dict,
+    load_result_json,
+    result_from_dict,
+    result_to_dict,
+    save_figure_csv,
+    save_result_json,
+    save_results_json,
+)
+from repro.experiments.base import ExperimentResult
+
+
+def _sample_figure() -> FigureSeries:
+    figure = FigureSeries(name="Figure X", description="sample",
+                          categories=["case1", "case2", "case3"])
+    figure.add_series("XOR-BP", [0.01, 0.02, 0.03])
+    figure.add_series("CF", [0.02, 0.04, 0.06])
+    return figure
+
+
+def _sample_result(with_figure: bool = True) -> ExperimentResult:
+    return ExperimentResult(
+        name="Figure X",
+        description="sample experiment",
+        headers=["case", "overhead"],
+        rows=[["case1", "+1.00%"], ["case2", "+2.00%"]],
+        figure=_sample_figure() if with_figure else None,
+        paper_claim="overhead is small",
+        notes="unit-test fixture")
+
+
+class TestFigureCodec:
+    def test_round_trip_preserves_series(self):
+        figure = _sample_figure()
+        rebuilt = figure_from_dict(figure_to_dict(figure))
+        assert rebuilt.categories == figure.categories
+        assert rebuilt.series == figure.series
+        assert rebuilt.unit == figure.unit
+
+    def test_dict_is_json_serialisable(self):
+        payload = json.dumps(figure_to_dict(_sample_figure()))
+        assert "XOR-BP" in payload
+
+    def test_missing_unit_defaults(self):
+        data = figure_to_dict(_sample_figure())
+        del data["unit"]
+        assert figure_from_dict(data).unit == "fraction"
+
+
+class TestResultCodec:
+    def test_round_trip_with_figure(self):
+        result = _sample_result()
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert rebuilt.name == result.name
+        assert rebuilt.rows == [list(row) for row in result.rows]
+        assert rebuilt.figure is not None
+        assert rebuilt.figure.averages() == result.figure.averages()
+        assert rebuilt.paper_claim == result.paper_claim
+
+    def test_round_trip_without_figure(self):
+        rebuilt = result_from_dict(result_to_dict(_sample_result(with_figure=False)))
+        assert rebuilt.figure is None
+
+    def test_rendering_survives_round_trip(self):
+        result = _sample_result()
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert rebuilt.render() == result.render()
+
+
+class TestFileIO:
+    def test_save_and_load_json(self, tmp_path):
+        result = _sample_result()
+        path = str(tmp_path / "out" / "figure_x.json")
+        assert save_result_json(result, path) == path
+        loaded = load_result_json(path)
+        assert loaded.name == result.name
+        assert loaded.figure.series == result.figure.series
+
+    def test_save_many_results(self, tmp_path):
+        path = str(tmp_path / "all.json")
+        save_results_json([_sample_result(), _sample_result(with_figure=False)], path)
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert len(payload) == 2
+        assert payload[1]["figure"] is None
+
+    def test_save_figure_csv(self, tmp_path):
+        path = str(tmp_path / "figure.csv")
+        assert save_figure_csv(_sample_result(), path) == path
+        with open(path, "r", encoding="utf-8") as handle:
+            content = handle.read()
+        assert "case1" in content
+        assert content.endswith("\n")
+
+    def test_save_figure_csv_without_figure_is_noop(self, tmp_path):
+        path = str(tmp_path / "figure.csv")
+        assert save_figure_csv(_sample_result(with_figure=False), path) is None

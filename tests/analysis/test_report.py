@@ -1,0 +1,103 @@
+"""Tests for the paper-vs-measured reproduction report."""
+
+import pytest
+
+from repro.analysis import (
+    PAPER_EXPECTATIONS,
+    FigureSeries,
+    ReproductionReport,
+    summarise_overhead_figure,
+)
+from repro.experiments import EXPERIMENTS
+from repro.experiments.base import ExperimentResult
+
+
+def _figure_result() -> ExperimentResult:
+    figure = FigureSeries(name="Figure 7", description="overhead",
+                          categories=["case1", "case2"])
+    figure.add_series("XOR-BTB-8M", [0.001, -0.002])
+    return ExperimentResult(name="Figure 7", description="overhead",
+                            figure=figure)
+
+
+def _table_result() -> ExperimentResult:
+    return ExperimentResult(name="Table 5", description="cost",
+                            headers=["structure", "area"],
+                            rows=[["BTB", "0.15%"], ["PHT", "0.09%"]])
+
+
+class TestPaperExpectations:
+    def test_every_paper_artefact_is_listed(self):
+        expected = {"figure1", "figure2", "figure3", "figure7", "figure8",
+                    "figure9", "figure10", "table1", "table2", "table3",
+                    "table4", "table5", "poc_attacks"}
+        assert expected <= set(PAPER_EXPECTATIONS)
+
+    def test_expectations_reference_real_experiments(self):
+        for key in PAPER_EXPECTATIONS:
+            assert key in EXPERIMENTS
+
+    def test_expectations_have_claims_and_shapes(self):
+        for expectation in PAPER_EXPECTATIONS.values():
+            assert expectation.claim
+            assert expectation.shape
+            assert expectation.artefact
+
+
+class TestSummaries:
+    def test_overhead_summary_lists_each_series(self):
+        summary = summarise_overhead_figure(_figure_result())
+        assert "XOR-BTB-8M" in summary
+        assert "%" in summary
+
+    def test_summary_without_figure(self):
+        assert summarise_overhead_figure(_table_result()) == "(no figure data)"
+
+
+class TestReproductionReport:
+    def test_add_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            ReproductionReport().add("figure99", "whatever")
+
+    def test_add_result_uses_figure_summary(self):
+        report = ReproductionReport()
+        entry = report.add_result("figure7", _figure_result(), matches=True)
+        assert "XOR-BTB-8M" in entry.measured
+        assert entry.matches is True
+
+    def test_add_result_table_fallback(self):
+        report = ReproductionReport()
+        entry = report.add_result("table5", _table_result())
+        assert "2 rows" in entry.measured
+
+    def test_coverage_fraction(self):
+        report = ReproductionReport()
+        report.add_result("figure7", _figure_result())
+        report.add_result("table5", _table_result())
+        assert report.coverage(["figure7", "table5", "figure8", "figure9"]) == 0.5
+        assert 0.0 < report.coverage() < 1.0
+
+    def test_markdown_contains_all_entries(self):
+        report = ReproductionReport(title="My run")
+        report.add_result("figure7", _figure_result(), matches=True)
+        report.add_result("table5", _table_result(), matches=False,
+                          notes="analytic model only")
+        markdown = report.to_markdown()
+        assert markdown.startswith("# My run")
+        assert "Figure 7" in markdown
+        assert "Table 5" in markdown
+        assert "**no**" in markdown
+        assert "analytic model only" in markdown
+
+    def test_markdown_without_matches_marks_dash(self):
+        report = ReproductionReport()
+        report.add_result("figure7", _figure_result())
+        assert "| — |" in report.to_markdown()
+
+    def test_save_writes_markdown(self, tmp_path):
+        report = ReproductionReport()
+        report.add_result("figure7", _figure_result())
+        path = str(tmp_path / "report.md")
+        assert report.save(path) == path
+        with open(path, "r", encoding="utf-8") as handle:
+            assert "Figure 7" in handle.read()

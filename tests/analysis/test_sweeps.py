@@ -1,0 +1,92 @@
+"""Tests for the generic parameter-sweep helper."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import FigureSeries, SweepResult, sweep
+
+
+class TestSweepEvaluation:
+    def test_cartesian_product_size_and_order(self):
+        calls = []
+
+        def evaluate(a, b):
+            calls.append((a, b))
+            return a * 10 + b
+
+        result = sweep({"a": [1, 2], "b": [3, 4, 5]}, evaluate)
+        assert len(result.points) == 6
+        # The last axis varies fastest.
+        assert calls[:3] == [(1, 3), (1, 4), (1, 5)]
+        assert [point.value for point in result.points[:3]] == [13, 14, 15]
+
+    def test_fixed_kwargs_forwarded(self):
+        result = sweep({"x": [1, 2, 3]}, lambda x, offset: x + offset, offset=100)
+        assert result.values() == [101, 102, 103]
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            sweep({}, lambda: 0)
+
+    @given(st.lists(st.integers(min_value=-50, max_value=50), min_size=1,
+                    max_size=8, unique=True))
+    def test_every_axis_value_appears_exactly_once(self, values):
+        result = sweep({"x": values}, lambda x: x)
+        assert result.values() == values
+
+
+class TestSweepResultHelpers:
+    def _simple(self) -> SweepResult:
+        return sweep({"size": [128, 256, 512], "ways": [2, 4]},
+                     lambda size, ways: size * ways)
+
+    def test_best_minimise_and_maximise(self):
+        result = self._simple()
+        assert result.best().params == {"size": 128, "ways": 2}
+        assert result.best(minimise=False).params == {"size": 512, "ways": 4}
+
+    def test_best_of_empty_sweep_raises(self):
+        empty = SweepResult(axes={"x": [1]})
+        with pytest.raises(ValueError):
+            empty.best()
+
+    def test_filtered_selects_matching_points(self):
+        result = self._simple()
+        points = result.filtered(ways=4)
+        assert len(points) == 3
+        assert all(point.params["ways"] == 4 for point in points)
+
+    def test_rows_and_render(self):
+        result = self._simple()
+        rows = result.to_rows()
+        assert rows[0] == [128, 2, 256]
+        rendered = result.render(title="sweep")
+        assert "size" in rendered
+        assert "value" in rendered
+
+    def test_metric_label_used_in_render(self):
+        result = sweep({"x": [1]}, lambda x: x, metric="overhead")
+        assert "overhead" in result.render()
+
+
+class TestPivotToFigure:
+    def test_two_axis_pivot(self):
+        result = sweep({"interval": [4, 8, 12], "mechanism": ["cf", "xor"]},
+                       lambda interval, mechanism: interval * (2 if mechanism == "cf" else 1))
+        figure = result.to_figure("interval", "mechanism", name="sweep figure")
+        assert isinstance(figure, FigureSeries)
+        assert figure.categories == ["4", "8", "12"]
+        assert figure.series["cf"] == [8.0, 16.0, 24.0]
+        assert figure.series["xor"] == [4.0, 8.0, 12.0]
+
+    def test_unknown_axis_raises(self):
+        result = sweep({"x": [1]}, lambda x: x)
+        with pytest.raises(KeyError):
+            result.to_figure("nope", "x")
+
+    def test_missing_point_detected(self):
+        result = sweep({"x": [1, 2], "y": [1]}, lambda x, y: x + y)
+        result.points = result.points[:1]  # simulate an incomplete sweep
+        with pytest.raises(ValueError):
+            result.to_figure("x", "y")

@@ -1,0 +1,66 @@
+"""Tests for the PHT covert channel."""
+
+import pytest
+
+from repro.attacks.covert_channel import CovertChannelResult, run_covert_channel
+
+
+class TestResultMetrics:
+    def test_error_free_channel_has_full_capacity(self):
+        result = CovertChannelResult("baseline", False, bits_sent=100, bit_errors=0)
+        assert result.bit_error_rate == 0.0
+        assert result.capacity_bits_per_symbol == pytest.approx(1.0)
+        assert result.bandwidth_bits_per_second == pytest.approx(
+            result.symbols_per_second)
+
+    def test_random_channel_has_zero_capacity(self):
+        result = CovertChannelResult("noisy_xor_bp", False, bits_sent=100,
+                                     bit_errors=50)
+        assert result.bit_error_rate == pytest.approx(0.5)
+        assert result.capacity_bits_per_symbol == pytest.approx(0.0)
+        assert result.bandwidth_bits_per_second == pytest.approx(0.0)
+
+    def test_error_rate_above_half_is_clamped_for_capacity(self):
+        result = CovertChannelResult("baseline", False, bits_sent=100,
+                                     bit_errors=80)
+        assert 0.0 <= result.capacity_bits_per_symbol <= 1.0
+
+    def test_empty_transmission_defaults_to_useless_channel(self):
+        result = CovertChannelResult("baseline", False, bits_sent=0, bit_errors=0)
+        assert result.bit_error_rate == 0.5
+
+
+class TestTransmission:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            run_covert_channel(payload_bits=0)
+        with pytest.raises(ValueError):
+            run_covert_channel(bits_per_burst=0)
+
+    def test_baseline_channel_is_nearly_error_free(self):
+        result = run_covert_channel("baseline", payload_bits=128, seed=3)
+        assert result.bit_error_rate < 0.05
+        assert result.capacity_bits_per_symbol > 0.7
+
+    def test_noisy_xor_closes_the_channel(self):
+        result = run_covert_channel("noisy_xor_bp", payload_bits=128, seed=3)
+        # The receiver's key differs from the sender's, so received bits are
+        # uncorrelated with the payload: the error rate sits near one half.
+        assert 0.3 < result.bit_error_rate < 0.7
+        assert result.capacity_bits_per_symbol < 0.2
+
+    def test_complete_flush_closes_the_time_shared_channel(self):
+        result = run_covert_channel("complete_flush", payload_bits=128, seed=3)
+        assert result.capacity_bits_per_symbol < 0.2
+
+    def test_bandwidth_ordering_matches_protection(self):
+        open_channel = run_covert_channel("baseline", payload_bits=96, seed=7)
+        closed_channel = run_covert_channel("noisy_xor_bp", payload_bits=96, seed=7)
+        assert (open_channel.bandwidth_bits_per_second
+                > closed_channel.bandwidth_bits_per_second)
+
+    def test_result_records_configuration(self):
+        result = run_covert_channel("xor_bp", payload_bits=64, smt=False, seed=1)
+        assert result.mechanism == "xor_bp"
+        assert result.bits_sent == 64
+        assert result.smt is False

@@ -1,0 +1,132 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for command in ("list", "run", "attack", "leakage", "covert", "hwcost",
+                        "report"):
+            args = parser.parse_args([command] + (
+                ["figure7"] if command == "run" else
+                ["branchscope"] if command == "attack" else []))
+            assert args.command == command
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "table5"])
+        assert args.experiment == "table5"
+        assert args.scale is None
+        assert args.json is None
+
+    def test_attack_options(self):
+        args = build_parser().parse_args(
+            ["attack", "sbpa", "--mechanism", "noisy_xor_bp", "--smt",
+             "--iterations", "50"])
+        assert args.mechanism == "noisy_xor_bp"
+        assert args.smt is True
+        assert args.iterations == 50
+
+
+class TestTopLevel:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_list_mentions_experiments_attacks_and_presets(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "figure7" in output
+        assert "branchscope" in output
+        assert "noisy_xor_bp" in output
+        assert "perceptron" in output
+
+
+class TestRunCommand:
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["run", "figure99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_table5_with_exports(self, tmp_path, capsys):
+        json_path = str(tmp_path / "table5.json")
+        csv_path = str(tmp_path / "table5.csv")
+        assert main(["run", "table5", "--json", json_path, "--csv", csv_path]) == 0
+        output = capsys.readouterr().out
+        assert "Table 5" in output
+        with open(json_path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["name"].lower().startswith("table 5")
+        # Table 5 has no figure series, so the CSV export reports a no-op.
+        assert "no figure series" in output or "CSV written" in output
+
+    def test_run_table2_is_configuration_only(self, capsys):
+        assert main(["run", "table2"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+
+class TestAttackCommand:
+    def test_unknown_attack_fails(self, capsys):
+        assert main(["attack", "not_an_attack"]) == 2
+        assert "unknown attack" in capsys.readouterr().err
+
+    def test_attack_reports_success_rate(self, capsys):
+        assert main(["attack", "branchscope", "--mechanism", "noisy_xor_bp",
+                     "--iterations", "60"]) == 0
+        output = capsys.readouterr().out
+        assert "success rate" in output
+        assert "noisy_xor_bp" in output
+
+
+class TestLeakageCommand:
+    def test_leakage_table_lists_all_mechanisms(self, capsys):
+        assert main(["leakage", "--mechanisms", "baseline", "noisy_xor_bp",
+                     "--trials", "40"]) == 0
+        output = capsys.readouterr().out
+        assert "baseline" in output
+        assert "noisy_xor_bp" in output
+        assert "pht_direction" in output
+        assert "btb_occupancy" in output
+
+
+class TestCovertCommand:
+    def test_baseline_channel_reported_open(self, capsys):
+        assert main(["covert", "--bits", "64"]) == 0
+        output = capsys.readouterr().out
+        assert "bit error rate" in output
+        assert "bits/s" in output
+
+    def test_protected_channel_reported_closed(self, capsys):
+        assert main(["covert", "--mechanism", "noisy_xor_bp", "--bits", "64"]) == 0
+        assert "noisy_xor_bp" in capsys.readouterr().out
+
+
+class TestHwcostCommand:
+    def test_default_estimate(self, capsys):
+        assert main(["hwcost"]) == 0
+        output = capsys.readouterr().out
+        assert "BTB 2w256" in output
+        assert "TAGE PHT" in output
+
+    def test_custom_geometry(self, capsys):
+        assert main(["hwcost", "--btb", "512", "--ways", "4", "--pht", "1024"]) == 0
+        assert "BTB 4w512" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["report", "--experiments", "figure99"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_report_on_cheap_experiments(self, tmp_path, capsys):
+        output_path = str(tmp_path / "report.md")
+        assert main(["report", "--experiments", "table2", "table5",
+                     "--output", output_path]) == 0
+        output = capsys.readouterr().out
+        assert "Paper reports" in output
+        with open(output_path, "r", encoding="utf-8") as handle:
+            markdown = handle.read()
+        assert "Table 5" in markdown

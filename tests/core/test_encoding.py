@@ -1,0 +1,107 @@
+"""Tests (including property-based tests) for the reversible content encoders."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.encoding import (
+    ENCODERS,
+    SboxEncoder,
+    ShiftXorEncoder,
+    XorEncoder,
+    make_encoder,
+    stretch_key,
+)
+
+ALL_ENCODERS = [XorEncoder(), ShiftXorEncoder(), SboxEncoder()]
+
+
+class TestStretchKey:
+    def test_zero_key_stretches_to_zero(self):
+        assert stretch_key(0, 32) == 0
+
+    def test_zero_width(self):
+        assert stretch_key(0xABCD, 0) == 0
+
+    def test_narrow_key_repeats(self):
+        assert stretch_key(0b1, 4) == 0b1111
+
+    def test_wide_key_truncates(self):
+        assert stretch_key(0xFFFF, 8) == 0xFF
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.integers(min_value=1, max_value=128))
+    @settings(max_examples=80)
+    def test_result_fits_width(self, key, width):
+        assert 0 <= stretch_key(key, width) < (1 << width)
+
+
+class TestEncoderBijectivity:
+    @pytest.mark.parametrize("encoder", ALL_ENCODERS, ids=lambda e: e.name)
+    @given(value=st.integers(min_value=0, max_value=(1 << 32) - 1),
+           key=st.integers(min_value=0, max_value=(1 << 64) - 1),
+           width=st.integers(min_value=1, max_value=48))
+    @settings(max_examples=120)
+    def test_decode_inverts_encode(self, encoder, value, key, width):
+        value &= (1 << width) - 1
+        encoded = encoder.encode(value, width, key)
+        assert 0 <= encoded < (1 << width)
+        assert encoder.decode(encoded, width, key) == value
+
+    @pytest.mark.parametrize("encoder", ALL_ENCODERS, ids=lambda e: e.name)
+    def test_exhaustive_bijection_on_small_width(self, encoder):
+        for key in (0, 0x5A5A, 0xDEADBEEF):
+            outputs = {encoder.encode(v, 8, key) for v in range(256)}
+            assert len(outputs) == 256
+
+    @pytest.mark.parametrize("encoder", ALL_ENCODERS, ids=lambda e: e.name)
+    def test_zero_key_sbox_and_shift_still_reversible(self, encoder):
+        for value in range(16):
+            assert encoder.decode(encoder.encode(value, 4, 0), 4, 0) == value
+
+
+class TestEncoderProperties:
+    def test_xor_is_an_involution(self):
+        encoder = XorEncoder()
+        assert encoder.encode(0x1234, 16, 0xBEEF) == encoder.decode(0x1234, 16, 0xBEEF)
+
+    def test_nonzero_key_changes_value(self):
+        for encoder in ALL_ENCODERS:
+            assert encoder.encode(0x1234, 16, 0xBEEF) != 0x1234
+
+    def test_different_keys_give_different_encodings(self):
+        for encoder in ALL_ENCODERS:
+            a = encoder.encode(0x1234, 16, 0x1111)
+            b = encoder.encode(0x1234, 16, 0x2222)
+            assert a != b
+
+    def test_sbox_breaks_xor_linearity(self):
+        """For the S-box encoder, E(a)^E(b) generally differs from a^b."""
+        encoder = SboxEncoder()
+        key = 0x77
+        a, b = 0x3C, 0xA5
+        assert (encoder.encode(a, 8, key) ^ encoder.encode(b, 8, key)) != (a ^ b)
+
+    def test_xor_keeps_linearity(self):
+        encoder = XorEncoder()
+        key = 0x77
+        a, b = 0x3C, 0xA5
+        assert (encoder.encode(a, 8, key) ^ encoder.encode(b, 8, key)) == (a ^ b)
+
+    def test_cost_model_hooks(self):
+        assert XorEncoder().xor_gates(32) == 32
+        assert XorEncoder().extra_levels() == 0
+        assert ShiftXorEncoder().extra_levels() == 1
+        assert SboxEncoder().extra_levels() == 1
+
+
+class TestEncoderRegistry:
+    def test_all_registered_encoders_construct(self):
+        for name in ENCODERS:
+            assert make_encoder(name).name == name
+
+    def test_aliases_with_dashes(self):
+        assert make_encoder("shift-xor").name == "shift_xor"
+
+    def test_unknown_encoder_rejected(self):
+        with pytest.raises(KeyError):
+            make_encoder("aes")

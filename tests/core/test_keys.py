@@ -1,0 +1,120 @@
+"""Tests for per-thread key management."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.keys import KeyManager
+from repro.types import Privilege
+
+
+class TestKeyGeneration:
+    def test_keys_are_created_lazily_per_thread(self):
+        manager = KeyManager(seed=1)
+        key0 = manager.master_key(0)
+        key1 = manager.master_key(1)
+        assert key0 != 0 and key1 != 0
+        assert key0 != key1
+
+    def test_keys_are_reproducible_for_a_seed(self):
+        assert KeyManager(seed=42).master_key(0) == KeyManager(seed=42).master_key(0)
+
+    def test_different_seeds_give_different_keys(self):
+        assert KeyManager(seed=1).master_key(0) != KeyManager(seed=2).master_key(0)
+
+    def test_key_is_stable_between_switches(self):
+        manager = KeyManager(seed=1)
+        assert manager.master_key(0) == manager.master_key(0)
+
+    def test_minimum_key_width_enforced(self):
+        with pytest.raises(ValueError):
+            KeyManager(key_bits=4)
+
+    @given(st.integers(min_value=1, max_value=96))
+    @settings(max_examples=30)
+    def test_content_key_fits_requested_width(self, width):
+        manager = KeyManager(seed=3)
+        assert 0 <= manager.content_key(0, width) < (1 << width)
+
+    @given(st.integers(min_value=1, max_value=96))
+    @settings(max_examples=30)
+    def test_index_key_fits_requested_width(self, width):
+        manager = KeyManager(seed=3)
+        assert 0 <= manager.index_key(0, width) < (1 << width)
+
+    def test_content_and_index_keys_differ(self):
+        manager = KeyManager(seed=3)
+        assert manager.content_key(0, 32) != manager.index_key(0, 32)
+
+    def test_derived_keys_differ_per_salt(self):
+        manager = KeyManager(seed=3)
+        assert manager.derived_key(0, 1, 32) != manager.derived_key(0, 2, 32)
+
+    def test_zero_width_key_is_zero(self):
+        assert KeyManager(seed=3).content_key(0, 0) == 0
+
+
+class TestSwitchDrivenRotation:
+    def test_context_switch_rotates_key(self):
+        manager = KeyManager(seed=1)
+        before = manager.master_key(0)
+        manager.on_context_switch(0)
+        assert manager.master_key(0) != before
+        assert manager.generation(0) == 1
+
+    def test_context_switch_only_affects_that_thread(self):
+        manager = KeyManager(seed=1)
+        other_before = manager.master_key(1)
+        manager.on_context_switch(0)
+        assert manager.master_key(1) == other_before
+
+    def test_privilege_switch_rotates_key(self):
+        manager = KeyManager(seed=1)
+        before = manager.master_key(0)
+        manager.on_privilege_switch(0, Privilege.KERNEL)
+        assert manager.master_key(0) != before
+        assert manager.privilege_of(0) is Privilege.KERNEL
+
+    def test_same_privilege_does_not_rotate(self):
+        manager = KeyManager(seed=1)
+        manager.on_privilege_switch(0, Privilege.KERNEL)
+        generation = manager.generation(0)
+        manager.on_privilege_switch(0, Privilege.KERNEL)
+        assert manager.generation(0) == generation
+
+    def test_privilege_rotation_can_be_disabled(self):
+        manager = KeyManager(seed=1, rotate_on_privilege_switch=False)
+        before = manager.master_key(0)
+        manager.on_privilege_switch(0, Privilege.KERNEL)
+        assert manager.master_key(0) == before
+        assert manager.privilege_switches == 1
+
+    def test_switch_counters(self):
+        manager = KeyManager(seed=1)
+        manager.on_context_switch(0)
+        manager.on_context_switch(0)
+        manager.on_privilege_switch(0, Privilege.KERNEL)
+        assert manager.context_switches == 2
+        assert manager.privilege_switches == 1
+
+    def test_event_recording(self):
+        manager = KeyManager(seed=1, record_events=True)
+        manager.on_context_switch(0)
+        manager.on_privilege_switch(0, Privilege.KERNEL)
+        assert len(manager.events) == 2
+        assert manager.events[0].reason == "context_switch"
+        assert manager.events[1].reason == "privilege_switch"
+
+    def test_reset_clears_state(self):
+        manager = KeyManager(seed=1)
+        manager.on_context_switch(0)
+        manager.reset()
+        assert manager.context_switches == 0
+        assert manager.generation(0) == 0
+
+    def test_keys_differ_across_generations(self):
+        manager = KeyManager(seed=1)
+        keys = set()
+        for _ in range(20):
+            keys.add(manager.master_key(0))
+            manager.rotate(0)
+        assert len(keys) == 20

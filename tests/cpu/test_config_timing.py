@@ -1,0 +1,207 @@
+"""Tests for core configurations, the timing model and scheduling events."""
+
+import pytest
+
+from repro.core.secure import BranchOutcome
+from repro.cpu.config import (
+    CORE_PRESETS,
+    CoreConfig,
+    fpga_prototype,
+    make_core_config,
+    sunny_cove_smt,
+)
+from repro.cpu.scheduler import PeriodicEvent, RoundRobinScheduler, SyscallModel
+from repro.cpu.stats import RunResult, ThreadStats
+from repro.cpu.timing import BranchTimingModel
+from repro.types import BranchType
+from repro.workloads import make_workload
+
+
+class TestCoreConfig:
+    def test_fpga_prototype_matches_table2(self):
+        config = fpga_prototype()
+        assert config.issue_width == 4
+        assert config.pipeline_depth == 10
+        assert config.btb_sets == 256 and config.btb_ways == 2
+        assert config.smt_threads == 1
+        assert config.predictor == "tage"
+
+    def test_sunny_cove_matches_table2(self):
+        config = sunny_cove_smt()
+        assert config.issue_width == 8
+        assert config.pipeline_depth == 19
+        assert config.btb_sets == 1024 and config.btb_ways == 4
+        assert config.smt_threads == 2
+        assert config.predictor == "tage_sc_l"
+
+    def test_with_predictor_returns_copy(self):
+        config = sunny_cove_smt()
+        other = config.with_predictor("gshare")
+        assert other.predictor == "gshare"
+        assert config.predictor == "tage_sc_l"
+
+    def test_with_switch_interval(self):
+        config = fpga_prototype().with_switch_interval(4_000_000)
+        assert config.context_switch_interval == 4_000_000
+
+    def test_scaled_divides_interval(self):
+        config = fpga_prototype().scaled(100)
+        assert config.context_switch_interval == 80_000
+
+    def test_presets_registry(self):
+        assert set(CORE_PRESETS) == {"fpga_prototype", "sunny_cove_smt"}
+        assert make_core_config("fpga_prototype").name == "fpga_prototype"
+        with pytest.raises(KeyError):
+            make_core_config("pentium")
+
+
+class TestTimingModel:
+    def _outcome(self, **kwargs):
+        defaults = dict(branch_type=BranchType.CONDITIONAL, taken=True,
+                        predicted_taken=True, direction_mispredicted=False,
+                        target_mispredicted=False, btb_accessed=True, btb_hit=True)
+        defaults.update(kwargs)
+        return BranchOutcome(**defaults)
+
+    def test_correct_prediction_has_no_penalty(self):
+        model = BranchTimingModel(fpga_prototype())
+        assert model.branch_penalty(self._outcome()) == 0.0
+
+    def test_direction_mispredict_costs_pipeline_penalty(self):
+        config = fpga_prototype()
+        model = BranchTimingModel(config)
+        outcome = self._outcome(direction_mispredicted=True)
+        assert model.branch_penalty(outcome) == config.mispredict_penalty
+
+    def test_target_mispredict_costs_pipeline_penalty(self):
+        config = fpga_prototype()
+        model = BranchTimingModel(config)
+        outcome = self._outcome(target_mispredicted=True)
+        assert model.branch_penalty(outcome) == config.mispredict_penalty
+
+    def test_btb_miss_on_taken_branch_costs_bubble(self):
+        config = fpga_prototype()
+        model = BranchTimingModel(config)
+        outcome = self._outcome(btb_hit=False)
+        assert model.branch_penalty(outcome) == config.btb_miss_penalty
+
+    def test_btb_miss_on_not_taken_branch_is_free(self):
+        model = BranchTimingModel(fpga_prototype())
+        outcome = self._outcome(taken=False, btb_hit=False)
+        assert model.branch_penalty(outcome) == 0.0
+
+    def test_instruction_cost_scales_with_base_cpi(self):
+        config = fpga_prototype()
+        model = BranchTimingModel(config)
+        assert model.instruction_cost(100) == pytest.approx(100 * config.base_cpi)
+
+    def test_record_cost_is_sum(self):
+        config = fpga_prototype()
+        model = BranchTimingModel(config)
+        outcome = self._outcome(direction_mispredicted=True)
+        expected = 10 * config.base_cpi + config.mispredict_penalty
+        assert model.record_cost(10, outcome) == pytest.approx(expected)
+
+
+class TestPeriodicEvent:
+    def test_fires_after_interval(self):
+        event = PeriodicEvent(100.0)
+        assert event.pending(50) == 0
+        assert event.pending(150) == 1
+
+    def test_multiple_fires_accumulate(self):
+        event = PeriodicEvent(100.0)
+        assert event.pending(450) == 4
+
+    def test_disabled_event_never_fires(self):
+        event = PeriodicEvent(None)
+        assert event.pending(1e12) == 0
+
+    def test_zero_interval_is_disabled(self):
+        event = PeriodicEvent(0)
+        assert event.pending(1e12) == 0
+
+    def test_phase_offsets_first_fire(self):
+        event = PeriodicEvent(100.0, phase=50.0)
+        assert event.pending(120) == 0
+        assert event.pending(160) == 1
+
+    def test_reset(self):
+        event = PeriodicEvent(100.0)
+        event.pending(1000)
+        event.reset(0.0)
+        assert event.pending(50) == 0
+        assert event.pending(150) == 1
+
+
+class TestRoundRobinScheduler:
+    def test_switches_in_order(self):
+        scheduler = RoundRobinScheduler(3, 100.0)
+        assert scheduler.current == 0
+        scheduler.maybe_switch(150)
+        assert scheduler.current == 1
+        scheduler.maybe_switch(250)
+        assert scheduler.current == 2
+        scheduler.maybe_switch(350)
+        assert scheduler.current == 0
+
+    def test_counts_switches(self):
+        scheduler = RoundRobinScheduler(2, 100.0)
+        scheduler.maybe_switch(500)
+        assert scheduler.switches >= 1
+
+    def test_requires_at_least_one_context(self):
+        with pytest.raises(ValueError):
+            RoundRobinScheduler(0, 100.0)
+
+
+class TestSyscallModel:
+    def test_interval_derived_from_profile_rate(self):
+        workload = make_workload("gcc")  # 6.0 transitions per M cycles
+        model = SyscallModel(workload, time_scale=1.0)
+        # 2e6 / 6.0 cycles between syscalls.
+        assert model.event.interval == pytest.approx(2e6 / 6.0)
+
+    def test_time_scale_shrinks_interval(self):
+        workload = make_workload("gcc")
+        scaled = SyscallModel(workload, time_scale=100.0)
+        assert scaled.event.interval == pytest.approx(2e4 / 6.0)
+
+    def test_due_counts_syscalls(self):
+        workload = make_workload("gcc")
+        model = SyscallModel(workload, time_scale=100.0)
+        assert model.due(1e6) > 0
+
+
+class TestStatsContainers:
+    def test_thread_stats_derived_metrics(self):
+        stats = ThreadStats(name="x", instructions=2000, branches=300,
+                            conditional_branches=250, direction_mispredicts=25,
+                            target_mispredicts=5, btb_lookups=100, btb_hits=90,
+                            cycles=1000.0)
+        assert stats.mispredicts == 30
+        assert stats.mpki == pytest.approx(15.0)
+        assert stats.direction_accuracy == pytest.approx(0.9)
+        assert stats.btb_hit_rate == pytest.approx(0.9)
+        assert stats.ipc == pytest.approx(2.0)
+
+    def test_empty_stats_are_safe(self):
+        stats = ThreadStats()
+        assert stats.mpki == 0.0
+        assert stats.direction_accuracy == 1.0
+        assert stats.btb_hit_rate == 1.0
+        assert stats.ipc == 0.0
+
+    def test_run_result_overhead(self):
+        base = RunResult(cycles=1000.0,
+                         threads={"a": ThreadStats(name="a", cycles=600.0)})
+        other = RunResult(cycles=1100.0,
+                          threads={"a": ThreadStats(name="a", cycles=690.0)})
+        assert other.overhead_vs(base) == pytest.approx(0.10)
+        assert other.overhead_vs(base, workload="a") == pytest.approx(0.15)
+
+    def test_run_result_rates(self):
+        result = RunResult(cycles=1e6, instructions=2_000_000,
+                           privilege_switches=100, time_scale=10.0)
+        assert result.ipc == pytest.approx(2.0)
+        assert result.privilege_switches_per_million_cycles() == pytest.approx(10.0)

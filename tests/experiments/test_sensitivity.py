@@ -1,0 +1,75 @@
+"""Tests for the sensitivity-study experiment drivers."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, ExperimentScale
+from repro.experiments.sensitivity import (
+    mispredict_penalty_sensitivity,
+    smt4_noisy_xor,
+    switch_interval_sensitivity,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_scale():
+    """A very small scale so the sensitivity runs stay fast in CI."""
+    return ExperimentScale().scaled_by(0.15)
+
+
+class TestRegistration:
+    def test_sensitivity_experiments_registered(self):
+        assert EXPERIMENTS["ablation_switch_interval"] is switch_interval_sensitivity
+        assert EXPERIMENTS["ablation_penalty"] is mispredict_penalty_sensitivity
+        assert EXPERIMENTS["smt4_noisy_xor"] is smt4_noisy_xor
+
+
+class TestSwitchIntervalSensitivity:
+    def test_structure_and_bounds(self, tiny_scale):
+        result = switch_interval_sensitivity(
+            tiny_scale, cases=("case6",), intervals_m=(4, 12), predictor="gshare")
+        assert result.figure is not None
+        assert result.figure.categories == ["4M", "12M"]
+        assert set(result.figure.series) == {"case6"}
+        # Single-thread overheads stay small in magnitude even at this scale.
+        for value in result.figure.series["case6"]:
+            assert -0.2 < value < 0.3
+        # The table carries one row per case plus the mean row.
+        assert len(result.rows) == 2
+        assert result.rows[-1][0] == "mean"
+
+    def test_render_mentions_preset(self, tiny_scale):
+        result = switch_interval_sensitivity(
+            tiny_scale, cases=("case6",), intervals_m=(8,), predictor="gshare")
+        assert "noisy_xor_bp" in result.render()
+
+
+class TestPenaltySensitivity:
+    def test_rows_follow_penalties(self, tiny_scale):
+        result = mispredict_penalty_sensitivity(
+            tiny_scale, case="case6", penalties=(8, 20), predictor="gshare")
+        assert [row[0] for row in result.rows] == ["8 cycles", "20 cycles"]
+        assert result.figure is not None
+        assert len(result.figure.series["noisy_xor_bp"]) == 2
+
+    def test_reports_baseline_mpki(self, tiny_scale):
+        result = mispredict_penalty_sensitivity(
+            tiny_scale, case="case6", penalties=(11,), predictor="gshare")
+        mpki = float(result.rows[0][2])
+        assert mpki > 0.0
+
+
+class TestSmt4NoisyXor:
+    def test_structure(self, tiny_scale):
+        result = smt4_noisy_xor(tiny_scale, predictor="gshare",
+                                presets=("noisy_xor_bp",), max_quads=1)
+        assert result.figure is not None
+        assert len(result.figure.categories) == 1
+        assert set(result.figure.series) == {"noisy_xor_bp"}
+        assert result.rows[0][0] == "noisy_xor_bp"
+
+    def test_flush_costs_more_than_noisy_xor_on_smt4(self, tiny_scale):
+        result = smt4_noisy_xor(tiny_scale, predictor="gshare",
+                                presets=("complete_flush", "noisy_xor_bp"),
+                                max_quads=2)
+        averages = result.figure.averages()
+        assert averages["complete_flush"] >= averages["noisy_xor_bp"] - 0.01

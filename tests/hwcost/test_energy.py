@@ -1,0 +1,74 @@
+"""Tests for the per-access energy overhead model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hwcost import EnergyEstimate, btb_energy, pht_energy
+
+
+class TestEnergyEstimate:
+    def test_total_is_sum(self):
+        estimate = EnergyEstimate("x", baseline_fj=100.0, added_fj=5.0)
+        assert estimate.total_fj == pytest.approx(105.0)
+        assert estimate.energy_overhead == pytest.approx(0.05)
+
+    def test_zero_baseline_reports_zero_overhead(self):
+        estimate = EnergyEstimate("x", baseline_fj=0.0, added_fj=5.0)
+        assert estimate.energy_overhead == 0.0
+
+
+class TestBtbEnergy:
+    def test_paper_configuration_overhead_is_small(self):
+        estimate = btb_energy(256, 2)
+        assert 0.0 < estimate.energy_overhead < 0.2
+
+    def test_overhead_shrinks_little_with_entries(self):
+        """The XOR network scales with width, not depth, so the relative
+        overhead barely moves as the array grows."""
+        small = btb_energy(128, 2)
+        large = btb_energy(2048, 2)
+        assert abs(small.energy_overhead - large.energy_overhead) < 0.05
+
+    def test_wider_entries_cost_more_absolute_energy(self):
+        narrow = btb_energy(256, 2, target_bits=32)
+        wide = btb_energy(256, 2, target_bits=48)
+        assert wide.baseline_fj > narrow.baseline_fj
+        assert wide.added_fj > narrow.added_fj
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            btb_energy(0, 2)
+        with pytest.raises(ValueError):
+            btb_energy(256, 0)
+
+    @given(st.integers(min_value=1, max_value=4096),
+           st.integers(min_value=1, max_value=8))
+    def test_estimates_always_positive(self, entries, ways):
+        estimate = btb_energy(entries, ways)
+        assert estimate.baseline_fj > 0
+        assert estimate.added_fj > 0
+
+
+class TestPhtEnergy:
+    def test_paper_configuration_overhead_is_small(self):
+        estimate = pht_energy(4096, 6)
+        assert 0.0 < estimate.energy_overhead < 0.2
+
+    def test_more_tables_scale_baseline_and_added_together(self):
+        few = pht_energy(1024, 2)
+        many = pht_energy(1024, 12)
+        assert many.baseline_fj > few.baseline_fj
+        assert many.added_fj > few.added_fj
+        # The relative overhead stays in the same small band.
+        assert abs(many.energy_overhead - few.energy_overhead) < 0.1
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            pht_energy(0)
+        with pytest.raises(ValueError):
+            pht_energy(1024, 0)
+
+    def test_structure_labels(self):
+        assert "BTB 2w256" == btb_energy(256, 2).structure
+        assert "TAGE PHT 1024x6" == pht_energy(1024, 6).structure

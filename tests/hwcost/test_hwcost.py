@@ -1,0 +1,97 @@
+"""Tests for the analytic hardware cost model (Table 5)."""
+
+import pytest
+
+from repro.hwcost import (
+    TSMC28_LIKE,
+    CostEstimate,
+    TechnologyParameters,
+    btb_cost,
+    sram_access_ps,
+    sram_area_um2,
+    tage_pht_cost,
+)
+
+
+class TestSramModel:
+    def test_area_is_linear_in_bits(self):
+        assert sram_area_um2(2000) == pytest.approx(2 * sram_area_um2(1000))
+
+    def test_access_time_grows_with_rows(self):
+        assert sram_access_ps(1024) > sram_access_ps(128)
+
+    def test_small_macros_share_base_access_time(self):
+        assert sram_access_ps(64) == pytest.approx(sram_access_ps(128))
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            sram_area_um2(-1)
+        with pytest.raises(ValueError):
+            sram_access_ps(0)
+
+
+class TestCostEstimate:
+    def test_overhead_fractions(self):
+        estimate = CostEstimate("x", base_area_um2=1000, added_area_um2=10,
+                                base_delay_ps=500, added_delay_ps=5)
+        assert estimate.area_overhead == pytest.approx(0.01)
+        assert estimate.timing_overhead == pytest.approx(0.01)
+
+    def test_zero_base_is_safe(self):
+        estimate = CostEstimate("x", 0, 1, 0, 1)
+        assert estimate.area_overhead == 0.0
+        assert estimate.timing_overhead == 0.0
+
+
+class TestBtbCost:
+    def test_overheads_are_small(self):
+        for entries in (128, 256, 512):
+            estimate = btb_cost(entries)
+            assert 0.0 < estimate.timing_overhead < 0.05
+            assert 0.0 < estimate.area_overhead < 0.02
+
+    def test_timing_overhead_grows_with_size(self):
+        """Table 5 trend: 0.70% -> 0.94% -> 1.46%."""
+        t128 = btb_cost(128).timing_overhead
+        t256 = btb_cost(256).timing_overhead
+        t512 = btb_cost(512).timing_overhead
+        assert t128 < t256 < t512
+
+    def test_area_overhead_shrinks_with_size(self):
+        """Table 5 trend: 0.24% -> 0.15% -> 0.13%."""
+        a128 = btb_cost(128).area_overhead
+        a256 = btb_cost(256).area_overhead
+        a512 = btb_cost(512).area_overhead
+        assert a128 > a256 > a512
+
+    def test_close_to_paper_values(self):
+        assert 100 * btb_cost(256).timing_overhead == pytest.approx(0.94, abs=0.3)
+        assert 100 * btb_cost(512).timing_overhead == pytest.approx(1.46, abs=0.4)
+
+    def test_structure_label(self):
+        assert btb_cost(256).structure == "BTB 2w256"
+
+
+class TestTagePhtCost:
+    def test_overheads_are_small(self):
+        for entries in (1024, 2048, 4096):
+            estimate = tage_pht_cost(entries)
+            assert 0.0 < estimate.timing_overhead < 0.05
+            assert 0.0 < estimate.area_overhead < 0.01
+
+    def test_timing_roughly_flat_with_entries(self):
+        """Table 5: about 2% for 1K/2K/4K entries per table."""
+        values = [tage_pht_cost(n).timing_overhead for n in (1024, 2048, 4096)]
+        assert max(values) - min(values) < 0.005
+        assert all(0.015 < v < 0.03 for v in values)
+
+    def test_area_overhead_shrinks_with_size(self):
+        a1k = tage_pht_cost(1024).area_overhead
+        a4k = tage_pht_cost(4096).area_overhead
+        assert a1k > a4k
+
+    def test_custom_technology_parameters(self):
+        slow_tech = TechnologyParameters(cycle_time_ps=1000.0)
+        default = tage_pht_cost(1024, tech=TSMC28_LIKE)
+        slow = tage_pht_cost(1024, tech=slow_tech)
+        assert slow.timing_overhead < default.timing_overhead

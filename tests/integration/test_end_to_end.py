@@ -1,0 +1,143 @@
+"""End-to-end invariants tying the whole system together.
+
+These tests encode the paper's qualitative claims as executable checks:
+isolation mechanisms trade a bounded amount of prediction accuracy for
+security, residual state is worthless after a key change, and the protected
+system still behaves like a branch predictor (it learns, it warms up, its
+misprediction penalty shows up in cycles).
+"""
+
+import pytest
+
+from repro.core.registry import PROTECTION_PRESETS, make_bpu
+from repro.cpu import SingleThreadCore, SmtCore, fpga_prototype, sunny_cove_smt
+from repro.types import BranchType, Privilege
+from repro.workloads import get_pair, make_pair_workloads, make_workload
+
+
+def _build(config, preset, seed=11):
+    return make_bpu(config.predictor, preset, seed=seed,
+                    btb_sets=config.btb_sets, btb_ways=config.btb_ways,
+                    btb_miss_forces_not_taken=config.btb_miss_forces_not_taken,
+                    predictor_kwargs=dict(config.predictor_kwargs))
+
+
+class TestAccuracyUnderIsolation:
+    @pytest.mark.parametrize("preset", sorted(PROTECTION_PRESETS))
+    def test_protected_predictor_still_learns_a_single_benchmark(self, preset):
+        """Without OS events, every mechanism predicts as well as the baseline."""
+        config = fpga_prototype("gshare")
+        bpu = _build(config, preset)
+        workload = make_workload("hmmer", seed=2)
+        mispredicts = 0
+        conditional = 0
+        for record in workload.segment(4000):
+            outcome = bpu.execute_branch(record.pc, record.taken, record.target,
+                                         record.branch_type)
+            if record.branch_type is BranchType.CONDITIONAL:
+                conditional += 1
+                mispredicts += outcome.direction_mispredicted
+        assert 1 - mispredicts / conditional > 0.80
+
+    def test_key_rotation_costs_accuracy_only_transiently(self):
+        config = fpga_prototype("gshare")
+        bpu = _build(config, "noisy_xor_bp")
+        workload = make_workload("hmmer", seed=2)
+        records = workload.segment(6000)
+        # Warm up, rotate, then measure the recovery window.
+        for record in records[:3000]:
+            bpu.execute_branch(record.pc, record.taken, record.target,
+                               record.branch_type)
+        bpu.notify_context_switch(0)
+        early = sum(bpu.execute_branch(r.pc, r.taken, r.target, r.branch_type)
+                    .direction_mispredicted
+                    for r in records[3000:3500] if r.branch_type is BranchType.CONDITIONAL)
+        late = sum(bpu.execute_branch(r.pc, r.taken, r.target, r.branch_type)
+                   .direction_mispredicted
+                   for r in records[5500:6000] if r.branch_type is BranchType.CONDITIONAL)
+        assert late <= early
+
+
+class TestSingleThreadOverheadShape:
+    @pytest.fixture(scope="class")
+    def overheads(self):
+        config = fpga_prototype("gshare", n_entries=4096)
+        pair = get_pair("case6", "single")
+        results = {}
+        for preset in ("baseline", "xor_btb", "noisy_xor_bp", "complete_flush"):
+            workloads = make_pair_workloads(pair, seed=5)
+            core = SingleThreadCore(config, _build(config, preset), workloads,
+                                    time_scale=400.0, syscall_time_scale=50.0)
+            results[preset] = core.run(target_branches=8000, warmup_branches=2000,
+                                       mechanism_name=preset)
+        base = results["baseline"]
+        return {preset: result.overhead_vs(base, workload=pair.target)
+                for preset, result in results.items()}
+
+    def test_baseline_is_reference(self, overheads):
+        assert overheads["baseline"] == 0.0
+
+    def test_all_mechanisms_cost_single_digit_relative_overhead(self, overheads):
+        for preset, value in overheads.items():
+            assert value < 0.25, (preset, value)
+
+    def test_btb_only_protection_is_cheaper_than_full_protection(self, overheads):
+        assert overheads["xor_btb"] <= overheads["noisy_xor_bp"] + 0.01
+
+
+class TestSmtOverheadShape:
+    def test_gshare_smt_ordering_matches_paper(self):
+        """On the SMT core with Gshare, Noisy-XOR-BP costs less than flushing."""
+        config = sunny_cove_smt("gshare", 2)
+        pair = get_pair("case9", "smt2")
+        results = {}
+        for preset in ("baseline", "complete_flush", "noisy_xor_bp"):
+            workloads = make_pair_workloads(pair, seed=5)
+            core = SmtCore(config, _build(config, preset), workloads,
+                           time_scale=600.0)
+            results[preset] = core.run(instructions=80_000,
+                                       warmup_instructions=20_000,
+                                       mechanism_name=preset)
+        base = results["baseline"]
+        cf = results["complete_flush"].overhead_vs(base)
+        noisy = results["noisy_xor_bp"].overhead_vs(base)
+        assert cf > 0.0
+        assert noisy < cf
+
+
+class TestSecurityPerformanceCoupling:
+    def test_flush_based_protection_loses_cross_switch_state_and_xor_keeps_nothing_either(self):
+        """After a context switch, neither CF nor XOR-BP lets the *same* thread
+        reuse its own prior BTB entries (that is the point of the defence)."""
+        for preset in ("complete_flush", "xor_bp"):
+            bpu = make_bpu("bimodal", preset)
+            bpu.execute_branch(0x4000, True, 0x5000, BranchType.INDIRECT)
+            bpu.notify_context_switch(0)
+            outcome = bpu.execute_branch(0x4000, True, 0x5000, BranchType.INDIRECT)
+            assert outcome.target_mispredicted, preset
+
+    def test_baseline_keeps_state_across_switches(self):
+        bpu = make_bpu("bimodal", "baseline")
+        bpu.execute_branch(0x4000, True, 0x5000, BranchType.INDIRECT)
+        bpu.notify_context_switch(0)
+        outcome = bpu.execute_branch(0x4000, True, 0x5000, BranchType.INDIRECT)
+        assert not outcome.target_mispredicted
+
+    def test_privilege_round_trip_invalidates_user_state_under_xor(self):
+        bpu = make_bpu("bimodal", "noisy_xor_bp")
+        bpu.execute_branch(0x4000, True, 0x5000, BranchType.INDIRECT)
+        bpu.notify_privilege_switch(0, Privilege.KERNEL)
+        bpu.notify_privilege_switch(0, Privilege.USER)
+        outcome = bpu.execute_branch(0x4000, True, 0x5000, BranchType.INDIRECT)
+        assert outcome.target_mispredicted
+
+    def test_table4_rate_emerges_from_simulation(self):
+        """The measured privilege-switch rate tracks the profile's rate."""
+        config = fpga_prototype("gshare")
+        pair = get_pair("case6", "single")
+        workloads = make_pair_workloads(pair, seed=5)
+        core = SingleThreadCore(config, _build(config, "noisy_xor_bp"), workloads,
+                                time_scale=100.0, syscall_time_scale=100.0)
+        result = core.run(target_branches=8000, warmup_branches=0)
+        rate = result.privilege_switches_per_million_cycles()
+        assert rate == pytest.approx(1.6, rel=0.5)

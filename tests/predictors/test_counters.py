@@ -1,0 +1,128 @@
+"""Tests for saturating counters."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.predictors.counters import (
+    STRONG_NOT_TAKEN,
+    STRONG_TAKEN,
+    WEAK_NOT_TAKEN,
+    WEAK_TAKEN,
+    SaturatingCounter,
+    counter_is_taken,
+    counter_strength,
+    saturating_update,
+    signed_saturating_update,
+)
+
+
+class TestSaturatingUpdate:
+    def test_increments_on_taken(self):
+        assert saturating_update(1, True) == 2
+
+    def test_decrements_on_not_taken(self):
+        assert saturating_update(2, False) == 1
+
+    def test_saturates_high(self):
+        assert saturating_update(3, True) == 3
+
+    def test_saturates_low(self):
+        assert saturating_update(0, False) == 0
+
+    def test_wider_counter_saturates_at_its_max(self):
+        assert saturating_update(7, True, bits=3) == 7
+        assert saturating_update(6, True, bits=3) == 7
+
+    @given(st.integers(min_value=0, max_value=255), st.booleans(),
+           st.integers(min_value=1, max_value=8))
+    def test_result_stays_in_range(self, value, taken, bits):
+        value %= 1 << bits
+        result = saturating_update(value, taken, bits)
+        assert 0 <= result < (1 << bits)
+
+    @given(st.integers(min_value=0, max_value=15), st.integers(min_value=2, max_value=4))
+    def test_moves_by_at_most_one(self, value, bits):
+        value %= 1 << bits
+        assert abs(saturating_update(value, True, bits) - value) <= 1
+        assert abs(saturating_update(value, False, bits) - value) <= 1
+
+
+class TestDirectionAndStrength:
+    def test_canonical_2bit_directions(self):
+        assert not counter_is_taken(STRONG_NOT_TAKEN)
+        assert not counter_is_taken(WEAK_NOT_TAKEN)
+        assert counter_is_taken(WEAK_TAKEN)
+        assert counter_is_taken(STRONG_TAKEN)
+
+    def test_strength_is_zero_for_weak_states(self):
+        assert counter_strength(WEAK_NOT_TAKEN) == 0
+        assert counter_strength(WEAK_TAKEN) == 0
+
+    def test_strength_is_one_for_strong_states(self):
+        assert counter_strength(STRONG_NOT_TAKEN) == 1
+        assert counter_strength(STRONG_TAKEN) == 1
+
+    def test_3bit_midpoint(self):
+        assert not counter_is_taken(3, bits=3)
+        assert counter_is_taken(4, bits=3)
+
+
+class TestSignedCounter:
+    def test_moves_towards_taken(self):
+        assert signed_saturating_update(0, True, 6) == 1
+
+    def test_moves_towards_not_taken(self):
+        assert signed_saturating_update(0, False, 6) == -1
+
+    def test_saturates_at_positive_limit(self):
+        assert signed_saturating_update(31, True, 6) == 31
+
+    def test_saturates_at_negative_limit(self):
+        assert signed_saturating_update(-32, False, 6) == -32
+
+    @given(st.integers(min_value=-32, max_value=31), st.booleans())
+    def test_stays_in_range(self, value, taken):
+        result = signed_saturating_update(value, taken, 6)
+        assert -32 <= result <= 31
+
+
+class TestSaturatingCounterObject:
+    def test_default_is_weak_not_taken(self):
+        counter = SaturatingCounter()
+        assert counter.value == WEAK_NOT_TAKEN
+        assert not counter.taken
+
+    def test_training_to_taken(self):
+        counter = SaturatingCounter()
+        counter.update(True)
+        counter.update(True)
+        assert counter.taken
+        assert counter.value == STRONG_TAKEN
+
+    def test_is_weak_flag(self):
+        assert SaturatingCounter(value=WEAK_TAKEN).is_weak
+        assert not SaturatingCounter(value=STRONG_TAKEN).is_weak
+
+    def test_set_out_of_range_rejected(self):
+        counter = SaturatingCounter()
+        with pytest.raises(ValueError):
+            counter.set(4)
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=0)
+
+    def test_invalid_initial_value_rejected(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=2, value=7)
+
+    def test_reset_returns_to_weak_not_taken(self):
+        counter = SaturatingCounter(value=STRONG_TAKEN)
+        counter.reset()
+        assert counter.value == WEAK_NOT_TAKEN
+
+    def test_int_conversion(self):
+        assert int(SaturatingCounter(value=2)) == 2
+
+    def test_max_value(self):
+        assert SaturatingCounter(bits=3).max_value == 7

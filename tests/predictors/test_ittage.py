@@ -1,0 +1,128 @@
+"""Tests for the ITTAGE indirect-target predictor."""
+
+import pytest
+
+from repro.core import KeyManager, NoisyXorIsolation
+from repro.predictors import IttagePredictor
+from repro.predictors.ittage import IttagePrediction
+
+_BRANCH_PC = 0x0040_3210
+_TARGETS = [0x0041_0000, 0x0042_0040, 0x0043_0080, 0x0044_00C0]
+
+
+def _train_monomorphic(predictor, target, rounds=50, thread_id=0):
+    for _ in range(rounds):
+        prediction = predictor.lookup(_BRANCH_PC, thread_id)
+        predictor.update(_BRANCH_PC, target, prediction, thread_id)
+
+
+class TestConstruction:
+    def test_geometry(self):
+        predictor = IttagePredictor(n_tables=4, table_entries=512)
+        assert len(predictor.tables()) == 4
+        assert len(predictor.history_lengths) == 4
+        assert predictor.history_lengths == sorted(predictor.history_lengths)
+        assert predictor.storage_bits == sum(t.storage_bits for t in predictor.tables())
+
+    def test_rejects_zero_tables(self):
+        with pytest.raises(ValueError):
+            IttagePredictor(n_tables=0)
+
+    def test_empty_predictor_predicts_nothing(self):
+        predictor = IttagePredictor()
+        prediction = predictor.lookup(_BRANCH_PC)
+        assert prediction.target is None
+        assert prediction.provider == -1
+
+
+class TestEntryPacking:
+    def test_pack_unpack_round_trip(self):
+        predictor = IttagePredictor()
+        word = predictor._pack(tag=0x1A5, target=0x3FF_FFF0, confidence=3, useful=1)
+        entry = predictor._unpack(word)
+        assert entry == {"tag": 0x1A5, "target": 0x3FF_FFF0, "confidence": 3,
+                         "useful": 1}
+
+    def test_word_fits_table_width(self):
+        predictor = IttagePredictor()
+        word = predictor._pack(predictor._tag_mask, predictor._target_mask, 3, 1)
+        assert word < (1 << predictor.tables()[0].entry_bits)
+
+
+class TestLearning:
+    def test_learns_monomorphic_target(self):
+        predictor = IttagePredictor()
+        _train_monomorphic(predictor, _TARGETS[0])
+        prediction = predictor.lookup(_BRANCH_PC)
+        assert prediction.target == _TARGETS[0]
+        assert prediction.provider >= 0
+
+    def test_confidence_grows_with_agreement(self):
+        predictor = IttagePredictor()
+        _train_monomorphic(predictor, _TARGETS[0], rounds=30)
+        assert predictor.lookup(_BRANCH_PC).confidence > 0
+
+    def test_relearns_after_target_change(self):
+        predictor = IttagePredictor()
+        _train_monomorphic(predictor, _TARGETS[0], rounds=30)
+        _train_monomorphic(predictor, _TARGETS[1], rounds=60)
+        assert predictor.lookup(_BRANCH_PC).target == _TARGETS[1]
+
+    def test_history_correlated_targets(self):
+        """A target that depends on recent history is captured by longer tables."""
+        predictor = IttagePredictor(n_tables=4, table_entries=1024)
+        correct = total = 0
+        pattern = [True, True, False, True, False, False, True, False]
+        for i in range(4000):
+            direction = pattern[i % len(pattern)]
+            target = _TARGETS[0] if direction else _TARGETS[1]
+            prediction = predictor.lookup(_BRANCH_PC)
+            if i > 2000:
+                total += 1
+                correct += prediction.target == target
+            predictor.update(_BRANCH_PC, target, prediction, taken=direction)
+        assert correct / total > 0.6
+
+    def test_update_without_prediction_object(self):
+        predictor = IttagePredictor()
+        predictor.update(_BRANCH_PC, _TARGETS[0])
+        assert isinstance(predictor.lookup(_BRANCH_PC), IttagePrediction)
+
+    def test_per_thread_histories_are_separate(self):
+        predictor = IttagePredictor()
+        _train_monomorphic(predictor, _TARGETS[0], thread_id=0)
+        # Thread 1 never trained the branch; its view stays empty or at least
+        # does not inherit thread 0's confidence blindly.
+        prediction = predictor.lookup(_BRANCH_PC, thread_id=1)
+        assert prediction.target in (None, _TARGETS[0])
+
+
+class TestFlushAndIsolation:
+    def test_flush_clears_predictions(self):
+        predictor = IttagePredictor()
+        _train_monomorphic(predictor, _TARGETS[0])
+        predictor.flush()
+        assert predictor.lookup(_BRANCH_PC).target is None
+
+    def test_noisy_xor_isolation_is_transparent_with_stable_key(self):
+        isolation = NoisyXorIsolation(KeyManager(seed=5))
+        predictor = IttagePredictor(isolation=isolation)
+        _train_monomorphic(predictor, _TARGETS[0])
+        assert predictor.lookup(_BRANCH_PC).target == _TARGETS[0]
+
+    def test_key_rotation_invalidates_trained_targets(self):
+        isolation = NoisyXorIsolation(KeyManager(seed=5))
+        predictor = IttagePredictor(isolation=isolation)
+        _train_monomorphic(predictor, _TARGETS[0])
+        isolation.on_context_switch(0)
+        prediction = predictor.lookup(_BRANCH_PC)
+        # After the key change the stored tags decode to garbage: either no
+        # component matches, or a chance match yields a garbage target.
+        assert prediction.target != _TARGETS[0] or prediction.provider == -1
+
+    def test_cross_thread_entries_unusable_under_isolation(self):
+        isolation = NoisyXorIsolation(KeyManager(seed=5))
+        predictor = IttagePredictor(isolation=isolation)
+        _train_monomorphic(predictor, _TARGETS[0], thread_id=0)
+        prediction = predictor.lookup(_BRANCH_PC, thread_id=1)
+        assert prediction.target != _TARGETS[0] or prediction.provider == -1

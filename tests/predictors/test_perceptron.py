@@ -1,0 +1,210 @@
+"""Tests for the perceptron direction predictor."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import KeyManager, NoisyXorIsolation, XorContentIsolation
+from repro.predictors import PerceptronPredictor, make_direction_predictor
+from repro.predictors.perceptron import _to_signed, _to_unsigned
+
+
+class TestSignedFieldCodec:
+    """Signed weight <-> unsigned field conversion."""
+
+    @given(st.integers(min_value=-128, max_value=127))
+    def test_round_trip_8bit(self, value):
+        assert _to_signed(_to_unsigned(value, 8), 8) == value
+
+    @given(st.integers(min_value=2, max_value=16), st.data())
+    def test_round_trip_any_width(self, bits, data):
+        low, high = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+        value = data.draw(st.integers(min_value=low, max_value=high))
+        assert _to_signed(_to_unsigned(value, bits), bits) == value
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_unsigned_field_fits_width(self, field):
+        assert 0 <= _to_unsigned(_to_signed(field, 8), 8) <= 255
+
+
+class TestConstruction:
+    def test_default_geometry(self):
+        predictor = PerceptronPredictor()
+        assert predictor.history_bits == 24
+        assert predictor.weight_bits == 8
+        assert predictor.threshold == int(1.93 * 24 + 14)
+        assert len(predictor.tables()) == 1
+
+    def test_registered_in_factory(self):
+        predictor = make_direction_predictor("perceptron", n_entries=64,
+                                             history_bits=8)
+        assert isinstance(predictor, PerceptronPredictor)
+
+    def test_table_width_holds_all_weights(self):
+        predictor = PerceptronPredictor(n_entries=64, history_bits=12, weight_bits=8)
+        assert predictor.weight_table.entry_bits == (12 + 1) * 8
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            PerceptronPredictor(history_bits=0)
+        with pytest.raises(ValueError):
+            PerceptronPredictor(weight_bits=1)
+        with pytest.raises(ValueError):
+            PerceptronPredictor(n_entries=100)  # not a power of two
+
+
+class TestPacking:
+    @given(st.lists(st.integers(min_value=-128, max_value=127),
+                    min_size=13, max_size=13))
+    def test_pack_unpack_round_trip(self, weights):
+        predictor = PerceptronPredictor(n_entries=16, history_bits=12, weight_bits=8)
+        assert predictor._unpack(predictor._pack(weights)) == weights
+
+    def test_packed_word_fits_table(self):
+        predictor = PerceptronPredictor(n_entries=16, history_bits=12, weight_bits=8)
+        word = predictor._pack([127] * 13)
+        assert word < (1 << predictor.weight_table.entry_bits)
+
+
+class TestLearning:
+    def test_learns_strongly_biased_branch(self):
+        predictor = PerceptronPredictor(n_entries=128, history_bits=12)
+        pc = 0x4000_1000
+        for _ in range(200):
+            predictor.predict_and_update(pc, True)
+        assert predictor.lookup(pc).taken is True
+
+    def test_learns_alternating_pattern(self):
+        """A pattern correlated with history is exactly what perceptrons learn."""
+        predictor = PerceptronPredictor(n_entries=128, history_bits=16)
+        pc = 0x4000_2000
+        mispredicts = 0
+        for i in range(2000):
+            taken = (i % 2) == 0
+            mispredicts += predictor.predict_and_update(pc, taken)
+        # After warm-up the alternating pattern should be almost perfectly predicted.
+        late_mispredicts = 0
+        for i in range(2000, 2400):
+            taken = (i % 2) == 0
+            late_mispredicts += predictor.predict_and_update(pc, taken)
+        assert late_mispredicts <= 10
+
+    def test_beats_random_on_history_correlated_stream(self):
+        rng = random.Random(7)
+        predictor = PerceptronPredictor(n_entries=256, history_bits=12)
+        pcs = [0x1000 + 4 * i for i in range(8)]
+        history = []
+        mispredicts = total = 0
+        for i in range(4000):
+            pc = pcs[i % len(pcs)]
+            taken = (len(history) < 2) or (history[-1] ^ history[-2] == 0)
+            if rng.random() < 0.05:
+                taken = not taken
+            mispredicts += predictor.predict_and_update(pc, taken)
+            history.append(int(taken))
+            total += 1
+        assert mispredicts / total < 0.35
+
+    def test_weights_saturate(self):
+        predictor = PerceptronPredictor(n_entries=16, history_bits=4, weight_bits=4)
+        pc = 0x2000
+        for _ in range(500):
+            predictor.predict_and_update(pc, True)
+        weights = predictor._unpack(predictor.weight_table.read(predictor.index_of(pc)))
+        assert all(-8 <= w <= 7 for w in weights)
+
+    def test_update_without_prediction_object(self):
+        predictor = PerceptronPredictor(n_entries=16, history_bits=4)
+        predictor.update(0x3000, True)
+        assert predictor.lookup(0x3000).taken is True
+
+
+class TestStatsAndFlush:
+    def test_stats_recorded_per_thread(self):
+        predictor = PerceptronPredictor(n_entries=32, history_bits=8)
+        for _ in range(10):
+            predictor.predict_and_update(0x100, True, thread_id=1)
+        assert predictor.stats(1).lookups == 10
+        assert predictor.stats(0).lookups == 0
+
+    def test_flush_clears_learned_state(self):
+        predictor = PerceptronPredictor(n_entries=32, history_bits=8)
+        pc = 0x100
+        for _ in range(100):
+            predictor.predict_and_update(pc, True)
+        predictor.flush()
+        # After a flush the weights are zero, so the output is 0 -> predicted taken,
+        # but the stored word must be the reset value.
+        assert predictor.weight_table.read(predictor.index_of(pc)) == 0
+
+    def test_flush_thread_only_touches_that_thread(self):
+        from repro.core import PreciseFlushIsolation
+
+        isolation = PreciseFlushIsolation(KeyManager(seed=3))
+        predictor = PerceptronPredictor(n_entries=32, history_bits=8,
+                                        isolation=isolation)
+        for _ in range(50):
+            predictor.predict_and_update(0x100, True, thread_id=0)
+        predictor.flush_thread(1)
+        assert predictor.lookup(0x100, thread_id=0).taken is True
+
+
+class TestIsolationIntegration:
+    """The perceptron picks up XOR/Noisy-XOR protection unchanged."""
+
+    def test_protected_predictor_still_learns(self):
+        """Under Noisy-XOR isolation the perceptron still learns its workload.
+
+        Unwritten rows decode to key-dependent garbage (that is the point of
+        the mechanism), so the protected predictor warms up from a random
+        rather than a zero state; it must nevertheless converge to a useful
+        accuracy on a predictable branch stream.
+        """
+        protected = PerceptronPredictor(
+            n_entries=64, history_bits=8, weight_bits=6,
+            isolation=NoisyXorIsolation(KeyManager(seed=9)))
+        rng = random.Random(3)
+        pcs = [0x5000 + 4 * i for i in range(4)]
+        mispredicts = measured = 0
+        for i in range(6000):
+            pc = pcs[i % len(pcs)]
+            taken = rng.random() < 0.9
+            result = protected.predict_and_update(pc, taken)
+            if i >= 3000:  # steady state only
+                mispredicts += result
+                measured += 1
+        # A blind guesser is wrong 50% of the time, always-taken 10%; the
+        # protected perceptron must get close to the always-taken bound.
+        assert mispredicts / measured < 0.25
+
+    def test_mechanism_transparent_for_written_rows(self):
+        """Once a row has been written under a stable key, reads decode exactly."""
+        keys = KeyManager(seed=9)
+        protected = PerceptronPredictor(n_entries=64, history_bits=8,
+                                        isolation=NoisyXorIsolation(keys))
+        plain = PerceptronPredictor(n_entries=64, history_bits=8)
+        weights = [3, -2, 5, 0, -7, 1, 2, -1, 4]
+        index = protected.index_of(0x5000)
+        protected.weight_table.write(index, protected._pack(weights))
+        plain.weight_table.write(index, plain._pack(weights))
+        assert protected._unpack(protected.weight_table.read(index)) == weights
+        assert (protected.weight_table.read(index)
+                == plain.weight_table.read(index))
+
+    def test_key_rotation_obscures_learned_state(self):
+        keys = KeyManager(seed=9)
+        isolation = NoisyXorIsolation(keys)
+        predictor = PerceptronPredictor(n_entries=256, history_bits=12,
+                                        isolation=isolation)
+        pc = 0x6000
+        for _ in range(300):
+            predictor.predict_and_update(pc, True)
+        stored_before = predictor.weight_table.read_raw(0)  # raw snapshot
+        isolation.on_context_switch(0)
+        # The decoded weights after a key change are unrelated to the trained
+        # ones; the raw storage is unchanged.
+        assert predictor.weight_table.read_raw(0) == stored_before
+        trained_word = predictor._pack([predictor._clip(1)] * 13)
+        assert predictor.weight_table.read(predictor.index_of(pc)) != trained_word

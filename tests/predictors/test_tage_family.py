@@ -1,0 +1,193 @@
+"""Tests for TAGE, the loop predictor, the statistical corrector, LTAGE and TAGE-SC-L."""
+
+import random
+
+import pytest
+
+from repro.predictors.loop import LoopPredictor
+from repro.predictors.ltage import LTagePredictor
+from repro.predictors.statistical_corrector import StatisticalCorrector
+from repro.predictors.tage import TageConfig, TagePredictor, geometric_history_lengths
+from repro.predictors.tage_sc_l import TageScLPredictor
+
+
+class TestGeometricHistoryLengths:
+    def test_endpoints(self):
+        lengths = geometric_history_lengths(6, 12, 130)
+        assert lengths[0] == 12
+        assert lengths[-1] == 130
+
+    def test_strictly_increasing(self):
+        lengths = geometric_history_lengths(8, 4, 256)
+        assert all(b > a for a, b in zip(lengths, lengths[1:]))
+
+    def test_single_table(self):
+        assert geometric_history_lengths(1, 12, 130) == [12]
+
+
+class TestTageConfig:
+    def test_default_matches_fpga_prototype(self):
+        config = TageConfig()
+        assert config.n_tables == 6
+        assert config.table_entries == 4096
+        assert config.history_lengths()[0] == 12
+        assert config.history_lengths()[-1] == 130
+
+
+def _train_pattern(predictor, pc, pattern, repetitions=60, measure_last=0.5):
+    correct = 0
+    total = 0
+    start = int(repetitions * (1 - measure_last))
+    for rep in range(repetitions):
+        for outcome in pattern:
+            prediction = predictor.lookup(pc)
+            if rep >= start:
+                total += 1
+                correct += int(prediction.taken == outcome)
+            predictor.update(pc, outcome, prediction)
+    return correct / max(total, 1)
+
+
+class TestTage:
+    def test_learns_biased_branch(self):
+        predictor = TagePredictor(TageConfig(n_tables=4, table_entries=512))
+        assert _train_pattern(predictor, 0x4000, [True]) > 0.95
+
+    def test_learns_long_period_pattern(self):
+        # Period-9 pattern: beyond a 2-bit counter, learnable with history.
+        pattern = [True] * 8 + [False]
+        predictor = TagePredictor(TageConfig(n_tables=4, table_entries=1024))
+        assert _train_pattern(predictor, 0x4000, pattern, repetitions=80) > 0.85
+
+    def test_outperforms_bimodal_on_history_pattern(self):
+        from repro.predictors.bimodal import BimodalPredictor
+        pattern = [True, True, False]
+        tage = TagePredictor(TageConfig(n_tables=4, table_entries=1024))
+        bimodal = BimodalPredictor(1024)
+        tage_acc = _train_pattern(tage, 0x4000, pattern, repetitions=80)
+        bimodal_acc = _train_pattern(bimodal, 0x4000, pattern, repetitions=80)
+        assert tage_acc > bimodal_acc
+
+    def test_meta_reports_provider(self):
+        predictor = TagePredictor(TageConfig(n_tables=4, table_entries=512))
+        _train_pattern(predictor, 0x4000, [True, False], repetitions=30)
+        meta = predictor.lookup(0x4000).meta
+        assert "provider" in meta and "indices" in meta
+        assert len(meta["indices"]) == 4
+
+    def test_tables_exposed(self):
+        predictor = TagePredictor(TageConfig(n_tables=5, table_entries=256))
+        assert len(predictor.tagged_tables) == 5
+        # base bimodal contributes one more storage table
+        assert len(predictor.tables()) == 6
+
+    def test_flush_clears_folded_state(self):
+        predictor = TagePredictor(TageConfig(n_tables=4, table_entries=256))
+        _train_pattern(predictor, 0x4000, [True], repetitions=5)
+        predictor.flush()
+        assert predictor.global_history.value(0) == 0
+
+    def test_per_thread_histories_are_independent(self):
+        predictor = TagePredictor(TageConfig(n_tables=4, table_entries=256))
+        predictor.update(0x4000, True, thread_id=0)
+        assert predictor.global_history.value(0) != 0
+        assert predictor.global_history.value(1) == 0
+
+
+class TestLoopPredictor:
+    def test_learns_fixed_trip_count(self):
+        loop = LoopPredictor(64)
+        pc = 0x8000
+        trip = 7
+        # Train several full loop executions.
+        for _ in range(8):
+            for i in range(trip):
+                taken = i < trip - 1
+                loop.update(pc, taken)
+        # Now the predictor should predict the whole loop correctly.
+        correct = 0
+        for i in range(trip):
+            expected = i < trip - 1
+            prediction = loop.lookup(pc)
+            correct += int(prediction.valid and prediction.taken == expected)
+            loop.update(pc, expected)
+        assert correct == trip
+
+    def test_not_confident_before_repetitions(self):
+        loop = LoopPredictor(64)
+        pc = 0x8000
+        for i in range(5):
+            loop.update(pc, i < 4)
+        assert not loop.lookup(pc).valid
+
+    def test_irregular_loop_never_becomes_confident(self):
+        loop = LoopPredictor(64)
+        pc = 0x8000
+        rng = random.Random(3)
+        for _ in range(12):
+            trip = rng.randrange(3, 9)
+            for i in range(trip):
+                loop.update(pc, i < trip - 1)
+        assert not loop.lookup(pc).valid
+
+    def test_flush(self):
+        loop = LoopPredictor(64)
+        for _ in range(8):
+            for i in range(5):
+                loop.update(0x8000, i < 4)
+        loop.flush()
+        assert not loop.lookup(0x8000).valid
+
+
+class TestStatisticalCorrector:
+    def test_agreeing_prediction_is_unchanged(self):
+        sc = StatisticalCorrector(256)
+        assert sc.correct(0x4000, 0, True, True) in (True, False)
+
+    def test_training_biases_towards_observed_direction(self):
+        sc = StatisticalCorrector(256)
+        pc = 0x4000
+        for _ in range(200):
+            sc.update(pc, True, 0, tage_taken=False, final_taken=False)
+        # After consistently seeing taken, the corrector should override a
+        # low-confidence not-taken TAGE prediction.
+        assert sc.correct(pc, 0, False, False) is True
+
+    def test_tables_exposed_and_flush(self):
+        sc = StatisticalCorrector(128)
+        assert len(sc.tables()) >= 3
+        sc.flush()
+        assert sc.confidence_sum(0x4000, 0, True) != 0  # TAGE vote bias remains
+
+
+class TestComposites:
+    @pytest.mark.parametrize("cls", [LTagePredictor, TageScLPredictor])
+    def test_learns_biased_branch(self, cls):
+        predictor = cls(TageConfig(n_tables=4, table_entries=512))
+        assert _train_pattern(predictor, 0x4000, [True]) > 0.9
+
+    @pytest.mark.parametrize("cls", [LTagePredictor, TageScLPredictor])
+    def test_component_access_and_flush(self, cls):
+        predictor = cls(TageConfig(n_tables=4, table_entries=256))
+        assert predictor.tage is not None
+        assert predictor.loop is not None
+        assert len(predictor.tables()) > 4
+        predictor.flush()  # must not raise
+
+    def test_ltage_loop_component_captures_long_loops(self):
+        predictor = LTagePredictor(TageConfig(n_tables=4, table_entries=512))
+        pc = 0x9000
+        trip = 40  # too long for the 2-bit/short-history components alone
+        for _ in range(12):
+            for i in range(trip):
+                predictor.predict_and_update(pc, i < trip - 1)
+        # Measure a final loop execution.
+        mispredicts = sum(
+            predictor.predict_and_update(pc, i < trip - 1) for i in range(trip))
+        assert mispredicts <= 2
+
+    def test_tage_sc_l_flush_thread(self):
+        predictor = TageScLPredictor(TageConfig(n_tables=4, table_entries=256))
+        predictor.predict_and_update(0x4000, True, thread_id=1)
+        predictor.flush_thread(1)
+        assert predictor.tage.global_history.value(1) == 0

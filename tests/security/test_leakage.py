@@ -1,0 +1,162 @@
+"""Tests for the information-theoretic leakage measurements."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.security.leakage import (
+    LeakageEstimate,
+    binary_entropy,
+    leakage_bandwidth,
+    leakage_report,
+    measure_btb_occupancy_leakage,
+    measure_direction_leakage,
+    mutual_information,
+)
+
+
+class TestBinaryEntropy:
+    def test_extremes_are_zero(self):
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+
+    def test_maximum_at_half(self):
+        assert binary_entropy(0.5) == pytest.approx(1.0)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_bounded_and_symmetric(self, p):
+        value = binary_entropy(p)
+        assert 0.0 <= value <= 1.0
+        assert value == pytest.approx(binary_entropy(1.0 - p), abs=1e-9)
+
+
+class TestMutualInformation:
+    def test_empty_counts(self):
+        assert mutual_information([[0, 0], [0, 0]]) == 0.0
+
+    def test_independent_variables_leak_nothing(self):
+        assert mutual_information([[25, 25], [25, 25]]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_perfect_correlation_leaks_one_bit(self):
+        assert mutual_information([[50, 0], [0, 50]]) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation_leaks_one_bit(self):
+        assert mutual_information([[0, 50], [50, 0]]) == pytest.approx(1.0)
+
+    def test_partial_correlation_between_zero_and_one(self):
+        value = mutual_information([[40, 10], [10, 40]])
+        assert 0.0 < value < 1.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=200), min_size=4, max_size=4))
+    def test_never_negative_never_above_one_bit(self, counts):
+        table = [[counts[0], counts[1]], [counts[2], counts[3]]]
+        value = mutual_information(table)
+        assert 0.0 <= value <= 1.0 + 1e-9
+
+    @given(st.lists(st.integers(min_value=0, max_value=200), min_size=4, max_size=4))
+    def test_bounded_by_secret_entropy(self, counts):
+        table = [[counts[0], counts[1]], [counts[2], counts[3]]]
+        total = sum(counts)
+        if total == 0:
+            return
+        p_secret = (counts[0] + counts[1]) / total
+        assert mutual_information(table) <= binary_entropy(p_secret) + 1e-9
+
+
+class TestLeakageEstimate:
+    def test_guess_accuracy_of_perfect_channel(self):
+        estimate = LeakageEstimate("pht_direction", "baseline", False, 100,
+                                   joint_counts=[[50, 0], [0, 50]])
+        assert estimate.guess_accuracy == pytest.approx(1.0)
+
+    def test_guess_accuracy_of_useless_channel_is_half(self):
+        estimate = LeakageEstimate("pht_direction", "noisy_xor_bp", False, 100,
+                                   joint_counts=[[25, 25], [25, 25]])
+        assert estimate.guess_accuracy == pytest.approx(0.5)
+
+    def test_observation_rate(self):
+        estimate = LeakageEstimate("btb_occupancy", "baseline", False, 100,
+                                   joint_counts=[[40, 10], [20, 30]])
+        assert estimate.observation_rate() == pytest.approx(0.4)
+
+    def test_empty_estimate_defaults(self):
+        estimate = LeakageEstimate("pht_direction", "baseline", False, 0)
+        assert estimate.guess_accuracy == 0.5
+        assert estimate.mutual_information_bits == 0.0
+        assert estimate.observation_rate() == 0.0
+
+
+class TestDirectionChannel:
+    def test_baseline_leaks_close_to_one_bit(self):
+        estimate = measure_direction_leakage("baseline", trials=150, seed=1)
+        assert estimate.mutual_information_bits > 0.6
+        assert estimate.guess_accuracy > 0.9
+
+    def test_noisy_xor_reduces_leakage_to_near_zero(self):
+        estimate = measure_direction_leakage("noisy_xor_bp", trials=150, seed=1)
+        assert estimate.mutual_information_bits < 0.1
+        assert estimate.guess_accuracy < 0.7
+
+    def test_complete_flush_defends_single_threaded(self):
+        estimate = measure_direction_leakage("complete_flush", trials=150, seed=1)
+        assert estimate.mutual_information_bits < 0.1
+
+    def test_estimate_metadata(self):
+        estimate = measure_direction_leakage("baseline", trials=10, seed=1)
+        assert estimate.channel == "pht_direction"
+        assert estimate.mechanism == "baseline"
+        assert estimate.trials == 10
+        assert sum(sum(row) for row in estimate.joint_counts) == 10
+
+
+class TestBtbOccupancyChannel:
+    def test_baseline_leaks(self):
+        estimate = measure_btb_occupancy_leakage("baseline", trials=150, seed=2)
+        assert estimate.mutual_information_bits > 0.3
+
+    def test_noisy_xor_btb_defends(self):
+        estimate = measure_btb_occupancy_leakage("noisy_xor_bp", trials=150, seed=2)
+        assert estimate.mutual_information_bits < 0.1
+
+    def test_channel_label(self):
+        estimate = measure_btb_occupancy_leakage("baseline", trials=10, seed=2)
+        assert estimate.channel == "btb_occupancy"
+        assert estimate.probes_per_trial >= 2.0
+
+
+class TestBandwidthAndReport:
+    def test_bandwidth_scales_with_mutual_information(self):
+        strong = LeakageEstimate("pht_direction", "baseline", False, 100,
+                                 joint_counts=[[50, 0], [0, 50]])
+        weak = LeakageEstimate("pht_direction", "noisy_xor_bp", False, 100,
+                               joint_counts=[[25, 25], [25, 25]])
+        assert leakage_bandwidth(strong) > leakage_bandwidth(weak)
+
+    def test_bandwidth_decreases_with_probe_cost(self):
+        estimate = LeakageEstimate("pht_direction", "baseline", False, 100,
+                                   joint_counts=[[50, 0], [0, 50]],
+                                   probes_per_trial=1.0)
+        expensive = LeakageEstimate("pht_direction", "baseline", False, 100,
+                                    joint_counts=[[50, 0], [0, 50]],
+                                    probes_per_trial=4096.0)
+        assert leakage_bandwidth(expensive) < leakage_bandwidth(estimate)
+
+    def test_bandwidth_is_finite_and_positive_units(self):
+        estimate = LeakageEstimate("pht_direction", "baseline", False, 10,
+                                   joint_counts=[[5, 0], [0, 5]])
+        value = leakage_bandwidth(estimate, cycles_per_second=2.0e9)
+        assert math.isfinite(value)
+        assert value > 0.0
+
+    def test_report_covers_both_channels(self):
+        report = leakage_report(["baseline", "noisy_xor_bp"], trials=60, seed=5)
+        assert set(report) == {"baseline", "noisy_xor_bp"}
+        for channels in report.values():
+            assert set(channels) == {"pht_direction", "btb_occupancy"}
+
+    def test_report_orders_mechanisms_as_expected(self):
+        report = leakage_report(["baseline", "noisy_xor_bp"], trials=120, seed=5)
+        assert (report["baseline"]["pht_direction"].mutual_information_bits
+                > report["noisy_xor_bp"]["pht_direction"].mutual_information_bits)

@@ -1,0 +1,112 @@
+"""Tests for the security classification (Table 1) machinery."""
+
+import pytest
+
+from repro.security import (
+    PAPER_TABLE1,
+    TABLE1_COLUMNS,
+    TABLE1_ROWS,
+    Verdict,
+    btb_tag_hit_probability,
+    build_security_table,
+    classify_success_rate,
+    malicious_redirect_probability,
+)
+
+
+class TestClassification:
+    def test_chance_level_success_is_defend(self):
+        assert classify_success_rate(0.5, 0.5) is Verdict.DEFEND
+
+    def test_perfect_attack_is_no_protection(self):
+        assert classify_success_rate(1.0, 0.5) is Verdict.NO_PROTECTION
+
+    def test_partial_advantage_is_mitigate(self):
+        assert classify_success_rate(0.7, 0.5) is Verdict.MITIGATE
+
+    def test_sub_chance_success_is_defend(self):
+        assert classify_success_rate(0.3, 0.5) is Verdict.DEFEND
+
+    def test_zero_chance_attack(self):
+        assert classify_success_rate(0.97, 0.0) is Verdict.NO_PROTECTION
+        assert classify_success_rate(0.01, 0.0) is Verdict.DEFEND
+
+    def test_invalid_chance_rejected(self):
+        with pytest.raises(ValueError):
+            classify_success_rate(0.5, 1.0)
+
+    def test_verdict_string(self):
+        assert str(Verdict.NO_PROTECTION) == "No Protection"
+
+
+class TestAnalyticBounds:
+    def test_tag_hit_probability(self):
+        assert btb_tag_hit_probability(16) == pytest.approx(2 ** -16)
+
+    def test_redirect_probability_combines_tag_and_target(self):
+        assert malicious_redirect_probability(16, 32) == pytest.approx(2 ** -48)
+
+    def test_zero_bits_edge_case(self):
+        assert btb_tag_hit_probability(0) == 1.0
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            btb_tag_hit_probability(-1)
+        with pytest.raises(ValueError):
+            malicious_redirect_probability(4, -1)
+
+
+class TestPaperTable:
+    def test_every_row_has_paper_verdicts(self):
+        for structure, label, _ in TABLE1_ROWS:
+            assert (structure, label) in PAPER_TABLE1
+            assert set(PAPER_TABLE1[(structure, label)]) == set(TABLE1_COLUMNS)
+
+    def test_paper_verdicts_use_known_vocabulary(self):
+        for cells in PAPER_TABLE1.values():
+            for verdict in cells.values():
+                assert verdict in ("Defend", "Mitigate", "No Protection")
+
+
+class TestBuildSecurityTable:
+    @pytest.fixture(scope="class")
+    def table(self):
+        # Small iteration count: the verdicts are far from the thresholds.
+        return build_security_table(iterations=60)
+
+    def test_has_all_rows_and_columns(self, table):
+        assert len(table) == len(TABLE1_ROWS)
+        for row in table:
+            assert set(row.cells) == set(TABLE1_COLUMNS)
+
+    def test_single_thread_reuse_cells_all_defend(self, table):
+        for row in table:
+            cell = row.cells[("single", "reuse")]
+            assert cell.verdict is Verdict.DEFEND, row.label
+
+    def test_noisy_xor_btb_is_the_only_btb_row_mitigating_smt_contention(self, table):
+        verdicts = {row.label: row.cells[("smt", "contention")].verdict
+                    for row in table if row.structure == "btb"}
+        assert verdicts["Noisy-XOR-BTB"] in (Verdict.MITIGATE, Verdict.DEFEND)
+        assert verdicts["Complete Flush"] is Verdict.NO_PROTECTION
+        assert verdicts["XOR-BTB"] is Verdict.NO_PROTECTION
+
+    def test_complete_flush_fails_reuse_on_smt(self, table):
+        for row in table:
+            if row.label == "Complete Flush":
+                assert row.cells[("smt", "reuse")].verdict is Verdict.NO_PROTECTION
+
+    def test_agreement_with_paper_is_high(self, table):
+        total = 0
+        matches = 0
+        for row in table:
+            for cell in row.cells.values():
+                total += 1
+                matches += int(cell.matches_paper)
+        assert matches / total >= 0.7
+
+    def test_cells_record_best_attack(self, table):
+        for row in table:
+            cell = row.cells[("single", "reuse")]
+            assert cell.best_attack is not None
+            assert 0.0 <= cell.success_rate <= 1.0

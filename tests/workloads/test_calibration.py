@@ -1,0 +1,73 @@
+"""Tests for the synthetic-workload calibration checks."""
+
+import pytest
+
+from repro.workloads import get_profile
+from repro.workloads.calibration import (
+    CalibrationPoint,
+    calibrate_benchmark,
+    calibrate_suite,
+)
+
+
+class TestCalibrationPoint:
+    def _point(self, measured_acc=0.92, hinted_acc=0.90, measured_btb=0.95,
+               hinted_btb=0.97):
+        return CalibrationPoint(
+            benchmark="gcc", branches=1000,
+            measured_direction_accuracy=measured_acc,
+            hinted_direction_accuracy=hinted_acc,
+            measured_btb_hit_rate=measured_btb,
+            hinted_btb_hit_rate=hinted_btb,
+            measured_conditional_ratio=0.12,
+            syscalls_per_million_instructions=5.0)
+
+    def test_errors_are_signed_differences(self):
+        point = self._point()
+        assert point.direction_accuracy_error == pytest.approx(0.02)
+        assert point.btb_hit_rate_error == pytest.approx(-0.02)
+
+    def test_within_tolerance(self):
+        assert self._point().within(0.05)
+        assert not self._point(measured_acc=0.70).within(0.05)
+
+
+class TestCalibrateBenchmark:
+    @pytest.fixture(scope="class")
+    def gcc_point(self):
+        # The default (TAGE) predictor is the one the hints are calibrated
+        # against; a short run with a weaker predictor under-shoots them.
+        return calibrate_benchmark("gcc", branches=6_000)
+
+    def test_reports_requested_benchmark_and_length(self, gcc_point):
+        assert gcc_point.benchmark == "gcc"
+        assert gcc_point.branches == 6_000
+
+    def test_measured_rates_are_probabilities(self, gcc_point):
+        assert 0.5 <= gcc_point.measured_direction_accuracy <= 1.0
+        assert 0.0 <= gcc_point.measured_btb_hit_rate <= 1.0
+        assert gcc_point.measured_conditional_ratio > 0.0
+
+    def test_hints_come_from_the_profile(self, gcc_point):
+        profile = get_profile("gcc")
+        assert gcc_point.hinted_direction_accuracy == profile.pht_accuracy_hint
+        assert gcc_point.hinted_btb_hit_rate == profile.btb_hit_hint
+
+    def test_direction_accuracy_tracks_hint_loosely(self, gcc_point):
+        # The synthetic generator is calibrated to land near the hint; allow a
+        # generous band since the measurement run here is short.
+        assert abs(gcc_point.direction_accuracy_error) < 0.15
+
+    def test_predictable_benchmark_beats_branchy_one(self):
+        easy = calibrate_benchmark("libquantum", branches=6_000, predictor="gshare")
+        hard = calibrate_benchmark("gobmk", branches=6_000, predictor="gshare")
+        assert (easy.measured_direction_accuracy
+                > hard.measured_direction_accuracy)
+
+
+class TestCalibrateSuite:
+    def test_subset_calibration(self):
+        points = calibrate_suite(["gcc", "milc"], branches=3_000,
+                                 predictor="gshare")
+        assert [point.benchmark for point in points] == ["gcc", "milc"]
+        assert all(0.0 <= point.measured_btb_hit_rate <= 1.0 for point in points)
