@@ -1,0 +1,122 @@
+"""Engine throughput benchmark: scalar vs. batched branches per second.
+
+Measures the simulation throughput of the default single-thread case
+(Table 3 case1, gcc+calculix, FPGA-prototype TAGE core, baseline preset)
+under three engine configurations:
+
+* ``seed_scalar`` — the per-record reference loop with the storage-layer
+  fast paths disabled, i.e. every table access goes through the
+  ``TableIsolation`` virtual dispatch exactly as in the seed engine;
+* ``scalar`` — the same per-record loop with this repo's storage fast paths
+  active (what ``engine="scalar"`` runs today);
+* ``batched`` — the chunked-trace fast engine (the default).
+
+Writes ``BENCH_engine.json`` at the repository root, seeding the
+``BENCH_*`` performance trajectory.  Run with::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
+from repro.cpu.config import fpga_prototype  # noqa: E402
+from repro.cpu.core import SingleThreadCore  # noqa: E402
+from repro.experiments.runner import build_bpu  # noqa: E402
+from repro.experiments.scaling import ExperimentScale  # noqa: E402
+from repro.workloads.pairs import SINGLE_THREAD_PAIRS, make_pair_workloads  # noqa: E402
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+OUTPUT = os.path.join(REPO_ROOT, "BENCH_engine.json")
+
+PAIR = SINGLE_THREAD_PAIRS[0]
+PRESET = "baseline"
+SCALE = ExperimentScale()
+REPEATS = int(os.environ.get("BENCH_REPEATS", "3"))
+
+
+def _build_core() -> SingleThreadCore:
+    config = fpga_prototype()
+    workloads = make_pair_workloads(PAIR, seed=SCALE.seed)
+    bpu = build_bpu(config, PRESET, seed=SCALE.seed + 1)
+    return SingleThreadCore(config, bpu, workloads,
+                            time_scale=SCALE.time_scale,
+                            syscall_time_scale=SCALE.syscall_time_scale)
+
+
+def _disable_fast_paths(core: SingleThreadCore) -> None:
+    """Force every storage access through the isolation virtual dispatch.
+
+    This reverts the monomorphic fast paths added on top of the seed engine,
+    so the scalar loop measured afterwards is a faithful stand-in for the
+    seed per-record engine (slightly optimistic: it still benefits from
+    ``slots`` dataclasses, which makes the reported speedup conservative).
+    """
+    for table in core.bpu.direction.tables():
+        table._fast = False
+    core.bpu.btb._fast = False
+
+
+def _measure(engine: str, seed_equivalent: bool = False) -> dict:
+    best = 0.0
+    branches = 0
+    for _ in range(REPEATS):
+        core = _build_core()
+        if seed_equivalent:
+            _disable_fast_paths(core)
+        start = time.perf_counter()
+        result = core.run(target_branches=SCALE.st_target_branches,
+                          warmup_branches=SCALE.st_warmup_branches,
+                          engine=engine)
+        elapsed = time.perf_counter() - start
+        branches = sum(t.branches for t in result.threads.values())
+        best = max(best, branches / elapsed)
+    return {"branches_per_second": round(best, 1),
+            "branches_simulated": branches}
+
+
+def main() -> dict:
+    print(f"case={PAIR.case} ({PAIR.label()}), preset={PRESET}, "
+          f"predictor={fpga_prototype().predictor}, repeats={REPEATS}")
+    engines = {}
+    for label, engine, seed_equivalent in (
+            ("seed_scalar", "scalar", True),
+            ("scalar", "scalar", False),
+            ("batched", "batched", False)):
+        engines[label] = _measure(engine, seed_equivalent)
+        print(f"  {label:12s} {engines[label]['branches_per_second']:>12,.0f} "
+              "branches/s")
+
+    batched = engines["batched"]["branches_per_second"]
+    payload = {
+        "benchmark": "engine_throughput",
+        "case": PAIR.case,
+        "pair": PAIR.label(),
+        "preset": PRESET,
+        "config": "fpga_prototype",
+        "target_branches": SCALE.st_target_branches,
+        "warmup_branches": SCALE.st_warmup_branches,
+        "engines": engines,
+        "speedup_batched_vs_seed_scalar": round(
+            batched / engines["seed_scalar"]["branches_per_second"], 2),
+        "speedup_batched_vs_scalar": round(
+            batched / engines["scalar"]["branches_per_second"], 2),
+    }
+    with open(OUTPUT, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"speedup vs seed scalar loop: "
+          f"{payload['speedup_batched_vs_seed_scalar']}x")
+    print(f"wrote {OUTPUT}")
+    return payload
+
+
+if __name__ == "__main__":
+    main()

@@ -31,7 +31,7 @@ from .isolation import IsolationMechanism
 __all__ = ["BranchOutcome", "BranchPredictionUnit"]
 
 
-@dataclass
+@dataclass(slots=True)
 class BranchOutcome:
     """Per-branch prediction outcome consumed by the CPU timing model.
 
@@ -124,6 +124,41 @@ class BranchPredictionUnit:
         if branch_type is BranchType.RETURN:
             return self._execute_return(pc, target, thread_id)
         return self._execute_unconditional(pc, target, branch_type, thread_id)
+
+    def execute_branch_fast(self, pc: int, taken: bool, target: int,
+                            branch_type: BranchType = BranchType.CONDITIONAL,
+                            thread_id: int = 0) -> tuple:
+        """Allocation-light :meth:`execute_branch` for the batched engine.
+
+        Performs the exact same prediction/training flow (same table accesses,
+        same statistics) but returns a plain tuple
+        ``(direction_mispredicted, target_mispredicted, btb_accessed,
+        btb_hit)`` instead of building a :class:`BranchOutcome`, and drives
+        the predictors through their fused ``execute``/``lookup_fast``
+        entry points.
+        """
+        if branch_type is BranchType.CONDITIONAL:
+            # The direction predictor and the BTB are disjoint structures, so
+            # fusing the direction lookup+train before the BTB access leaves
+            # the state evolution identical to the scalar interleaving.
+            predicted_taken = self.direction.execute(pc, taken, thread_id)
+            hit, btb_target = self.btb.execute_conditional_fast(pc, target,
+                                                                taken, thread_id)
+            if predicted_taken and not hit and self._btb_miss_forces_not_taken:
+                predicted_taken = False
+            direction_mispredicted = predicted_taken != taken
+            target_mispredicted = (not direction_mispredicted and taken
+                                   and (not hit or btb_target != target))
+            return direction_mispredicted, target_mispredicted, True, hit
+        if branch_type is BranchType.RETURN:
+            return False, self.ras.pop(thread_id) != target, False, False
+        btb = self.btb
+        hit, btb_target = btb.lookup_fast(pc, thread_id)
+        target_mispredicted = not hit or btb_target != target
+        btb.update(pc, target, thread_id, branch_type)
+        if branch_type is BranchType.CALL:
+            self.ras.push(pc + 4, thread_id)
+        return False, target_mispredicted, True, hit
 
     def _execute_conditional(self, pc: int, taken: bool, target: int,
                              thread_id: int) -> BranchOutcome:

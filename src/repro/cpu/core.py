@@ -24,7 +24,39 @@ from .scheduler import RoundRobinScheduler, SyscallModel
 from .stats import RunResult, ThreadStats
 from .timing import BranchTimingModel
 
-__all__ = ["SingleThreadCore", "unique_labels"]
+__all__ = ["SingleThreadCore", "unique_labels", "record_batch_stream", "TRACE_BATCH"]
+
+#: Records pulled from each workload per trace-generation chunk.
+TRACE_BATCH = 2048
+
+
+def record_batch_stream(workload, n: int, seed_offset: int = 0):
+    """Tuple-batch stream for any workload object.
+
+    Uses the workload's native ``record_batches`` when available (synthetic
+    and recorded-trace workloads); otherwise chunks its ``records()``
+    generator, so duck-typed third-party workloads keep working with the
+    batched engine.
+    """
+    maker = getattr(workload, "record_batches", None)
+    if maker is not None:
+        return maker(n, seed_offset=seed_offset)
+
+    def _wrap():
+        records = workload.records(seed_offset=seed_offset)
+        while True:
+            batch = []
+            append = batch.append
+            for record in records:
+                append((record.pc, record.taken, record.target,
+                        record.branch_type, record.instructions))
+                if len(batch) >= n:
+                    break
+            if not batch:
+                return
+            yield batch
+
+    return _wrap()
 
 
 def unique_labels(names: Sequence[str]) -> List[str]:
@@ -73,7 +105,8 @@ class SingleThreadCore:
 
     def run(self, target_branches: int = 50_000, *,
             warmup_branches: int = 0,
-            mechanism_name: Optional[str] = None) -> RunResult:
+            mechanism_name: Optional[str] = None,
+            engine: str = "batched") -> RunResult:
         """Simulate until the target workload has committed ``target_branches``.
 
         Args:
@@ -82,10 +115,25 @@ class SingleThreadCore:
             warmup_branches: target-workload branches executed before
                 statistics are reset (predictor warm-up).
             mechanism_name: label recorded in the result.
+            engine: ``"batched"`` (default) uses the chunked-trace fast
+                engine; ``"scalar"`` keeps the original per-record reference
+                loop.  Both produce bit-identical :class:`RunResult`
+                statistics for the same seeds.
 
         Returns:
             A :class:`repro.cpu.stats.RunResult`.
         """
+        if engine == "batched":
+            return self._run_batched(target_branches, warmup_branches,
+                                     mechanism_name)
+        if engine != "scalar":
+            raise ValueError(f"unknown engine {engine!r}")
+        return self._run_scalar(target_branches, warmup_branches,
+                                mechanism_name)
+
+    def _run_scalar(self, target_branches: int, warmup_branches: int,
+                    mechanism_name: Optional[str]) -> RunResult:
+        """Reference per-record engine (the seed implementation)."""
         config = self.config
         switch_interval = config.context_switch_interval / self.time_scale
         kernel_cycles = float(config.syscall_kernel_cycles)
@@ -174,3 +222,192 @@ class SingleThreadCore:
             time_scale=self.time_scale,
         )
         return result
+
+    def _run_batched(self, target_branches: int, warmup_branches: int,
+                     mechanism_name: Optional[str]) -> RunResult:
+        """Chunked-trace fast engine (cycle-exact vs. :meth:`_run_scalar`).
+
+        The loop consumes pre-generated ``(pc, taken, target, type,
+        instructions)`` tuples from :meth:`SyntheticWorkload.record_batches`,
+        drives the BPU through its allocation-light fast path, folds the
+        timing model into inline arithmetic and only calls into the periodic
+        OS-event machinery when an event is actually due.  Every arithmetic
+        operation happens with the same values in the same order as the
+        scalar engine, so the returned statistics are bit-identical.
+        """
+        config = self.config
+        switch_interval = config.context_switch_interval / self.time_scale
+        kernel_cycles = float(config.syscall_kernel_cycles)
+        n_workloads = len(self.workloads)
+        scheduler = RoundRobinScheduler(n_workloads, switch_interval)
+        timer = scheduler.timer
+        batch_iters = [record_batch_stream(wl, TRACE_BATCH, seed_offset=i)
+                       for i, wl in enumerate(self.workloads)]
+        buffers: List[list] = [[] for _ in range(n_workloads)]
+        positions = [0] * n_workloads
+        labels = unique_labels([wl.name for wl in self.workloads])
+        stats = [ThreadStats(name=label) for label in labels]
+        syscall_events = [SyscallModel(wl, self.syscall_time_scale,
+                                       phase=i * 17.0).event
+                          for i, wl in enumerate(self.workloads)]
+
+        # Hot-loop local bindings.  Conditional branches (the vast majority)
+        # are driven directly through the predictor/BTB fused entry points,
+        # skipping the execute_branch_fast call frame; the logic below is the
+        # same statement-for-statement, so outcomes are identical.
+        bpu = self.bpu
+        execute = bpu.execute_branch_fast
+        dir_execute = bpu.direction.execute
+        btb_conditional = bpu.btb.execute_conditional_fast
+        miss_forces_not_taken = bpu._btb_miss_forces_not_taken
+        notify_privilege = bpu.notify_privilege_switch
+        notify_context = bpu.notify_context_switch
+        timing = self._timing
+        base_cpi = timing._base_cpi
+        mispredict_penalty = float(timing._mispredict_penalty)
+        btb_miss_penalty = float(timing._btb_miss_penalty)
+        conditional = BranchType.CONDITIONAL
+        kernel = Privilege.KERNEL
+        user = Privilege.USER
+        hw = self.HW_THREAD
+
+        cycles = 0.0
+        cycles_offset = 0.0
+        privilege_switches = 0
+        target_committed = 0
+        warming = warmup_branches > 0
+        budget = warmup_branches if warming else target_branches
+        # Per-workload cycle clocks that drive its syscall schedule; unlike
+        # the statistics they are never reset at the warm-up boundary.
+        own_cycles = [0.0] * n_workloads
+
+        # Per-context state hoisted into locals; written back to the lists
+        # whenever the scheduler switches to another software context.
+        current = scheduler.current
+        buf = buffers[current]
+        pos = positions[current]
+        stat = stats[current]
+        event = syscall_events[current]
+        own = own_cycles[current]
+
+        while True:
+            if pos >= len(buf):
+                buf = next(batch_iters[current])
+                pos = 0
+            pc, taken, target, branch_type, instructions = buf[pos]
+            pos += 1
+
+            if branch_type is conditional:
+                # Inlined conditional-branch path of execute_branch_fast.
+                predicted = dir_execute(pc, taken, hw)
+                hit, btb_target = btb_conditional(pc, target, taken, hw)
+                if predicted and not hit and miss_forces_not_taken:
+                    predicted = False
+                dirm = predicted != taken
+                tgtm = (not dirm and taken
+                        and (not hit or btb_target != target))
+                if dirm or tgtm:
+                    cost = instructions * base_cpi + mispredict_penalty
+                elif not hit and taken:
+                    cost = instructions * base_cpi + btb_miss_penalty
+                else:
+                    cost = instructions * base_cpi + 0.0
+                cycles += cost
+                own += cost
+                stat.cycles += cost
+                stat.instructions += instructions
+                stat.branches += 1
+                stat.conditional_branches += 1
+                if dirm:
+                    stat.direction_mispredicts += 1
+                if tgtm:
+                    stat.target_mispredicts += 1
+                stat.btb_lookups += 1
+                if hit:
+                    stat.btb_hits += 1
+            else:
+                dirm, tgtm, btb_accessed, btb_hit = execute(pc, taken, target,
+                                                            branch_type, hw)
+                if dirm or tgtm:
+                    cost = instructions * base_cpi + mispredict_penalty
+                elif btb_accessed and not btb_hit:
+                    cost = instructions * base_cpi + btb_miss_penalty
+                else:
+                    cost = instructions * base_cpi + 0.0
+                cycles += cost
+                own += cost
+                stat.cycles += cost
+                stat.instructions += instructions
+                stat.branches += 1
+                if tgtm:
+                    stat.target_mispredicts += 1
+                if btb_accessed:
+                    stat.btb_lookups += 1
+                    if btb_hit:
+                        stat.btb_hits += 1
+
+            # System calls of the running workload (driven by its own cycles);
+            # the schedule is only consulted when a call is actually due.
+            if own >= event._next:
+                for _ in range(event.pending(own)):
+                    notify_privilege(hw, kernel)
+                    notify_privilege(hw, user)
+                    privilege_switches += 2
+                    stat.syscalls += 1
+                    cycles += kernel_cycles
+                    stat.cycles += kernel_cycles
+                    own += kernel_cycles
+
+            # Timer tick: round-robin to the next software context.  The
+            # local context state is reloaded only after the commit check
+            # below, which refers to the context that executed this record.
+            switched = False
+            if cycles >= timer._next:
+                fires = timer.pending(cycles)
+                if fires:
+                    scheduler.current = (current + fires) % n_workloads
+                    scheduler.switches += fires
+                    stat.context_switches += 1
+                    notify_context(hw)
+                    buffers[current] = buf
+                    positions[current] = pos
+                    own_cycles[current] = own
+                    switched = True
+
+            if current == 0:
+                target_committed += 1
+                if target_committed >= budget:
+                    if warming:
+                        # Reset statistics and start the measured phase.
+                        warming = False
+                        budget = target_branches
+                        target_committed = 0
+                        stats = [ThreadStats(name=label) for label in labels]
+                        stat = stats[current]
+                        cycles_offset = cycles
+                        privilege_switches = 0
+                        scheduler.switches = 0
+                    else:
+                        break
+            if switched:
+                # Load the incoming context.
+                current = scheduler.current
+                buf = buffers[current]
+                pos = positions[current]
+                stat = stats[current]
+                event = syscall_events[current]
+                own = own_cycles[current]
+        own_cycles[current] = own
+
+        measured_cycles = cycles if warmup_branches == 0 else cycles - cycles_offset
+        return RunResult(
+            config_name=config.name,
+            mechanism=mechanism_name or getattr(self.bpu.isolation, "name", "unknown"),
+            predictor=config.predictor,
+            cycles=measured_cycles,
+            instructions=sum(s.instructions for s in stats),
+            threads={s.name: s for s in stats},
+            context_switches=scheduler.switches,
+            privilege_switches=privilege_switches,
+            time_scale=self.time_scale,
+        )

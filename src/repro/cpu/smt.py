@@ -23,7 +23,7 @@ from ..core.secure import BranchPredictionUnit
 from ..types import BranchType, Privilege
 from ..workloads.generator import SyntheticWorkload
 from .config import CoreConfig
-from .core import unique_labels
+from .core import TRACE_BATCH, record_batch_stream, unique_labels
 from .scheduler import PeriodicEvent, SyscallModel
 from .stats import RunResult, ThreadStats
 from .timing import BranchTimingModel
@@ -62,7 +62,8 @@ class SmtCore:
 
     def run(self, instructions: int = 400_000, *,
             warmup_instructions: int = 0,
-            mechanism_name: Optional[str] = None) -> RunResult:
+            mechanism_name: Optional[str] = None,
+            engine: str = "batched") -> RunResult:
         """Simulate until the combined committed-instruction budget is met.
 
         This mirrors the paper's SMT methodology: warm up, then "count the
@@ -77,11 +78,26 @@ class SmtCore:
             warmup_instructions: combined instructions executed before
                 statistics are reset.
             mechanism_name: label recorded in the result.
+            engine: ``"batched"`` (default) uses the chunked-trace fast
+                engine; ``"scalar"`` keeps the original per-record reference
+                loop.  Both produce bit-identical :class:`RunResult`
+                statistics for the same seeds.
 
         Returns:
             A :class:`repro.cpu.stats.RunResult` whose ``cycles`` is the
             elapsed time of the measured phase.
         """
+        if engine == "batched":
+            return self._run_batched(instructions, warmup_instructions,
+                                     mechanism_name)
+        if engine != "scalar":
+            raise ValueError(f"unknown engine {engine!r}")
+        return self._run_scalar(instructions, warmup_instructions,
+                                mechanism_name)
+
+    def _run_scalar(self, instructions: int, warmup_instructions: int,
+                    mechanism_name: Optional[str]) -> RunResult:
+        """Reference per-record engine (the seed implementation)."""
         config = self.config
         n = config.smt_threads
         switch_interval = config.context_switch_interval / self.time_scale
@@ -174,3 +190,178 @@ class SmtCore:
             time_scale=self.time_scale,
         )
         return result
+
+    def _run_batched(self, instructions: int, warmup_instructions: int,
+                     mechanism_name: Optional[str]) -> RunResult:
+        """Chunked-trace fast engine (cycle-exact vs. :meth:`_run_scalar`).
+
+        Same restructuring as
+        :meth:`repro.cpu.core.SingleThreadCore._run_batched`: tuple batches
+        instead of per-record generators, the BPU fast path, inline timing
+        arithmetic and due-checked OS events.  Thread interleaving, float
+        accumulation order and statistics are identical to the scalar loop.
+        """
+        config = self.config
+        n = config.smt_threads
+        switch_interval = config.context_switch_interval / self.time_scale
+        kernel_cycles = float(config.syscall_kernel_cycles)
+
+        batch_iters = [record_batch_stream(wl, TRACE_BATCH, seed_offset=i)
+                       for i, wl in enumerate(self.workloads)]
+        buffers: List[list] = [[] for _ in range(n)]
+        positions = [0] * n
+        labels = unique_labels([wl.name for wl in self.workloads])
+        stats = [ThreadStats(name=label) for label in labels]
+        local_cycles = [0.0] * n
+        # Stagger timer ticks across hardware threads so flushes interleave.
+        timers = [PeriodicEvent(switch_interval, phase=i * switch_interval / max(n, 1))
+                  for i in range(n)]
+        syscall_events = [SyscallModel(wl, self.time_scale, phase=i * 23.0).event
+                          for i, wl in enumerate(self.workloads)]
+
+        # Hot-loop local bindings.  Conditional branches (the vast majority)
+        # are driven directly through the predictor/BTB fused entry points,
+        # skipping the execute_branch_fast call frame; the logic below is the
+        # same statement-for-statement, so outcomes are identical.
+        bpu = self.bpu
+        execute = bpu.execute_branch_fast
+        dir_execute = bpu.direction.execute
+        btb_conditional = bpu.btb.execute_conditional_fast
+        miss_forces_not_taken = bpu._btb_miss_forces_not_taken
+        notify_privilege = bpu.notify_privilege_switch
+        notify_context = bpu.notify_context_switch
+        timing = self._timing
+        base_cpi = timing._base_cpi
+        mispredict_penalty = float(timing._mispredict_penalty)
+        btb_miss_penalty = float(timing._btb_miss_penalty)
+        conditional = BranchType.CONDITIONAL
+        kernel = Privilege.KERNEL
+        user = Privilege.USER
+        se_mode = self.se_mode
+        two_threads = n == 2
+
+        context_switches = 0
+        privilege_switches = 0
+        committed_instructions = 0
+        baseline_time = 0.0
+        warming = warmup_instructions > 0
+        budget = warmup_instructions if warming else instructions
+
+        while True:
+            if committed_instructions >= budget:
+                if warming:
+                    warming = False
+                    budget = instructions
+                    committed_instructions = 0
+                    stats = [ThreadStats(name=label) for label in labels]
+                    baseline_time = max(local_cycles)
+                    context_switches = 0
+                    privilege_switches = 0
+                    continue
+                break
+            # Advance the hardware thread that is furthest behind in time.
+            if two_threads:
+                thread = 0 if local_cycles[0] <= local_cycles[1] else 1
+            else:
+                thread = min(range(n), key=local_cycles.__getitem__)
+
+            buf = buffers[thread]
+            pos = positions[thread]
+            if pos >= len(buf):
+                buf = buffers[thread] = next(batch_iters[thread])
+                pos = 0
+            pc, taken, target, branch_type, record_instructions = buf[pos]
+            positions[thread] = pos + 1
+
+            if branch_type is conditional:
+                # Inlined conditional-branch path of execute_branch_fast.
+                predicted = dir_execute(pc, taken, thread)
+                hit, btb_target = btb_conditional(pc, target, taken, thread)
+                if predicted and not hit and miss_forces_not_taken:
+                    predicted = False
+                dirm = predicted != taken
+                tgtm = (not dirm and taken
+                        and (not hit or btb_target != target))
+                if dirm or tgtm:
+                    cost = record_instructions * base_cpi + mispredict_penalty
+                elif not hit and taken:
+                    cost = record_instructions * base_cpi + btb_miss_penalty
+                else:
+                    cost = record_instructions * base_cpi + 0.0
+                local = local_cycles[thread] + cost
+                local_cycles[thread] = local
+                committed_instructions += record_instructions
+
+                stat = stats[thread]
+                stat.cycles += cost
+                stat.instructions += record_instructions
+                stat.branches += 1
+                stat.conditional_branches += 1
+                if dirm:
+                    stat.direction_mispredicts += 1
+                if tgtm:
+                    stat.target_mispredicts += 1
+                stat.btb_lookups += 1
+                if hit:
+                    stat.btb_hits += 1
+            else:
+                dirm, tgtm, btb_accessed, btb_hit = execute(pc, taken, target,
+                                                            branch_type, thread)
+                if dirm or tgtm:
+                    cost = record_instructions * base_cpi + mispredict_penalty
+                elif btb_accessed and not btb_hit:
+                    cost = record_instructions * base_cpi + btb_miss_penalty
+                else:
+                    cost = record_instructions * base_cpi + 0.0
+                local = local_cycles[thread] + cost
+                local_cycles[thread] = local
+                committed_instructions += record_instructions
+
+                stat = stats[thread]
+                stat.cycles += cost
+                stat.instructions += record_instructions
+                stat.branches += 1
+                if tgtm:
+                    stat.target_mispredicts += 1
+                if btb_accessed:
+                    stat.btb_lookups += 1
+                    if btb_hit:
+                        stat.btb_hits += 1
+
+            # Per-thread system calls (absent in SE mode).
+            if not se_mode:
+                event = syscall_events[thread]
+                if local >= event._next:
+                    for _ in range(event.pending(local)):
+                        notify_privilege(thread, kernel)
+                        notify_privilege(thread, user)
+                        privilege_switches += 2
+                        stat.syscalls += 1
+                        local += kernel_cycles
+                        stat.cycles += kernel_cycles
+                    local_cycles[thread] = local
+
+            # Per-thread OS timer ticks.
+            timer = timers[thread]
+            if local >= timer._next:
+                ticks = timer.pending(local)
+                if ticks:
+                    context_switches += ticks
+                    stat.context_switches += ticks
+                    for _ in range(ticks):
+                        notify_context(thread)
+
+        elapsed = max(local_cycles)
+        if warmup_instructions > 0:
+            elapsed -= baseline_time
+        return RunResult(
+            config_name=config.name,
+            mechanism=mechanism_name or getattr(self.bpu.isolation, "name", "unknown"),
+            predictor=config.predictor,
+            cycles=elapsed,
+            instructions=sum(s.instructions for s in stats),
+            threads={s.name: s for s in stats},
+            context_switches=context_switches,
+            privilege_switches=privilege_switches,
+            time_scale=self.time_scale,
+        )

@@ -2,13 +2,15 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List
 
-__all__ = ["ThreadStats", "RunResult"]
+__all__ = ["ThreadStats", "RunResult", "thread_stats_to_dict",
+           "thread_stats_from_dict", "run_result_to_dict",
+           "run_result_from_dict"]
 
 
-@dataclass
+@dataclass(slots=True)
 class ThreadStats:
     """Per software-context (or per hardware-thread) execution statistics.
 
@@ -165,6 +167,64 @@ class RunResult:
         if theirs == 0:
             return 0.0
         return mine / theirs - 1.0
+
+
+def thread_stats_to_dict(stats: ThreadStats) -> Dict[str, Any]:
+    """Convert per-thread statistics to a JSON-friendly dictionary."""
+    return {f.name: getattr(stats, f.name) for f in fields(ThreadStats)}
+
+
+def thread_stats_from_dict(data: Dict[str, Any]) -> ThreadStats:
+    """Rebuild :class:`ThreadStats` from :func:`thread_stats_to_dict` output.
+
+    Every declared field must be present: a schema-drifted dictionary raises
+    ``KeyError`` (which the on-disk result cache treats as a miss) instead of
+    silently loading zeroed statistics.
+    """
+    return ThreadStats(**{f.name: data[f.name] for f in fields(ThreadStats)})
+
+
+def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
+    """Convert a :class:`RunResult` to a JSON-friendly dictionary.
+
+    Used by the on-disk result cache
+    (:class:`repro.experiments.executor.RunResultCache`) and available for
+    archiving individual simulation runs.
+    """
+    return {
+        "config_name": result.config_name,
+        "mechanism": result.mechanism,
+        "predictor": result.predictor,
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "threads": {name: thread_stats_to_dict(stats)
+                    for name, stats in result.threads.items()},
+        "context_switches": result.context_switches,
+        "privilege_switches": result.privilege_switches,
+        "time_scale": result.time_scale,
+    }
+
+
+def run_result_from_dict(data: Dict[str, Any]) -> RunResult:
+    """Rebuild a :class:`RunResult` from :func:`run_result_to_dict` output.
+
+    Every field must be present: a schema-drifted dictionary (e.g. an on-disk
+    cache entry written by an older serialization) raises ``KeyError``, which
+    the result cache treats as a miss and re-simulates, rather than loading a
+    zeroed result.
+    """
+    return RunResult(
+        config_name=data["config_name"],
+        mechanism=data["mechanism"],
+        predictor=data["predictor"],
+        cycles=data["cycles"],
+        instructions=data["instructions"],
+        threads={name: thread_stats_from_dict(stats)
+                 for name, stats in data["threads"].items()},
+        context_switches=data["context_switches"],
+        privilege_switches=data["privilege_switches"],
+        time_scale=data["time_scale"],
+    )
 
 
 def merge_thread_stats(results: List[ThreadStats]) -> ThreadStats:

@@ -24,6 +24,13 @@ from . import (
     table5_hwcost,
 )
 from .base import ExperimentResult
+from .executor import (
+    ENGINE_VERSION,
+    CaseSpec,
+    RunResultCache,
+    SweepExecutor,
+    default_executor,
+)
 from .runner import (
     build_bpu,
     overhead_figure_single_thread,
@@ -65,6 +72,11 @@ __all__ = [
     "quick_scale",
     "env_scale_factor",
     "EXPERIMENTS",
+    "ENGINE_VERSION",
+    "CaseSpec",
+    "RunResultCache",
+    "SweepExecutor",
+    "default_executor",
     "build_bpu",
     "run_single_thread_case",
     "run_smt_case",

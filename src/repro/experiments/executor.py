@@ -1,0 +1,267 @@
+"""Parallel, caching sweep execution.
+
+Every figure/table reproduction in this repo boils down to running many
+independent ``(pair, preset, scale)`` simulation cases and merging the
+results.  This module provides the shared machinery:
+
+* :class:`CaseSpec` — a self-contained, picklable description of one case
+  (single-thread or SMT), with a deterministic cache key;
+* :class:`RunResultCache` — a memoisation layer for finished
+  :class:`repro.cpu.stats.RunResult` objects, in-memory by default and
+  persisted to disk when a cache directory is configured (``REPRO_CACHE_DIR``
+  or an explicit path), keyed by
+  ``(kind, pair, core config, preset, scale, switch interval, seed offset,
+  engine version)``;
+* :class:`SweepExecutor` — runs a list of case specs, deduplicating
+  identical cases (so a per-pair baseline is simulated exactly once no matter
+  how many sweeps and figure drivers ask for it), fanning independent cases
+  out over a :class:`concurrent.futures.ProcessPoolExecutor` when
+  ``REPRO_JOBS`` (or the ``jobs`` argument) asks for more than one worker,
+  and merging results back in deterministic submission order.
+
+The executor is deliberately engine-agnostic: a case's cache key includes
+:data:`ENGINE_VERSION`, which must be bumped whenever the simulation
+semantics change, so stale on-disk entries can never leak across engine
+revisions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..cpu.config import CoreConfig
+from ..cpu.stats import RunResult, run_result_from_dict, run_result_to_dict
+from ..workloads.pairs import BenchmarkPair
+from .scaling import ExperimentScale
+
+__all__ = [
+    "ENGINE_VERSION",
+    "CaseSpec",
+    "RunResultCache",
+    "SweepExecutor",
+    "default_executor",
+    "env_jobs",
+]
+
+#: Simulation-engine revision; part of every cache key.  Bump whenever a
+#: change alters simulated statistics for the same seeds.
+ENGINE_VERSION = "2024.1-batched"
+
+
+def env_jobs() -> int:
+    """Worker count from the ``REPRO_JOBS`` environment variable (default 1)."""
+    raw = os.environ.get("REPRO_JOBS", "1")
+    try:
+        jobs = int(raw)
+    except ValueError:
+        return 1
+    return max(1, jobs)
+
+
+@dataclass
+class CaseSpec:
+    """One simulation case, self-contained and picklable.
+
+    Attributes:
+        kind: ``"single"`` for the single-threaded core, ``"smt"`` for the
+            SMT core.
+        pair: the benchmark pair/quad to simulate.
+        config: core configuration.
+        preset: protection preset name.
+        scale: experiment scale.
+        switch_interval: optional context-switch period override in real
+            cycles (single-thread sweeps only).
+        seed_offset: workload/key seed offset (repetition studies).
+        se_mode: system-call-emulation mode (SMT only).
+        label: result label for the caller's bookkeeping; not part of the
+            cache key (two labels for the same case share one simulation).
+    """
+
+    kind: str
+    pair: BenchmarkPair
+    config: CoreConfig
+    preset: str
+    scale: ExperimentScale
+    switch_interval: Optional[int] = None
+    seed_offset: int = 0
+    se_mode: bool = True
+    label: Optional[str] = None
+
+    def cache_key(self) -> str:
+        """Deterministic key identifying this case's simulation output."""
+        payload = {
+            "engine": ENGINE_VERSION,
+            "kind": self.kind,
+            "pair": {"case": self.pair.case,
+                     "benchmarks": list(self.pair.benchmarks)},
+            "config": asdict(self.config),
+            "preset": self.preset,
+            "scale": asdict(self.scale),
+            "switch_interval": self.switch_interval,
+            "seed_offset": self.seed_offset,
+            "se_mode": self.se_mode if self.kind == "smt" else None,
+        }
+        canonical = json.dumps(payload, sort_keys=True, default=str)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _execute_spec(spec: CaseSpec) -> RunResult:
+    """Run one case (top-level so it is picklable for worker processes)."""
+    # Imported here to avoid a circular import (runner imports this module).
+    from .runner import run_single_thread_case, run_smt_case
+
+    if spec.kind == "single":
+        return run_single_thread_case(
+            spec.pair, spec.config, spec.preset, spec.scale,
+            switch_interval=spec.switch_interval,
+            seed_offset=spec.seed_offset)
+    if spec.kind == "smt":
+        return run_smt_case(spec.pair, spec.config, spec.preset, spec.scale,
+                            se_mode=spec.se_mode,
+                            seed_offset=spec.seed_offset)
+    raise ValueError(f"unknown case kind {spec.kind!r}")
+
+
+class RunResultCache:
+    """Two-level (memory + optional disk) cache of finished run results.
+
+    Args:
+        directory: on-disk cache directory.  When omitted, the
+            ``REPRO_CACHE_DIR`` environment variable is consulted; when that
+            is unset too, the cache is memory-only (still deduplicating
+            within a process).
+    """
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        if directory is None:
+            directory = os.environ.get("REPRO_CACHE_DIR") or None
+        self.directory = directory
+        self._memory: Dict[str, RunResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def get(self, key: str) -> Optional[RunResult]:
+        """Return the cached result for a key, or ``None``."""
+        result = self._memory.get(key)
+        if result is not None:
+            self.hits += 1
+            return result
+        if self.directory:
+            path = self._path(key)
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    result = run_result_from_dict(json.load(handle))
+            except (OSError, ValueError, KeyError, TypeError):
+                result = None
+            if result is not None:
+                self._memory[key] = result
+                self.hits += 1
+                return result
+        self.misses += 1
+        return None
+
+    def put(self, key: str, result: RunResult) -> None:
+        """Store a finished result under a key (memory and, if set, disk)."""
+        self._memory[key] = result
+        if self.directory:
+            os.makedirs(self.directory, exist_ok=True)
+            path = self._path(key)
+            tmp = f"{path}.tmp.{os.getpid()}"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(run_result_to_dict(result), handle, sort_keys=True)
+            os.replace(tmp, path)
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory layer (disk entries, if any, survive)."""
+        self._memory.clear()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+
+class SweepExecutor:
+    """Runs independent simulation cases with dedupe, caching and fan-out.
+
+    Args:
+        jobs: worker processes; values above 1 use a
+            :class:`~concurrent.futures.ProcessPoolExecutor`.  Defaults to
+            the ``REPRO_JOBS`` environment variable (serial when unset).
+        cache: result cache shared across calls; a fresh
+            :class:`RunResultCache` (honouring ``REPRO_CACHE_DIR``) when
+            omitted.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 cache: Optional[RunResultCache] = None) -> None:
+        self.jobs = jobs if jobs is not None else env_jobs()
+        self.cache = cache if cache is not None else RunResultCache()
+        #: Cases actually simulated (cache misses) over this executor's life.
+        self.simulated = 0
+
+    def run_specs(self, specs: Sequence[CaseSpec]) -> List[RunResult]:
+        """Run the given cases and return results in submission order.
+
+        Identical cases (same cache key) are simulated once; previously
+        cached cases are not simulated at all.  With ``jobs > 1`` the
+        outstanding cases run concurrently in worker processes, but the
+        returned list order — and therefore every downstream figure/table —
+        is deterministic regardless of completion order.
+        """
+        specs = list(specs)
+        keys = [spec.cache_key() for spec in specs]
+        resolved: Dict[str, RunResult] = {}
+        pending: List[CaseSpec] = []
+        pending_keys: List[str] = []
+        pending_seen: set = set()
+        for spec, key in zip(specs, keys):
+            if key in resolved or key in pending_seen:
+                continue
+            cached = self.cache.get(key)
+            if cached is not None:
+                resolved[key] = cached
+            else:
+                pending.append(spec)
+                pending_keys.append(key)
+                pending_seen.add(key)
+
+        if pending:
+            self.simulated += len(pending)
+            if self.jobs > 1 and len(pending) > 1:
+                workers = min(self.jobs, len(pending))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    outcomes = list(pool.map(_execute_spec, pending))
+            else:
+                outcomes = [_execute_spec(spec) for spec in pending]
+            for key, result in zip(pending_keys, outcomes):
+                resolved[key] = result
+                self.cache.put(key, result)
+
+        return [resolved[key] for key in keys]
+
+    def run_spec(self, spec: CaseSpec) -> RunResult:
+        """Run (or fetch from cache) a single case."""
+        return self.run_specs([spec])[0]
+
+
+_DEFAULT_EXECUTOR: Optional[SweepExecutor] = None
+
+
+def default_executor() -> SweepExecutor:
+    """Process-wide shared executor.
+
+    Sharing one executor (and therefore one cache) across all sweep and
+    figure drivers is what lets a baseline simulated for Figure 1 be reused
+    by Figure 7 in the same process without re-simulation.
+    """
+    global _DEFAULT_EXECUTOR
+    if _DEFAULT_EXECUTOR is None:
+        _DEFAULT_EXECUTOR = SweepExecutor()
+    return _DEFAULT_EXECUTOR

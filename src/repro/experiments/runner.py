@@ -11,6 +11,7 @@ from ..cpu.core import SingleThreadCore
 from ..cpu.smt import SmtCore
 from ..cpu.stats import RunResult
 from ..workloads.pairs import BenchmarkPair, make_pair_workloads
+from .executor import CaseSpec, SweepExecutor, default_executor
 from .scaling import ExperimentScale, default_scale
 
 __all__ = ["build_bpu", "run_single_thread_case", "run_smt_case",
@@ -72,9 +73,16 @@ def run_smt_case(pair: BenchmarkPair, config: CoreConfig, preset: str,
 
 def sweep_single_thread(pairs: Iterable[BenchmarkPair], config: CoreConfig,
                         presets: Iterable[str], scale: Optional[ExperimentScale] = None,
-                        *, switch_intervals: Optional[Dict[str, int]] = None
+                        *, switch_intervals: Optional[Dict[str, int]] = None,
+                        executor: Optional[SweepExecutor] = None
                         ) -> Dict[Tuple[str, str], RunResult]:
     """Run every (pair, preset) combination on the single-threaded core.
+
+    All cases go through a :class:`repro.experiments.executor.SweepExecutor`:
+    the per-pair baseline is simulated exactly once per (pair, config, scale)
+    no matter how often it is requested, cached results are reused across
+    sweeps and figure drivers, and independent cases fan out over worker
+    processes when ``REPRO_JOBS > 1``.
 
     Args:
         pairs: benchmark pairs to run.
@@ -84,15 +92,20 @@ def sweep_single_thread(pairs: Iterable[BenchmarkPair], config: CoreConfig,
         switch_intervals: optional per-preset context-switch period override
             (used for the ``-4M/-8M/-12M`` sweeps; keys are preset labels in
             the returned dictionary).
+        executor: sweep executor; the shared process-wide default when
+            omitted.
 
     Returns:
         Results keyed by ``(case, preset_label)``.
     """
     scale = scale or default_scale()
-    results: Dict[Tuple[str, str], RunResult] = {}
+    executor = executor or default_executor()
+    specs: List[CaseSpec] = []
+    keys: List[Tuple[str, str]] = []
     for pair in pairs:
-        results[(pair.case, "baseline")] = run_single_thread_case(
-            pair, config, "baseline", scale)
+        specs.append(CaseSpec("single", pair, config, "baseline", scale,
+                              label="baseline"))
+        keys.append((pair.case, "baseline"))
         for label in presets:
             if label == "baseline":
                 continue
@@ -101,29 +114,49 @@ def sweep_single_thread(pairs: Iterable[BenchmarkPair], config: CoreConfig,
             if switch_intervals and label in switch_intervals:
                 interval = switch_intervals[label]
                 preset = label.rsplit("-", 1)[0]
-            results[(pair.case, label)] = run_single_thread_case(
-                pair, config, preset, scale, switch_interval=interval)
-    return results
+            specs.append(CaseSpec("single", pair, config, preset, scale,
+                                  switch_interval=interval, label=label))
+            keys.append((pair.case, label))
+    results = executor.run_specs(specs)
+    return dict(zip(keys, results))
 
 
 def sweep_smt(pairs: Iterable[BenchmarkPair], config: CoreConfig,
-              presets: Iterable[str], scale: Optional[ExperimentScale] = None
+              presets: Iterable[str], scale: Optional[ExperimentScale] = None,
+              *, executor: Optional[SweepExecutor] = None
               ) -> Dict[Tuple[str, str], RunResult]:
-    """Run every (pair, preset) combination on the SMT core."""
+    """Run every (pair, preset) combination on the SMT core.
+
+    Like :func:`sweep_single_thread`, the cases run through a
+    :class:`repro.experiments.executor.SweepExecutor`, so a per-pair
+    ``baseline`` appearing in ``presets`` (or already simulated by another
+    sweep or figure driver sharing the executor's cache) is not re-simulated.
+    """
     scale = scale or default_scale()
-    results: Dict[Tuple[str, str], RunResult] = {}
+    executor = executor or default_executor()
+    specs: List[CaseSpec] = []
+    keys: List[Tuple[str, str]] = []
     for pair in pairs:
         for preset in presets:
-            results[(pair.case, preset)] = run_smt_case(pair, config, preset, scale)
-    return results
+            specs.append(CaseSpec("smt", pair, config, preset, scale,
+                                  label=preset))
+            keys.append((pair.case, preset))
+    results = executor.run_specs(specs)
+    return dict(zip(keys, results))
 
 
 def overhead_figure_single_thread(name: str, description: str,
                                   mechanisms: "List[Tuple[str, str, Optional[int]]]",
                                   pairs: List[BenchmarkPair],
                                   config: Optional[CoreConfig] = None,
-                                  scale: Optional[ExperimentScale] = None):
+                                  scale: Optional[ExperimentScale] = None,
+                                  executor: Optional[SweepExecutor] = None):
     """Build a per-case overhead figure on the single-threaded core.
+
+    All cases — the per-pair baselines and every mechanism series — are
+    submitted to a :class:`repro.experiments.executor.SweepExecutor` in one
+    batch, so they deduplicate against each other and against previously
+    cached runs, and fan out over worker processes when ``REPRO_JOBS > 1``.
 
     Args:
         name: figure name.
@@ -133,6 +166,8 @@ def overhead_figure_single_thread(name: str, description: str,
         pairs: benchmark pairs (x-axis categories).
         config: core configuration; the FPGA prototype by default.
         scale: experiment scale.
+        executor: sweep executor; the shared process-wide default when
+            omitted.
 
     Returns:
         A tuple ``(figure, baselines)`` where ``figure`` is the populated
@@ -144,16 +179,24 @@ def overhead_figure_single_thread(name: str, description: str,
 
     scale = scale or default_scale()
     config = config or fpga_prototype()
+    executor = executor or default_executor()
     figure = FigureSeries(name=name, description=description,
                           categories=[pair.case for pair in pairs])
-    baselines: Dict[str, RunResult] = {}
-    for pair in pairs:
-        baselines[pair.case] = run_single_thread_case(pair, config, "baseline", scale)
+    specs = [CaseSpec("single", pair, config, "baseline", scale,
+                      label="baseline") for pair in pairs]
+    for label, preset, interval in mechanisms:
+        specs.extend(CaseSpec("single", pair, config, preset, scale,
+                              switch_interval=interval, label=label)
+                     for pair in pairs)
+    results = executor.run_specs(specs)
+    baselines: Dict[str, RunResult] = {
+        pair.case: result for pair, result in zip(pairs, results[:len(pairs)])}
+    position = len(pairs)
     for label, preset, interval in mechanisms:
         values = []
         for pair in pairs:
-            result = run_single_thread_case(pair, config, preset, scale,
-                                            switch_interval=interval)
+            result = results[position]
+            position += 1
             values.append(result.overhead_vs(baselines[pair.case],
                                              workload=pair.target))
         figure.add_series(label, values)
@@ -164,7 +207,8 @@ def overhead_figure_smt(name: str, description: str,
                         mechanisms: "List[Tuple[str, str]]",
                         pairs: List[BenchmarkPair],
                         config: Optional[CoreConfig] = None,
-                        scale: Optional[ExperimentScale] = None):
+                        scale: Optional[ExperimentScale] = None,
+                        executor: Optional[SweepExecutor] = None):
     """Build a per-case overhead figure on the SMT core.
 
     Args:
@@ -174,6 +218,8 @@ def overhead_figure_smt(name: str, description: str,
         pairs: benchmark pairs or quads (must match the core's thread count).
         config: core configuration; the Sunny-Cove-like SMT-2 core by default.
         scale: experiment scale.
+        executor: sweep executor; the shared process-wide default when
+            omitted.
 
     Returns:
         ``(figure, baselines)`` as for :func:`overhead_figure_single_thread`,
@@ -183,15 +229,23 @@ def overhead_figure_smt(name: str, description: str,
 
     scale = scale or default_scale()
     config = config or sunny_cove_smt()
+    executor = executor or default_executor()
     figure = FigureSeries(name=name, description=description,
                           categories=[pair.case for pair in pairs])
-    baselines: Dict[str, RunResult] = {}
-    for pair in pairs:
-        baselines[pair.case] = run_smt_case(pair, config, "baseline", scale)
+    specs = [CaseSpec("smt", pair, config, "baseline", scale,
+                      label="baseline") for pair in pairs]
+    for label, preset in mechanisms:
+        specs.extend(CaseSpec("smt", pair, config, preset, scale, label=label)
+                     for pair in pairs)
+    results = executor.run_specs(specs)
+    baselines: Dict[str, RunResult] = {
+        pair.case: result for pair, result in zip(pairs, results[:len(pairs)])}
+    position = len(pairs)
     for label, preset in mechanisms:
         values = []
         for pair in pairs:
-            result = run_smt_case(pair, config, preset, scale)
+            result = results[position]
+            position += 1
             values.append(result.overhead_vs(baselines[pair.case]))
         figure.add_series(label, values)
     return figure, baselines

@@ -28,7 +28,7 @@ __all__ = [
 ]
 
 
-@dataclass
+@dataclass(slots=True)
 class DirectionPrediction:
     """Result of a direction-predictor lookup.
 
@@ -42,7 +42,7 @@ class DirectionPrediction:
     meta: Dict[str, Any] = field(default_factory=dict)
 
 
-@dataclass
+@dataclass(slots=True)
 class PredictorStats:
     """Per-thread prediction statistics.
 
@@ -129,6 +129,22 @@ class DirectionPredictor(Flushable):
         self.stats(thread_id).record(not mispredicted)
         self.update(pc, taken, prediction, thread_id)
         return mispredicted
+
+    def execute(self, pc: int, taken: bool, thread_id: int = 0) -> bool:
+        """Fused lookup + stats + update for the simulation hot path.
+
+        Returns the *raw* predicted direction (before any front-end
+        fall-through override).  State evolution and statistics are identical
+        to calling ``lookup``, ``stats(...).record`` and ``update`` in
+        sequence; predictors may override this with an allocation-free
+        monomorphic version (see :class:`repro.predictors.gshare` and
+        :class:`repro.predictors.tage`).
+        """
+        prediction = self.lookup(pc, thread_id)
+        predicted = prediction.taken
+        self.stats(thread_id).record(predicted == taken)
+        self.update(pc, taken, prediction, thread_id)
+        return predicted
 
     # -- structure access -----------------------------------------------------
     @property

@@ -21,15 +21,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from .table import IdentityIsolation, TableIsolation
+from .table import IdentityIsolation, TableIsolation, is_passthrough_isolation
 from ..types import BranchType
 
 __all__ = ["BTBEntry", "BTBResult", "BranchTargetBuffer"]
 
 _NO_OWNER = -1
+_CONDITIONAL_INT = int(BranchType.CONDITIONAL)
 
 
-@dataclass
+@dataclass(slots=True)
 class BTBEntry:
     """One BTB way.
 
@@ -45,7 +46,7 @@ class BTBEntry:
     last_use: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class BTBResult:
     """Result of a BTB lookup.
 
@@ -88,7 +89,9 @@ class BranchTargetBuffer:
         self._tag_mask = (1 << tag_bits) - 1
         self._target_bits = target_bits
         self._target_mask = (1 << target_bits) - 1
+        self._tag_shift = 2 + self._index_bits
         self._isolation = isolation if isolation is not None else IdentityIsolation()
+        self._fast = is_passthrough_isolation(self._isolation)
         self._sets: List[List[BTBEntry]] = [
             [BTBEntry() for _ in range(n_ways)] for _ in range(n_sets)]
         self._clock = 0
@@ -158,9 +161,85 @@ class BranchTargetBuffer:
 
     def tag_of(self, pc: int) -> int:
         """Partial tag derived from the upper PC bits."""
-        return (pc >> (2 + self._index_bits)) & self._tag_mask
+        return (pc >> self._tag_shift) & self._tag_mask
 
     # -- prediction protocol --------------------------------------------------
+    def lookup_fast(self, pc: int, thread_id: int = 0) -> tuple:
+        """Allocation-free lookup used by the batched engine hot path.
+
+        Behaviourally identical to :meth:`lookup` (same counters, same LRU
+        update) but returns a plain ``(hit, target)`` tuple instead of a
+        :class:`BTBResult`, and skips the isolation virtual dispatch entirely
+        when the attached policy is a passthrough (baseline / flush).
+        """
+        if not self._fast:
+            result = self.lookup(pc, thread_id)
+            return result.hit, result.target
+        self.lookups += 1
+        clock = self._clock + 1
+        self._clock = clock
+        lookup_tag = (pc >> self._tag_shift) & self._tag_mask
+        for entry in self._sets[(pc >> 2) & self._index_mask]:
+            if entry.valid and entry.tag == lookup_tag:
+                entry.last_use = clock
+                self.hits += 1
+                return True, entry.target & self._target_mask
+        return False, None
+
+    def execute_conditional_fast(self, pc: int, target: int, taken: bool,
+                                 thread_id: int = 0) -> tuple:
+        """Fused conditional-branch probe: lookup plus update-if-taken.
+
+        Behaviourally identical to :meth:`lookup_fast` followed by
+        :meth:`update` (for taken branches), but computes the set index and
+        tag once.  Falls back to the two-call sequence when the isolation
+        policy is not a passthrough.
+        """
+        if not self._fast:
+            result = self.lookup(pc, thread_id)
+            if taken:
+                self.update(pc, target, thread_id, BranchType.CONDITIONAL)
+            return result.hit, result.target
+        self.lookups += 1
+        clock = self._clock + 1
+        lookup_tag = (pc >> self._tag_shift) & self._tag_mask
+        ways = self._sets[(pc >> 2) & self._index_mask]
+        hit = False
+        btb_target = None
+        victim = None
+        for entry in ways:
+            if entry.valid and entry.tag == lookup_tag:
+                entry.last_use = clock
+                self.hits += 1
+                hit = True
+                btb_target = entry.target & self._target_mask
+                victim = entry
+                break
+        if taken:
+            # Inlined update(): re-use the way matched during the lookup
+            # (update() would re-find the same first matching way), else an
+            # invalid way, else the LRU way (first minimum, matching min()'s
+            # tie-break).
+            clock += 1
+            if victim is None:
+                for entry in ways:
+                    if not entry.valid:
+                        victim = entry
+                        break
+            if victim is None:
+                victim = ways[0]
+                for entry in ways:
+                    if entry.last_use < victim.last_use:
+                        victim = entry
+            victim.valid = True
+            victim.tag = lookup_tag
+            victim.target = target & self._target_mask
+            victim.branch_type = _CONDITIONAL_INT
+            victim.owner = thread_id
+            victim.last_use = clock
+        self._clock = clock
+        return hit, btb_target
+
     def lookup(self, pc: int, thread_id: int = 0) -> BTBResult:
         """Predict the target of the branch at ``pc`` for a hardware thread."""
         self.lookups += 1
@@ -196,13 +275,19 @@ class BranchTargetBuffer:
             The way that was written (useful for tests and attack analysis).
         """
         self._clock += 1
-        set_index = self.set_of(pc, thread_id)
-        lookup_tag = self.tag_of(pc)
-        encoded_tag = self._isolation.encode(lookup_tag, self._tag_bits, thread_id,
-                                             self, set_index) & self._tag_mask
-        encoded_target = self._isolation.encode(target & self._target_mask,
-                                                self._target_bits, thread_id,
-                                                self, set_index) & self._target_mask
+        if self._fast:
+            set_index = (pc >> 2) & self._index_mask
+            encoded_tag = (pc >> self._tag_shift) & self._tag_mask
+            encoded_target = target & self._target_mask
+        else:
+            set_index = self.set_of(pc, thread_id)
+            lookup_tag = self.tag_of(pc)
+            encoded_tag = self._isolation.encode(lookup_tag, self._tag_bits,
+                                                 thread_id, self,
+                                                 set_index) & self._tag_mask
+            encoded_target = self._isolation.encode(target & self._target_mask,
+                                                    self._target_bits, thread_id,
+                                                    self, set_index) & self._target_mask
         ways = self._sets[set_index]
 
         # Re-use a way whose decoded tag matches (same branch, same thread).

@@ -66,6 +66,23 @@ class GsharePredictor(DirectionPredictor):
         self._pht.write(index, saturating_update(counter, taken), thread_id)
         self._ghr.push(taken, thread_id)
 
+    def execute(self, pc: int, taken: bool, thread_id: int = 0) -> bool:
+        """Fused lookup + stats + update without prediction-object allocation.
+
+        State-identical to the ``lookup``/``update`` pair: the PHT counter is
+        read once (reads are side-effect free), trained with the resolved
+        direction, and the outcome is shifted into the global history.
+        """
+        pht = self._pht
+        index = ((pc >> 2) ^ self._ghr.folded(self._index_bits, thread_id)) \
+            & self._index_mask
+        counter = pht.read(index, thread_id)
+        predicted = counter_is_taken(counter)
+        self.stats(thread_id).record(predicted == taken)
+        pht.write(index, saturating_update(counter, taken), thread_id)
+        self._ghr.push(taken, thread_id)
+        return predicted
+
     def tables(self) -> List[PredictorTable]:
         return [self._pht.word_table]
 

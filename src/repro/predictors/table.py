@@ -24,7 +24,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional
 
-__all__ = ["TableIsolation", "IdentityIsolation", "PredictorTable", "PackedCounterTable"]
+__all__ = ["TableIsolation", "IdentityIsolation", "PredictorTable",
+           "PackedCounterTable", "is_passthrough_isolation"]
 
 _NO_OWNER = -1
 
@@ -83,6 +84,23 @@ class IdentityIsolation(TableIsolation):
 _IDENTITY = IdentityIsolation()
 
 
+def is_passthrough_isolation(isolation: TableIsolation) -> bool:
+    """True when a policy leaves indices, contents and ownership untouched.
+
+    Baseline and flush-based policies inherit the identity ``map_index`` /
+    ``encode`` / ``decode`` from :class:`TableIsolation` and do not track
+    entry owners, so storage accesses can skip the virtual-dispatch
+    indirection entirely (the monomorphic fast path used by the batched
+    simulation engine).  Encoding policies override the hooks and Precise
+    Flush tracks owners, which disables the fast path.
+    """
+    cls = type(isolation)
+    return (cls.map_index is TableIsolation.map_index
+            and cls.encode is TableIsolation.encode
+            and cls.decode is TableIsolation.decode
+            and not isolation.tracks_owner)
+
+
 def _require_power_of_two(n: int, what: str) -> None:
     if n < 1 or n & (n - 1):
         raise ValueError(f"{what} must be a positive power of two, got {n}")
@@ -115,6 +133,7 @@ class PredictorTable:
         self._reset_value = reset_value
         self.name = name
         self._isolation = isolation if isolation is not None else _IDENTITY
+        self._fast = is_passthrough_isolation(self._isolation)
         self._data: List[int] = [reset_value] * n_entries
         self._owner: List[int] = [_NO_OWNER] * n_entries
         self._isolation.register_flushable(self)
@@ -148,6 +167,7 @@ class PredictorTable:
     def set_isolation(self, isolation: TableIsolation) -> None:
         """Attach a different isolation policy (contents are reset)."""
         self._isolation = isolation
+        self._fast = is_passthrough_isolation(isolation)
         isolation.register_flushable(self)
         self.flush()
 
@@ -165,6 +185,10 @@ class PredictorTable:
         different hardware thread read as the reset value: the thread-ID tag
         makes them invisible to other threads.
         """
+        if self._fast:
+            # Identity/flush policies: no index mapping, no decoding, no
+            # owner check — stored words are already masked.
+            return self._data[index & self._index_mask]
         row = self.physical_index(index, thread_id)
         if self._isolation.tracks_owner:
             owner = self._owner[row]
@@ -176,6 +200,9 @@ class PredictorTable:
 
     def write(self, index: int, value: int, thread_id: int = 0) -> None:
         """Encode and write a word at a logical index."""
+        if self._fast:
+            self._data[index & self._index_mask] = value & self._value_mask
+            return
         row = self.physical_index(index, thread_id)
         encoded = self._isolation.encode(value & self._value_mask, self._entry_bits,
                                          thread_id, self, row)
@@ -302,24 +329,31 @@ class PackedCounterTable:
         self._words.set_isolation(isolation)
 
     # -- access ---------------------------------------------------------------
-    def _locate(self, index: int) -> tuple:
-        index &= self._n_counters - 1
-        return index // self._counters_per_word, index % self._counters_per_word
-
     def read(self, index: int, thread_id: int = 0) -> int:
         """Read the logical counter at ``index``."""
-        word_index, slot = self._locate(index)
-        word = self._words.read(word_index, thread_id)
-        return (word >> (slot * self._counter_bits)) & self._counter_mask
+        index &= self._n_counters - 1
+        cpw = self._counters_per_word
+        words = self._words
+        # Monomorphic fast path: passthrough isolation reads storage directly.
+        word = (words._data[index // cpw] if words._fast
+                else words.read(index // cpw, thread_id))
+        return (word >> ((index % cpw) * self._counter_bits)) & self._counter_mask
 
     def write(self, index: int, value: int, thread_id: int = 0) -> None:
         """Write the logical counter at ``index`` (read-modify-write the word)."""
-        word_index, slot = self._locate(index)
-        word = self._words.read(word_index, thread_id)
-        shift = slot * self._counter_bits
+        index &= self._n_counters - 1
+        cpw = self._counters_per_word
+        words = self._words
+        word_index = index // cpw
+        word = (words._data[word_index] if words._fast
+                else words.read(word_index, thread_id))
+        shift = (index % cpw) * self._counter_bits
         word &= ~(self._counter_mask << shift)
         word |= (value & self._counter_mask) << shift
-        self._words.write(word_index, word, thread_id)
+        if words._fast:
+            words._data[word_index] = word & words._value_mask
+        else:
+            words.write(word_index, word, thread_id)
 
     def flush(self) -> None:
         """Reset every counter."""

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from .base import DirectionPrediction, DirectionPredictor
+from .base import DirectionPrediction, DirectionPredictor, PredictorStats
 from .bimodal import BimodalPredictor
 from .counters import counter_is_taken, saturating_update
 from .history import GlobalHistory, PathHistory
@@ -127,6 +127,27 @@ class TagePredictor(DirectionPredictor):
             self._tables.append(table)
         self._ghr = GlobalHistory(max(cfg.max_history, max(self._history_lengths)) + 1)
         self._path = PathHistory(32)
+        # Per-table constants of the folded-history shift registers, hoisted
+        # out of the per-branch update loop: (oldest-bit shift, index-fold
+        # insertion shift, tag-fold insertion shifts).
+        self._push_consts = [
+            (length - 1, length % self._index_bits, length % cfg.tag_bits,
+             length % (cfg.tag_bits - 1))
+            for length in self._history_lengths]
+        # Per-table lookup constants: (table number, table object, path-fold
+        # shift, index-hash XOR constant).  The table objects are never
+        # rebound, so caching them here is safe.
+        self._exec_consts = [(t, self._tables[t], t & 3, t * 0x1F)
+                             for t in range(cfg.n_tables)]
+        # The base component is always a BimodalPredictor; the fused execute
+        # path reads/trains its PHT directly to skip prediction-object
+        # allocation (flushes mutate the table in place, so caching is safe).
+        self._base_pht = self._base.pht
+        self._base_index_mask = cfg.base_entries - 1
+        self._base_counter_bits = 2
+        self._base_threshold = 1 << (self._base_counter_bits - 1)
+        self._base_words = self._base_pht.word_table
+        self._base_cpw = self._base_pht.counters_per_word
         self._use_alt = (1 << (cfg.use_alt_bits - 1))  # neutral
         self._use_alt_max = (1 << cfg.use_alt_bits) - 1
         self._lfsr = _DeterministicLfsr()
@@ -136,6 +157,17 @@ class TagePredictor(DirectionPredictor):
         # (the standard TAGE circular-shift-register implementation).  They
         # avoid re-folding hundreds of history bits on every lookup.
         self._folded_state: dict = {}
+        # Per-call constants of the fused execute path, packed into one tuple
+        # so the hot path pays a single attribute load instead of ~20.  Every
+        # member is immutable or never rebound after construction.
+        self._exec_bundle = (
+            self._tables, cfg.n_tables, cfg.useful_bits + cfg.counter_bits,
+            self._ctr_mask, self._u_mask, self._tag_mask, self._ctr_weak_taken,
+            1 << (cfg.counter_bits - 1), 1 << (cfg.use_alt_bits - 1),
+            cfg.useful_bits, self._base_words, self._base_index_mask,
+            self._base_cpw, self._base_threshold, self._index_bits,
+            (1 << self._index_bits) - 1, self._exec_consts, self._push_consts,
+            self._path, self._ghr, cfg.useful_reset_period, cfg.tag_bits)
 
     # -- entry packing --------------------------------------------------------
     def _pack(self, tag: int, ctr: int, useful: int) -> int:
@@ -176,30 +208,32 @@ class TagePredictor(DirectionPredictor):
         """Shift the outcome into the GHR and all folded registers."""
         ghr_value = self._ghr.value(thread_id)
         state = self._folded(thread_id)
-        new_bit = int(taken)
+        new_bit = 1 if taken else 0
         cfg = self.config
         index_bits = self._index_bits
         tag_bits = cfg.tag_bits
+        tag1_bits = tag_bits - 1
         index_regs = state["index"]
         tag0_regs = state["tag0"]
         tag1_regs = state["tag1"]
         index_mask = (1 << index_bits) - 1
         tag0_mask = (1 << tag_bits) - 1
-        tag1_mask = (1 << (tag_bits - 1)) - 1
-        for table, length in enumerate(self._history_lengths):
-            old_bit = (ghr_value >> (length - 1)) & 1
+        tag1_mask = (1 << tag1_bits) - 1
+        for table, (old_shift, index_insert, tag0_insert,
+                    tag1_insert) in enumerate(self._push_consts):
+            old_bit = (ghr_value >> old_shift) & 1
             # Inlined circular-shift-register updates (hot path).
             folded = (index_regs[table] << 1) | new_bit
-            folded ^= old_bit << (length % index_bits)
+            folded ^= old_bit << index_insert
             folded ^= folded >> index_bits
             index_regs[table] = folded & index_mask
             folded = (tag0_regs[table] << 1) | new_bit
-            folded ^= old_bit << (length % tag_bits)
+            folded ^= old_bit << tag0_insert
             folded ^= folded >> tag_bits
             tag0_regs[table] = folded & tag0_mask
             folded = (tag1_regs[table] << 1) | new_bit
-            folded ^= old_bit << (length % (tag_bits - 1))
-            folded ^= folded >> (tag_bits - 1)
+            folded ^= old_bit << tag1_insert
+            folded ^= folded >> tag1_bits
             tag1_regs[table] = folded & tag1_mask
         self._ghr.push(taken, thread_id)
 
@@ -313,6 +347,189 @@ class TagePredictor(DirectionPredictor):
 
         self._push_history(taken, thread_id)
         self._path.push(pc, thread_id)
+
+    def execute(self, pc: int, taken: bool, thread_id: int = 0) -> bool:
+        """Fused lookup + stats + update for the simulation hot path.
+
+        State-identical to the ``lookup`` / ``stats().record`` / ``update``
+        sequence the scalar engine performs, but with the per-table index/tag
+        hashing hoisted into locals, the path-history fold computed once
+        instead of once per tagged table (its value is loop-invariant), and
+        no :class:`DirectionPrediction`/meta-dictionary allocation.
+        """
+        # One attribute load for the whole per-call constant set (every member
+        # is immutable or never rebound after construction).
+        (tables, n_tables, ctr_shift, ctr_mask, u_mask, tag_mask, weak_taken,
+         taken_threshold, use_alt_threshold, useful_bits, base_words,
+         base_index_mask, base_cpw, base_threshold, index_bits, index_mask,
+         exec_consts, push_consts, path_obj, ghr, useful_reset_period,
+         tag_bits) = self._exec_bundle
+
+        # -- lookup ----------------------------------------------------------
+        # Inlined bimodal base lookup straight from the packed word table
+        # (reads have no side effects, so the word is reused by the base
+        # update below — nothing writes to the base PHT in between).
+        base_index = (pc >> 2) & base_index_mask
+        base_word_index = base_index // base_cpw
+        base_shift = (base_index % base_cpw) * 2
+        base_word = (base_words._data[base_word_index] if base_words._fast
+                     else base_words.read(base_word_index, thread_id))
+        base_counter = (base_word >> base_shift) & 3
+        base_taken = base_counter >= base_threshold
+        state = self._folded_state.get(thread_id)
+        if state is None:
+            state = self._folded(thread_id)
+        index_folds = state["index"]
+        tag0_folds = state["tag0"]
+        tag1_folds = state["tag1"]
+        # Inlined self._path.folded(index_bits, thread_id): XOR-fold the path
+        # register in index_bits-wide chunks (zero chunks are no-ops, so
+        # stopping at the highest set bit matches fold_history exactly).
+        path_value = path_obj._values.get(thread_id, 0)
+        path = path_value & index_mask
+        remaining = path_value >> index_bits
+        while remaining:
+            path ^= remaining & index_mask
+            remaining >>= index_bits
+        pc_bits = (pc >> 2) ^ (pc >> (2 + index_bits))
+        pc2 = pc >> 2
+        provider = -1
+        alt = -1
+        provider_index = provider_tag = provider_ctr = provider_useful = 0
+        alt_ctr = 0
+        for table, t, path_shift, hash_const in exec_consts:
+            index = (pc_bits ^ index_folds[table] ^ (path >> path_shift)
+                     ^ hash_const) & index_mask
+            word = t._data[index] if t._fast else t.read(index, thread_id)
+            if word:
+                # The tag hash is only needed for non-empty entries; tagged
+                # tables are sparsely populated, so computing it lazily here
+                # skips the fold/XOR work for the common all-zero read.
+                tag = (pc2 ^ tag0_folds[table]
+                       ^ (tag1_folds[table] << 1)) & tag_mask
+                if ((word >> ctr_shift) & tag_mask) == tag:
+                    alt = provider
+                    alt_ctr = provider_ctr
+                    provider = table
+                    provider_index = index
+                    provider_tag = tag
+                    provider_ctr = (word >> useful_bits) & ctr_mask
+                    provider_useful = word & u_mask
+        alt_taken = (alt_ctr >= taken_threshold) if alt >= 0 else base_taken
+        if provider >= 0:
+            provider_taken = provider_ctr >= taken_threshold
+            use_alt = (provider_useful == 0
+                       and provider_ctr in (weak_taken, weak_taken - 1)
+                       and self._use_alt >= use_alt_threshold)
+            predicted = alt_taken if use_alt else provider_taken
+        else:
+            use_alt = False
+            predicted = base_taken
+
+        # -- stats (recorded between lookup and update, as in the BPU) -------
+        pstats = self._stats.get(thread_id)
+        if pstats is None:
+            pstats = self._stats[thread_id] = PredictorStats()
+        pstats.lookups += 1
+        if predicted != taken:
+            pstats.mispredictions += 1
+
+        # -- update ----------------------------------------------------------
+        mispredicted = predicted != taken
+        self._update_count += 1
+        reset_fired = self._update_count % useful_reset_period == 0
+        if reset_fired:
+            self._graceful_useful_reset(thread_id)
+        if provider >= 0:
+            ctr, useful = provider_ctr, provider_useful
+            if reset_fired:
+                # The graceful reset halves useful counters in place; re-read
+                # the provider entry exactly as the scalar update path does.
+                t = tables[provider]
+                word = (t._data[provider_index] if t._fast
+                        else t.read(provider_index, thread_id))
+                ctr = (word >> useful_bits) & ctr_mask
+                useful = word & u_mask
+            provider_taken = ctr >= taken_threshold
+            if use_alt or (useful == 0 and ctr in (weak_taken, weak_taken - 1)):
+                if provider_taken != alt_taken:
+                    if alt_taken == taken:
+                        self._use_alt = min(self._use_alt + 1, self._use_alt_max)
+                    else:
+                        self._use_alt = max(self._use_alt - 1, 0)
+            # Inlined saturating_update(ctr, taken, counter_bits).
+            if taken:
+                new_ctr = ctr + 1 if ctr < ctr_mask else ctr_mask
+            else:
+                new_ctr = ctr - 1 if ctr > 0 else 0
+            new_useful = useful
+            if provider_taken != alt_taken:
+                if provider_taken == taken:
+                    new_useful = min(useful + 1, u_mask)
+                else:
+                    new_useful = max(useful - 1, 0)
+            packed = ((provider_tag << ctr_shift)
+                      | ((new_ctr & ctr_mask) << useful_bits)
+                      | (new_useful & u_mask))
+            t = tables[provider]
+            if t._fast:
+                t._data[provider_index] = packed
+            else:
+                t.write(provider_index, packed, thread_id)
+        if provider < 0 or alt < 0:
+            # Inlined bimodal base update (read-modify-write the packed word
+            # fetched during the lookup): trains the base when it predicted
+            # (no provider) or provided the alternate.  The base update is
+            # the last table write either way, so hoisting it here keeps the
+            # write order identical to the scalar path.
+            if taken:
+                new_base = base_counter + 1 if base_counter < 3 else 3
+            else:
+                new_base = base_counter - 1 if base_counter > 0 else 0
+            new_word = (base_word & ~(3 << base_shift)) | (new_base << base_shift)
+            if base_words._fast:
+                base_words._data[base_word_index] = new_word & base_words._value_mask
+            else:
+                base_words.write(base_word_index, new_word, thread_id)
+        if mispredicted and provider < n_tables - 1:
+            # The index/tag hashes are only needed on the (rare) allocation
+            # path; recompute them here instead of building lists per branch.
+            # The folded registers have not been pushed yet, so the values
+            # are identical to the ones used by the lookup above.
+            indices = [(pc_bits ^ index_folds[table] ^ (path >> (table & 3))
+                        ^ (table * 0x1F)) & index_mask
+                       for table in range(n_tables)]
+            tags = [(pc2 ^ tag0_folds[table] ^ (tag1_folds[table] << 1)) & tag_mask
+                    for table in range(n_tables)]
+            self._allocate(pc, taken, provider, indices, tags, thread_id)
+
+        # -- history push (inlined _push_history + path push) ----------------
+        ghr_values = ghr._values
+        ghr_value = ghr_values.get(thread_id, 0)
+        new_bit = 1 if taken else 0
+        tag1_bits = tag_bits - 1
+        tag0_mask = tag_mask
+        tag1_mask = (1 << tag1_bits) - 1
+        for table, (old_shift, index_insert, tag0_insert,
+                    tag1_insert) in enumerate(push_consts):
+            old_bit = (ghr_value >> old_shift) & 1
+            folded = (index_folds[table] << 1) | new_bit
+            folded ^= old_bit << index_insert
+            folded ^= folded >> index_bits
+            index_folds[table] = folded & index_mask
+            folded = (tag0_folds[table] << 1) | new_bit
+            folded ^= old_bit << tag0_insert
+            folded ^= folded >> tag_bits
+            tag0_folds[table] = folded & tag0_mask
+            folded = (tag1_folds[table] << 1) | new_bit
+            folded ^= old_bit << tag1_insert
+            folded ^= folded >> tag1_bits
+            tag1_folds[table] = folded & tag1_mask
+        ghr_values[thread_id] = ((ghr_value << 1) | new_bit) & ghr._mask
+        path_obj._values[thread_id] = \
+            ((path_value << path_obj._pc_bits)
+             | (pc2 & ((1 << path_obj._pc_bits) - 1))) & path_obj._mask
+        return predicted
 
     def _allocate(self, pc: int, taken: bool, provider: int,
                   indices: Sequence[int], tags: Sequence[int],

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import bisect
 import itertools
+import math
 import random
 from dataclasses import dataclass
 from typing import Iterator, List, Optional
@@ -185,8 +186,24 @@ class SyntheticWorkload:
         return max(16, min(448, self.profile.static_conditional // 14))
 
     # -- trace generation --------------------------------------------------------
-    def records(self, seed_offset: int = 0) -> Iterator[BranchRecord]:
-        """Endless stream of branch records.
+    def record_batches(self, n: int = 1024,
+                       seed_offset: int = 0) -> Iterator[List[tuple]]:
+        """Endless stream of branch-record *batches* (the engine hot path).
+
+        Each yielded batch is a list of at least ``n`` plain tuples
+        ``(pc, taken, target, branch_type, instructions)`` where
+        ``instructions`` is the record's committed-instruction count (the
+        branch itself plus its preceding gap, i.e.
+        :attr:`repro.workloads.trace.BranchRecord.instructions`).  Batches can
+        slightly exceed ``n`` because loop bodies and call/return pairs are
+        emitted atomically.
+
+        The tuple stream is the *primary* generator: :meth:`records` is a thin
+        wrapper around it, so both APIs produce identical traces for the same
+        ``(profile, seed, seed_offset)`` and experiments may freely mix them.
+        Pre-generating tuples in chunks removes the per-branch generator
+        resume and :class:`BranchRecord` allocation cost from the simulation
+        loop.
 
         The stream walks an *active working set* of branch sites that drifts
         slowly over the full static population: real programs execute within a
@@ -195,6 +212,7 @@ class SyntheticWorkload:
         something to warm up — and what a flush or key change throws away.
 
         Args:
+            n: minimum number of records per yielded batch.
             seed_offset: perturbs the dynamic RNG so the same workload can be
                 replayed with a different interleaving (used by SMT runs to
                 decorrelate the two copies of a benchmark).
@@ -206,15 +224,25 @@ class SyntheticWorkload:
         cumulative = self._cumulative_weights
         total_weight = cumulative[-1]
         sites = self._sites
-        mean_gap = self._mean_gap
         call_prob = profile.call_fraction / max(profile.conditional_fraction, 1e-6)
         indirect_prob = profile.indirect_fraction / max(profile.conditional_fraction, 1e-6)
-        indirect_counters = [0] * max(1, len(self._indirect_sites))
+        indirect_sites = self._indirect_sites
+        call_sites = self._call_sites
+        indirect_counters = [0] * max(1, len(indirect_sites))
         pattern_phase = [0] * len(sites)
 
-        def sample_site_index() -> int:
-            pick = rng.random() * total_weight
-            return bisect.bisect_left(cumulative, pick)
+        # Local bindings for the per-record hot loop.
+        random_ = rng.random
+        randrange = rng.randrange
+        choice = rng.choice
+        log = math.log
+        bisect_left = bisect.bisect_left
+        inv_mean_gap = 1.0 / self._mean_gap
+        conditional = BranchType.CONDITIONAL
+        call_type = BranchType.CALL
+        return_type = BranchType.RETURN
+        indirect_type = BranchType.INDIRECT
+        loop_kind, biased_kind, pattern_kind = _LOOP, _BIASED, _PATTERN
 
         # Active working set: an *ordered*, nested-loop-like tour of branch
         # sites.  Real code is loops over code — a small inner region (a
@@ -227,74 +255,98 @@ class SyntheticWorkload:
         # population (phase changes), and occasional random jumps model
         # data-dependent paths.
         window = self.working_set_size()
-        active = [sample_site_index() for _ in range(window)]
+        active = [bisect_left(cumulative, random_() * total_weight)
+                  for _ in range(window)]
         drift_probability = 1.0 / max(32, window)
         jump_probability = 0.01
         block_size = min(16, window)
         block_start = 0
         block_position = 0
-        block_repeats = 1 + rng.randrange(6)
+        block_repeats = 1 + randrange(6)
 
-        def gap() -> int:
-            return max(0, int(rng.expovariate(1.0 / mean_gap)))
+        batch: List[tuple] = []
+        append = batch.append
 
         while True:
-            if rng.random() < drift_probability:
-                active[rng.randrange(window)] = sample_site_index()
+            if random_() < drift_probability:
+                active[randrange(window)] = bisect_left(cumulative,
+                                                        random_() * total_weight)
             # Advance the nested-loop tour.
             block_position += 1
             if block_position >= block_size:
                 block_position = 0
                 block_repeats -= 1
                 if block_repeats <= 0:
-                    block_repeats = 1 + rng.randrange(6)
-                    if rng.random() < jump_probability:
-                        block_start = rng.randrange(window)
+                    block_repeats = 1 + randrange(6)
+                    if random_() < jump_probability:
+                        block_start = randrange(window)
                     else:
                         block_start = (block_start + block_size) % window
             site_index = active[(block_start + block_position) % window]
             site = sites[site_index]
 
-            if site.kind == _LOOP:
+            kind = site.kind
+            if kind == loop_kind:
                 trip = int(site.param)
+                pc = site.pc
+                target = site.target
                 # Emit the whole loop: (trip - 1) taken back-edges, then exit.
                 for _ in range(trip - 1):
-                    yield BranchRecord(site.pc, True, site.target,
-                                       BranchType.CONDITIONAL, gap())
-                yield BranchRecord(site.pc, False, site.target,
-                                   BranchType.CONDITIONAL, gap())
+                    append((pc, True, target, conditional,
+                            int(-log(1.0 - random_()) / inv_mean_gap) + 1))
+                append((pc, False, target, conditional,
+                        int(-log(1.0 - random_()) / inv_mean_gap) + 1))
             else:
-                if site.kind == _BIASED:
-                    dominant = bool(site.aux)
-                    taken = dominant if rng.random() < site.param else not dominant
-                elif site.kind == _PATTERN:
+                if kind == biased_kind:
+                    taken = (random_() < site.param) == bool(site.aux)
+                elif kind == pattern_kind:
                     period = int(site.aux)
-                    pattern = int(site.param)
                     phase = pattern_phase[site_index]
-                    taken = bool((pattern >> (phase % period)) & 1)
+                    taken = bool((int(site.param) >> (phase % period)) & 1)
                     pattern_phase[site_index] = (phase + 1) % period
                 else:
-                    dominant = bool(site.aux)
-                    biased_taken = rng.random() < site.param
-                    taken = biased_taken if dominant else not biased_taken
-                yield BranchRecord(site.pc, taken, site.target,
-                                   BranchType.CONDITIONAL, gap())
+                    taken = (random_() < site.param) == bool(site.aux)
+                append((site.pc, taken, site.target, conditional,
+                        int(-log(1.0 - random_()) / inv_mean_gap) + 1))
 
             # Occasionally interleave call/return pairs and indirect jumps.
-            if self._call_sites and rng.random() < call_prob:
-                call_pc = rng.choice(self._call_sites)
+            if call_sites and random_() < call_prob:
+                call_pc = choice(call_sites)
                 callee = call_pc + 0x1000
-                yield BranchRecord(call_pc, True, callee, BranchType.CALL, gap())
-                yield BranchRecord(callee + 0x40, True, call_pc + 4,
-                                   BranchType.RETURN, gap())
-            if self._indirect_sites and rng.random() < indirect_prob:
-                index = rng.randrange(len(self._indirect_sites))
-                pc, targets = self._indirect_sites[index]
+                append((call_pc, True, callee, call_type,
+                        int(-log(1.0 - random_()) / inv_mean_gap) + 1))
+                append((callee + 0x40, True, call_pc + 4, return_type,
+                        int(-log(1.0 - random_()) / inv_mean_gap) + 1))
+            if indirect_sites and random_() < indirect_prob:
+                index = randrange(len(indirect_sites))
+                pc, targets = indirect_sites[index]
                 indirect_counters[index] += 1
                 # Targets rotate deterministically so the BTB is neither
                 # perfect nor hopeless on indirect branches.
                 target = targets[indirect_counters[index] % len(targets)]
-                yield BranchRecord(pc, True, target, BranchType.INDIRECT, gap())
+                append((pc, True, target, indirect_type,
+                        int(-log(1.0 - random_()) / inv_mean_gap) + 1))
+
+            if len(batch) >= n:
+                yield batch
+                batch = []
+                append = batch.append
+
+    def records(self, seed_offset: int = 0) -> Iterator[BranchRecord]:
+        """Endless stream of branch records (one :class:`BranchRecord` each).
+
+        Implemented on top of :meth:`record_batches`, so both APIs emit the
+        same deterministic trace for the same ``(profile, seed, seed_offset)``.
+
+        Args:
+            seed_offset: perturbs the dynamic RNG so the same workload can be
+                replayed with a different interleaving (used by SMT runs to
+                decorrelate the two copies of a benchmark).
+        """
+        for batch in self.record_batches(256, seed_offset):
+            for pc, taken, target, branch_type, instructions in batch:
+                yield BranchRecord(pc, taken, target, branch_type,
+                                   instructions - 1)
 
     def segment(self, n_branches: int, seed_offset: int = 0) -> List[BranchRecord]:
         """Materialise the first ``n_branches`` records of the stream."""

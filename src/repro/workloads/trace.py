@@ -17,7 +17,7 @@ from ..types import BranchType
 __all__ = ["BranchRecord", "TraceStats", "collect_stats"]
 
 
-@dataclass
+@dataclass(slots=True)
 class BranchRecord:
     """One committed branch.
 

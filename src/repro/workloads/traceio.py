@@ -233,6 +233,27 @@ class TraceWorkload:
             if position >= n:
                 position = 0
 
+    def record_batches(self, n: int = 1024,
+                       seed_offset: int = 0) -> Iterator[List[tuple]]:
+        """Endless stream of ``(pc, taken, target, type, instructions)`` batches.
+
+        The chunked counterpart of :meth:`records` (same cyclic replay, same
+        starting offset), matching
+        :meth:`repro.workloads.generator.SyntheticWorkload.record_batches`
+        so recorded traces drive the batched simulation engine too.
+        """
+        tuples = [(r.pc, r.taken, r.target, r.branch_type, r.instructions)
+                  for r in self._records]
+        n_records = len(tuples)
+        position = (seed_offset * 7919) % n_records
+        while True:
+            batch: List[tuple] = []
+            while len(batch) < n:
+                take = min(n - len(batch), n_records - position)
+                batch.extend(tuples[position:position + take])
+                position = (position + take) % n_records
+            yield batch
+
     def segment(self, n_branches: int, seed_offset: int = 0) -> List[BranchRecord]:
         """Return the next ``n_branches`` records as a list."""
         iterator = self.records(seed_offset)

@@ -1,0 +1,175 @@
+"""Tests for the parallel caching sweep executor."""
+
+import dataclasses
+
+import pytest
+
+from repro.cpu.config import fpga_prototype, sunny_cove_smt
+from repro.experiments.executor import (
+    CaseSpec,
+    RunResultCache,
+    SweepExecutor,
+    env_jobs,
+)
+from repro.experiments.runner import (
+    overhead_figure_single_thread,
+    sweep_single_thread,
+    sweep_smt,
+)
+from repro.experiments.scaling import ExperimentScale
+from repro.workloads import SINGLE_THREAD_PAIRS, SMT2_PAIRS
+
+#: Deliberately tiny budgets: these tests exercise plumbing, not physics.
+TINY = ExperimentScale(
+    time_scale=800.0, smt_time_scale=800.0, syscall_time_scale=100.0,
+    st_target_branches=1_200, st_warmup_branches=300,
+    smt_instructions=10_000, smt_warmup_instructions=2_000, seed=7)
+
+CONFIG = fpga_prototype("gshare", n_entries=2048)
+SMT_CONFIG = sunny_cove_smt("gshare", n_entries=2048)
+
+
+def _spec(preset="baseline", **overrides):
+    defaults = dict(kind="single", pair=SINGLE_THREAD_PAIRS[0], config=CONFIG,
+                    preset=preset, scale=TINY)
+    defaults.update(overrides)
+    return CaseSpec(**defaults)
+
+
+class TestCacheKey:
+    def test_identical_specs_share_a_key(self):
+        assert _spec().cache_key() == _spec().cache_key()
+
+    def test_preset_changes_the_key(self):
+        assert _spec().cache_key() != _spec(preset="complete_flush").cache_key()
+
+    def test_scale_changes_the_key(self):
+        other = dataclasses.replace(TINY, st_target_branches=2_000)
+        assert _spec().cache_key() != _spec(scale=other).cache_key()
+
+    def test_switch_interval_changes_the_key(self):
+        assert _spec().cache_key() != _spec(switch_interval=4_000_000).cache_key()
+
+    def test_label_is_not_part_of_the_key(self):
+        assert _spec(label="a").cache_key() == _spec(label="b").cache_key()
+
+
+class TestRunResultCache:
+    def test_memory_roundtrip(self):
+        cache = RunResultCache(directory=None)
+        executor = SweepExecutor(jobs=1, cache=cache)
+        result = executor.run_spec(_spec())
+        assert cache.get(_spec().cache_key()).cycles == result.cycles
+
+    def test_disk_roundtrip(self, tmp_path):
+        cache = RunResultCache(directory=str(tmp_path))
+        executor = SweepExecutor(jobs=1, cache=cache)
+        result = executor.run_spec(_spec())
+        # A fresh cache instance (new process, conceptually) reads the file.
+        fresh = RunResultCache(directory=str(tmp_path))
+        restored = fresh.get(_spec().cache_key())
+        assert restored is not None
+        assert restored.cycles == result.cycles
+        assert restored.threads.keys() == result.threads.keys()
+        for name, stats in result.threads.items():
+            assert restored.threads[name].branches == stats.branches
+
+    def test_env_directory(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = RunResultCache()
+        assert cache.directory == str(tmp_path)
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        cache = RunResultCache(directory=str(tmp_path))
+        key = _spec().cache_key()
+        (tmp_path / f"{key}.json").write_text("{not json")
+        assert cache.get(key) is None
+
+
+class TestSweepExecutor:
+    def test_duplicate_specs_simulate_once(self):
+        executor = SweepExecutor(jobs=1, cache=RunResultCache(directory=None))
+        results = executor.run_specs([_spec(), _spec(), _spec()])
+        assert executor.simulated == 1
+        assert results[0] is results[1] is results[2]
+
+    def test_results_keep_submission_order(self):
+        executor = SweepExecutor(jobs=1, cache=RunResultCache(directory=None))
+        specs = [_spec(preset="baseline"), _spec(preset="complete_flush"),
+                 _spec(preset="baseline")]
+        results = executor.run_specs(specs)
+        assert results[0].mechanism == "baseline"
+        assert results[1].mechanism == "complete_flush"
+        assert results[2] is results[0]
+
+    def test_parallel_results_match_serial(self):
+        serial = SweepExecutor(jobs=1, cache=RunResultCache(directory=None))
+        parallel = SweepExecutor(jobs=2, cache=RunResultCache(directory=None))
+        specs = [_spec(preset="baseline"), _spec(preset="complete_flush")]
+        expected = serial.run_specs(specs)
+        observed = parallel.run_specs([_spec(preset="baseline"),
+                                       _spec(preset="complete_flush")])
+        assert [r.cycles for r in observed] == [r.cycles for r in expected]
+        assert [r.mechanism for r in observed] == [r.mechanism for r in expected]
+
+    def test_env_jobs_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert env_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert env_jobs() == 4
+        monkeypatch.setenv("REPRO_JOBS", "banana")
+        assert env_jobs() == 1
+
+    def test_unknown_kind_rejected(self):
+        executor = SweepExecutor(jobs=1, cache=RunResultCache(directory=None))
+        with pytest.raises(ValueError):
+            executor.run_spec(_spec(kind="gpu"))
+
+
+class TestSweepIntegration:
+    def test_single_thread_sweep_runs_baseline_once_per_pair(self):
+        executor = SweepExecutor(jobs=1, cache=RunResultCache(directory=None))
+        pairs = SINGLE_THREAD_PAIRS[:2]
+        results = sweep_single_thread(pairs, CONFIG,
+                                      ["baseline", "complete_flush"],
+                                      TINY, executor=executor)
+        # 2 pairs x (baseline + complete_flush) = 4 simulations, no dupes.
+        assert executor.simulated == 4
+        assert set(results) == {(p.case, preset) for p in pairs
+                                for preset in ("baseline", "complete_flush")}
+
+    def test_smt_sweep_dedupes_baseline(self):
+        executor = SweepExecutor(jobs=1, cache=RunResultCache(directory=None))
+        pair = SMT2_PAIRS[0]
+        sweep_smt([pair], SMT_CONFIG, ["baseline", "complete_flush"], TINY,
+                  executor=executor)
+        simulated_after_first = executor.simulated
+        assert simulated_after_first == 2
+        # A second sweep naming baseline again must not re-simulate it.
+        sweep_smt([pair], SMT_CONFIG, ["baseline"], TINY, executor=executor)
+        assert executor.simulated == simulated_after_first
+
+    def test_figure_driver_shares_baselines_with_sweeps(self):
+        executor = SweepExecutor(jobs=1, cache=RunResultCache(directory=None))
+        pairs = SINGLE_THREAD_PAIRS[:2]
+        sweep_single_thread(pairs, CONFIG, ["baseline"], TINY,
+                            executor=executor)
+        baseline_runs = executor.simulated
+        figure, baselines = overhead_figure_single_thread(
+            "fig", "test figure", [("CF", "complete_flush", None)], list(pairs),
+            config=CONFIG, scale=TINY, executor=executor)
+        # Only the complete_flush series is new; baselines come from cache.
+        assert executor.simulated == baseline_runs + len(pairs)
+        assert set(baselines) == {p.case for p in pairs}
+        assert "CF" in figure.series
+
+    def test_parallel_sweep_matches_serial(self):
+        pairs = SINGLE_THREAD_PAIRS[:2]
+        serial = sweep_single_thread(
+            pairs, CONFIG, ["baseline"], TINY,
+            executor=SweepExecutor(jobs=1, cache=RunResultCache(directory=None)))
+        parallel = sweep_single_thread(
+            pairs, CONFIG, ["baseline"], TINY,
+            executor=SweepExecutor(jobs=2, cache=RunResultCache(directory=None)))
+        assert {k: v.cycles for k, v in serial.items()} \
+            == {k: v.cycles for k, v in parallel.items()}
