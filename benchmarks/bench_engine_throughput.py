@@ -1,24 +1,40 @@
-"""Engine throughput benchmark: scalar vs. batched branches per second.
+"""Engine throughput benchmark: branches per second across engines/presets.
 
-Measures the simulation throughput of the default single-thread case
-(Table 3 case1, gcc+calculix, FPGA-prototype TAGE core, baseline preset)
-under three engine configurations:
+Two measurement groups, both on the default single-thread case (Table 3
+case1, gcc+calculix, FPGA-prototype core):
 
-* ``seed_scalar`` — the per-record reference loop with the storage-layer
-  fast paths disabled, i.e. every table access goes through the
-  ``TableIsolation`` virtual dispatch exactly as in the seed engine;
-* ``scalar`` — the same per-record loop with this repo's storage fast paths
-  active (what ``engine="scalar"`` runs today);
-* ``batched`` — the chunked-trace fast engine (the default).
+* **Engine comparison** (TAGE, baseline preset) under three configurations:
 
-Writes ``BENCH_engine.json`` at the repository root, seeding the
-``BENCH_*`` performance trajectory.  Run with::
+  - ``seed_scalar`` — the per-record reference loop with the storage-layer
+    fast paths disabled, i.e. every table access goes through the
+    ``TableIsolation`` virtual dispatch exactly as in the seed engine;
+  - ``scalar`` — the same per-record loop with this repo's storage fast
+    paths active (what ``engine="scalar"`` runs today);
+  - ``batched`` — the chunked-trace fast engine (the default).
+
+* **Preset sweep** (batched engine): presets × predictors, so the perf
+  trajectory tracks the paper's encoded mechanisms — which ride the fused
+  XOR fast paths — and not just the baseline.
+
+Every swept configuration is asserted to actually run on its intended fast
+path (monomorphic passthrough or fused-XOR); a silent fallback to the
+generic dispatch fails the benchmark rather than quietly reporting slow
+numbers.
+
+Writes ``BENCH_engine.json`` at the repository root.  Run with::
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+
+CI runs the reduced-scale smoke mode, which measures one encoded preset and
+verifies the fast path without touching ``BENCH_engine.json``::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py \
+        --smoke --preset noisy_xor_bp
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import sys
@@ -29,6 +45,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
 
 from repro.cpu.config import fpga_prototype  # noqa: E402
 from repro.cpu.core import SingleThreadCore  # noqa: E402
+from repro.experiments.executor import ENGINE_VERSION  # noqa: E402
 from repro.experiments.runner import build_bpu  # noqa: E402
 from repro.experiments.scaling import ExperimentScale  # noqa: E402
 from repro.workloads.pairs import SINGLE_THREAD_PAIRS, make_pair_workloads  # noqa: E402
@@ -37,18 +54,23 @@ REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
 OUTPUT = os.path.join(REPO_ROOT, "BENCH_engine.json")
 
 PAIR = SINGLE_THREAD_PAIRS[0]
-PRESET = "baseline"
 SCALE = ExperimentScale()
 REPEATS = int(os.environ.get("BENCH_REPEATS", "3"))
 
+#: Preset sweep: baseline (passthrough fast path) plus the paper's headline
+#: XOR mechanisms (fused-XOR fast path).
+SWEEP_PRESETS = ("baseline", "xor_bp", "noisy_xor_bp")
+SWEEP_PREDICTORS = ("tage", "gshare")
 
-def _build_core() -> SingleThreadCore:
-    config = fpga_prototype()
-    workloads = make_pair_workloads(PAIR, seed=SCALE.seed)
-    bpu = build_bpu(config, PRESET, seed=SCALE.seed + 1)
+
+def _build_core(preset: str = "baseline", predictor: str = "tage",
+                scale: ExperimentScale = SCALE) -> SingleThreadCore:
+    config = fpga_prototype(predictor)
+    workloads = make_pair_workloads(PAIR, seed=scale.seed)
+    bpu = build_bpu(config, preset, seed=scale.seed + 1)
     return SingleThreadCore(config, bpu, workloads,
-                            time_scale=SCALE.time_scale,
-                            syscall_time_scale=SCALE.syscall_time_scale)
+                            time_scale=scale.time_scale,
+                            syscall_time_scale=scale.syscall_time_scale)
 
 
 def _disable_fast_paths(core: SingleThreadCore) -> None:
@@ -61,49 +83,128 @@ def _disable_fast_paths(core: SingleThreadCore) -> None:
     """
     for table in core.bpu.direction.tables():
         table._fast = False
+        table._xor_fast = False
     core.bpu.btb._fast = False
+    core.bpu.btb._xor_fast = False
+    invalidate = getattr(core.bpu.direction, "invalidate_kernel_masks", None)
+    if invalidate is not None:
+        invalidate()
 
 
-def _measure(engine: str, seed_equivalent: bool = False) -> dict:
+def assert_fast_path(core: SingleThreadCore, preset: str) -> None:
+    """Fail loudly unless the intended monomorphic fast path is active.
+
+    ``baseline`` must ride the passthrough fast path; the XOR presets must
+    ride the fused-XOR fast path (tables, BTB and — for TAGE — the
+    specialised kernel's encoded arm).  Guards the benchmark and the CI
+    smoke step against silent fallbacks to the generic dispatch.
+    """
+    bpu = core.bpu
+    want_xor = preset != "baseline"
+    for table in bpu.direction.tables():
+        active = table._xor_fast if want_xor else table._fast
+        if not active:
+            raise AssertionError(
+                f"{preset}: table {table.name!r} is not on the "
+                f"{'fused-XOR' if want_xor else 'passthrough'} fast path")
+    btb_active = bpu.btb._xor_fast if want_xor else bpu.btb._fast
+    if not btb_active:
+        raise AssertionError(f"{preset}: BTB is not on the fast path")
+    build_masks = getattr(bpu.direction, "_build_kernel_masks", None)
+    if build_masks is not None:
+        bundle = build_masks(0)
+        if bundle is False:
+            raise AssertionError(
+                f"{preset}: TAGE kernel fell back to generic dispatch")
+        if bool(bundle[0]) != want_xor:
+            raise AssertionError(
+                f"{preset}: TAGE kernel compiled the wrong arm "
+                f"(encoded={bool(bundle[0])}, expected {want_xor})")
+
+
+def _measure(engine: str, *, preset: str = "baseline", predictor: str = "tage",
+             seed_equivalent: bool = False, repeats: int = REPEATS,
+             scale: ExperimentScale = SCALE, check_fast_path: bool = False) -> dict:
     best = 0.0
     branches = 0
-    for _ in range(REPEATS):
-        core = _build_core()
+    for _ in range(repeats):
+        core = _build_core(preset, predictor, scale)
         if seed_equivalent:
             _disable_fast_paths(core)
+        elif check_fast_path:
+            assert_fast_path(core, preset)
         start = time.perf_counter()
-        result = core.run(target_branches=SCALE.st_target_branches,
-                          warmup_branches=SCALE.st_warmup_branches,
+        result = core.run(target_branches=scale.st_target_branches,
+                          warmup_branches=scale.st_warmup_branches,
                           engine=engine)
         elapsed = time.perf_counter() - start
         branches = sum(t.branches for t in result.threads.values())
         best = max(best, branches / elapsed)
+        if check_fast_path and not seed_equivalent:
+            # Re-check after the run: switches re-randomise masks mid-run
+            # and must land back on the fast path, not the generic one.
+            assert_fast_path(core, preset)
     return {"branches_per_second": round(best, 1),
             "branches_simulated": branches}
 
 
-def main() -> dict:
-    print(f"case={PAIR.case} ({PAIR.label()}), preset={PRESET}, "
-          f"predictor={fpga_prototype().predictor}, repeats={REPEATS}")
+def run_smoke(preset: str, repeats: int) -> None:
+    """Reduced-scale CI smoke: measure one preset, verify its fast path."""
+    scale = ExperimentScale(st_target_branches=4_000, st_warmup_branches=1_000)
+    entry = _measure("batched", preset=preset, repeats=repeats, scale=scale,
+                     check_fast_path=True)
+    print(f"smoke {preset}: {entry['branches_per_second']:,.0f} branches/s "
+          f"({entry['branches_simulated']} branches), fast path verified")
+
+
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced-scale fast-path smoke (no JSON output)")
+    parser.add_argument("--preset", default="noisy_xor_bp",
+                        help="preset used by --smoke (default: noisy_xor_bp)")
+    parser.add_argument("--repeats", type=int, default=REPEATS)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        run_smoke(args.preset, args.repeats)
+        return {}
+
+    print(f"case={PAIR.case} ({PAIR.label()}), config=fpga_prototype, "
+          f"engine={ENGINE_VERSION}, repeats={args.repeats}")
     engines = {}
     for label, engine, seed_equivalent in (
             ("seed_scalar", "scalar", True),
             ("scalar", "scalar", False),
             ("batched", "batched", False)):
-        engines[label] = _measure(engine, seed_equivalent)
+        engines[label] = _measure(engine, seed_equivalent=seed_equivalent,
+                                  repeats=args.repeats,
+                                  check_fast_path=not seed_equivalent)
         print(f"  {label:12s} {engines[label]['branches_per_second']:>12,.0f} "
               "branches/s")
+
+    presets = {}
+    for predictor in SWEEP_PREDICTORS:
+        presets[predictor] = {}
+        for preset in SWEEP_PRESETS:
+            entry = _measure("batched", preset=preset, predictor=predictor,
+                             repeats=args.repeats, check_fast_path=True)
+            presets[predictor][preset] = entry
+            print(f"  {predictor:7s}/{preset:12s} "
+                  f"{entry['branches_per_second']:>12,.0f} branches/s")
 
     batched = engines["batched"]["branches_per_second"]
     payload = {
         "benchmark": "engine_throughput",
+        "engine_version": ENGINE_VERSION,
         "case": PAIR.case,
         "pair": PAIR.label(),
-        "preset": PRESET,
+        "preset": "baseline",
         "config": "fpga_prototype",
         "target_branches": SCALE.st_target_branches,
         "warmup_branches": SCALE.st_warmup_branches,
         "engines": engines,
+        "presets": presets,
         "speedup_batched_vs_seed_scalar": round(
             batched / engines["seed_scalar"]["branches_per_second"], 2),
         "speedup_batched_vs_scalar": round(

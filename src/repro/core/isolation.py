@@ -196,6 +196,13 @@ class XorContentIsolation(IsolationMechanism):
     old key — or state written by a different hardware thread — decodes to
     noise.
 
+    When the encoder is plain XOR, storage structures fuse the per-(thread,
+    table) masks directly into their accesses (the monomorphic fused-XOR fast
+    path of :mod:`repro.predictors.table`): they register a mask cache with
+    :meth:`register_fast_mask_cache`, which this mechanism invalidates on
+    every key regeneration so mask re-randomisation happens at switch time
+    rather than in the per-branch loop.
+
     Args:
         key_manager: per-thread key registers.
         encoder: reversible encoder; defaults to plain XOR.
@@ -221,15 +228,57 @@ class XorContentIsolation(IsolationMechanism):
         # this fast path matters because encode/decode runs on every table
         # access of every predictor.
         self._plain_xor = type(self.encoder) is XorEncoder
+        #: Storage may fuse precomputed XOR masks inline only when the
+        #: encoder really is plain XOR (non-XOR ablation encoders such as
+        #: sbox / shift_xor keep the generic dispatch path).
+        self.supports_fused_xor = self._plain_xor
         # Derived keys are deterministic for a (thread, table, width) triple
         # until the thread's key is regenerated, so they are cached and the
         # cache is invalidated per thread on every switch notification.
         self._key_cache: dict = {}
+        # Fused-XOR mask caches of registered storage structures, keyed by
+        # owner id: owner -> (cache dict, per-thread rebuild callable).
+        self._mask_caches: dict = {}
+
+    # -- fused-XOR mask protocol ----------------------------------------------
+    def register_fast_mask_cache(self, owner: object, cache: dict,
+                                 rebuild) -> None:
+        """Register a storage structure's per-thread fused-mask cache.
+
+        ``cache`` maps hardware-thread ids to precomputed mask bundles and
+        ``rebuild(thread_id)`` recomputes (and re-installs) one thread's
+        bundle.  Registered caches are invalidated per thread whenever that
+        thread's key material is regenerated.
+        """
+        self._mask_caches[id(owner)] = (cache, rebuild)
+
+    def refresh_fast_masks(self, thread_id: int) -> None:
+        """Eagerly rebuild every registered mask cache for one thread.
+
+        Invalidated caches normally rebuild lazily on their first access
+        after a switch (one rebuild per switch, nothing in the per-branch
+        loop); this helper exists for drivers that want the rebuild cost at
+        a controlled point instead.
+        """
+        for _, rebuild in self._mask_caches.values():
+            rebuild(thread_id)
+
+    def fused_content_key(self, thread_id: int, width_bits: int,
+                          table: object) -> int:
+        """Content-key mask fused into storage reads/writes of ``table``."""
+        return self._base_key(thread_id, width_bits, table)
+
+    def fused_index_key(self, thread_id: int, index_bits: int,
+                        table: object) -> int:
+        """Index-key mask (zero: plain XOR-BP does not randomise indices)."""
+        return 0
 
     def _invalidate_keys(self, thread_id: int) -> None:
         stale = [k for k in self._key_cache if k[0] == thread_id]
         for k in stale:
             del self._key_cache[k]
+        for cache, _ in self._mask_caches.values():
+            cache.pop(thread_id, None)
 
     def on_context_switch(self, thread_id: int) -> None:
         super().on_context_switch(thread_id)
@@ -298,3 +347,12 @@ class NoisyXorIsolation(XorContentIsolation):
             return index
         key = self._base_key(thread_id, index_bits, table, purpose=0x5A5A5A5A)
         return (index ^ key) & ((1 << index_bits) - 1)
+
+    def fused_index_key(self, thread_id: int, index_bits: int,
+                        table: object) -> int:
+        """Index-key mask fused into storage accesses (same key as
+        :meth:`map_index`, so the fast path is bit-identical to it)."""
+        if index_bits <= 0:
+            return 0
+        return self._base_key(thread_id, index_bits, table,
+                              purpose=0x5A5A5A5A) & ((1 << index_bits) - 1)

@@ -91,14 +91,26 @@ class BranchPredictionUnit:
 
     # -- switch notification protocol -----------------------------------------
     def notify_context_switch(self, thread_id: int) -> None:
-        """The OS switched the software context on a hardware thread."""
+        """The OS switched the software context on a hardware thread.
+
+        Key-rotating mechanisms invalidate the thread's fused-XOR masks (and
+        the specialised kernels bound to them) here; the caches rebuild once
+        on the next access, so mask re-randomisation is a switch-time cost,
+        never a per-branch one.
+        """
         self.context_switches += 1
         if self.isolation is not None:
             self.isolation.on_context_switch(thread_id)
 
     def notify_privilege_switch(self, thread_id: int,
                                 privilege: Privilege) -> None:
-        """The software on a hardware thread changed privilege level."""
+        """The software on a hardware thread changed privilege level.
+
+        Key-rotating mechanisms regenerate the thread's key material here,
+        invalidating its fused-XOR mask caches; rebuilding is lazy (first
+        access after the switch), which also keeps the enter/exit
+        notification pair of one system call to a single rebuild.
+        """
         self.privilege_switches += 1
         if self.isolation is not None:
             self.isolation.on_privilege_switch(thread_id, privilege)

@@ -257,7 +257,16 @@ class SingleThreadCore:
         # same statement-for-statement, so outcomes are identical.
         bpu = self.bpu
         execute = bpu.execute_branch_fast
-        dir_execute = bpu.direction.execute
+        hw = self.HW_THREAD
+        direction = bpu.direction
+        # Predictors exposing ``exec_kernel`` hand the loop a per-thread
+        # specialised kernel; it is re-fetched after every switch
+        # notification (switches may rotate keys or drop bound state).
+        # Kernels accept and ignore a trailing thread id, so both call
+        # shapes below are the same.
+        exec_kernel = getattr(direction, "exec_kernel", None)
+        dir_execute = (exec_kernel(hw) if exec_kernel is not None
+                       else direction.execute)
         btb_conditional = bpu.btb.execute_conditional_fast
         miss_forces_not_taken = bpu._btb_miss_forces_not_taken
         notify_privilege = bpu.notify_privilege_switch
@@ -269,7 +278,6 @@ class SingleThreadCore:
         conditional = BranchType.CONDITIONAL
         kernel = Privilege.KERNEL
         user = Privilege.USER
-        hw = self.HW_THREAD
 
         cycles = 0.0
         cycles_offset = 0.0
@@ -285,14 +293,25 @@ class SingleThreadCore:
         # whenever the scheduler switches to another software context.
         current = scheduler.current
         buf = buffers[current]
+        buf_len = len(buf)
         pos = positions[current]
         stat = stats[current]
         event = syscall_events[current]
+        event_next = event._next
+        timer_next = timer._next
         own = own_cycles[current]
+        # Integer statistics of the *current* context accumulate in locals
+        # and are folded into the ThreadStats object when the context (or
+        # measurement phase) changes.  ``stat.cycles`` stays per-record: it
+        # is a float sum, and changing its accumulation order would change
+        # the rounding (the scalar engine adds per record).
+        s_instr = s_branches = s_cond = s_dirm = s_tgtm = 0
+        s_lookups = s_hits = s_sys = s_switches = 0
 
         while True:
-            if pos >= len(buf):
+            if pos >= buf_len:
                 buf = next(batch_iters[current])
+                buf_len = len(buf)
                 pos = 0
             pc, taken, target, branch_type, instructions = buf[pos]
             pos += 1
@@ -315,16 +334,16 @@ class SingleThreadCore:
                 cycles += cost
                 own += cost
                 stat.cycles += cost
-                stat.instructions += instructions
-                stat.branches += 1
-                stat.conditional_branches += 1
+                s_instr += instructions
+                s_branches += 1
+                s_cond += 1
                 if dirm:
-                    stat.direction_mispredicts += 1
+                    s_dirm += 1
                 if tgtm:
-                    stat.target_mispredicts += 1
-                stat.btb_lookups += 1
+                    s_tgtm += 1
+                s_lookups += 1
                 if hit:
-                    stat.btb_hits += 1
+                    s_hits += 1
             else:
                 dirm, tgtm, btb_accessed, btb_hit = execute(pc, taken, target,
                                                             branch_type, hw)
@@ -337,38 +356,45 @@ class SingleThreadCore:
                 cycles += cost
                 own += cost
                 stat.cycles += cost
-                stat.instructions += instructions
-                stat.branches += 1
+                s_instr += instructions
+                s_branches += 1
                 if tgtm:
-                    stat.target_mispredicts += 1
+                    s_tgtm += 1
                 if btb_accessed:
-                    stat.btb_lookups += 1
+                    s_lookups += 1
                     if btb_hit:
-                        stat.btb_hits += 1
+                        s_hits += 1
 
             # System calls of the running workload (driven by its own cycles);
             # the schedule is only consulted when a call is actually due.
-            if own >= event._next:
-                for _ in range(event.pending(own)):
+            if own >= event_next:
+                n_events = event.pending(own)
+                for _ in range(n_events):
                     notify_privilege(hw, kernel)
                     notify_privilege(hw, user)
                     privilege_switches += 2
-                    stat.syscalls += 1
+                    s_sys += 1
                     cycles += kernel_cycles
                     stat.cycles += kernel_cycles
                     own += kernel_cycles
+                event_next = event._next
+                if n_events and exec_kernel is not None:
+                    dir_execute = exec_kernel(hw)
 
             # Timer tick: round-robin to the next software context.  The
             # local context state is reloaded only after the commit check
             # below, which refers to the context that executed this record.
             switched = False
-            if cycles >= timer._next:
+            if cycles >= timer_next:
                 fires = timer.pending(cycles)
+                timer_next = timer._next
                 if fires:
                     scheduler.current = (current + fires) % n_workloads
                     scheduler.switches += fires
-                    stat.context_switches += 1
+                    s_switches += 1
                     notify_context(hw)
+                    if exec_kernel is not None:
+                        dir_execute = exec_kernel(hw)
                     buffers[current] = buf
                     positions[current] = pos
                     own_cycles[current] = own
@@ -378,24 +404,51 @@ class SingleThreadCore:
                 target_committed += 1
                 if target_committed >= budget:
                     if warming:
-                        # Reset statistics and start the measured phase.
+                        # Reset statistics and start the measured phase: the
+                        # warm-up counts (including the pending locals) are
+                        # discarded with the replaced ThreadStats objects.
                         warming = False
                         budget = target_branches
                         target_committed = 0
                         stats = [ThreadStats(name=label) for label in labels]
                         stat = stats[current]
+                        s_instr = s_branches = s_cond = s_dirm = s_tgtm = 0
+                        s_lookups = s_hits = s_sys = s_switches = 0
                         cycles_offset = cycles
                         privilege_switches = 0
                         scheduler.switches = 0
                     else:
+                        stat.instructions += s_instr
+                        stat.branches += s_branches
+                        stat.conditional_branches += s_cond
+                        stat.direction_mispredicts += s_dirm
+                        stat.target_mispredicts += s_tgtm
+                        stat.btb_lookups += s_lookups
+                        stat.btb_hits += s_hits
+                        stat.syscalls += s_sys
+                        stat.context_switches += s_switches
                         break
             if switched:
-                # Load the incoming context.
+                # Fold the outgoing context's counters, then load the
+                # incoming context.
+                stat.instructions += s_instr
+                stat.branches += s_branches
+                stat.conditional_branches += s_cond
+                stat.direction_mispredicts += s_dirm
+                stat.target_mispredicts += s_tgtm
+                stat.btb_lookups += s_lookups
+                stat.btb_hits += s_hits
+                stat.syscalls += s_sys
+                stat.context_switches += s_switches
+                s_instr = s_branches = s_cond = s_dirm = s_tgtm = 0
+                s_lookups = s_hits = s_sys = s_switches = 0
                 current = scheduler.current
                 buf = buffers[current]
+                buf_len = len(buf)
                 pos = positions[current]
                 stat = stats[current]
                 event = syscall_events[current]
+                event_next = event._next
                 own = own_cycles[current]
         own_cycles[current] = own
 

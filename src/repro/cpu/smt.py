@@ -225,7 +225,15 @@ class SmtCore:
         # same statement-for-statement, so outcomes are identical.
         bpu = self.bpu
         execute = bpu.execute_branch_fast
-        dir_execute = bpu.direction.execute
+        direction = bpu.direction
+        # Per-hardware-thread specialised kernels (see
+        # ``SingleThreadCore._run_batched``); re-fetched per thread after its
+        # switch notifications.
+        exec_kernel = getattr(direction, "exec_kernel", None)
+        if exec_kernel is not None:
+            dir_kernels = [exec_kernel(t) for t in range(n)]
+        else:
+            dir_kernels = [direction.execute] * n
         btb_conditional = bpu.btb.execute_conditional_fast
         miss_forces_not_taken = bpu._btb_miss_forces_not_taken
         notify_privilege = bpu.notify_privilege_switch
@@ -275,7 +283,7 @@ class SmtCore:
 
             if branch_type is conditional:
                 # Inlined conditional-branch path of execute_branch_fast.
-                predicted = dir_execute(pc, taken, thread)
+                predicted = dir_kernels[thread](pc, taken, thread)
                 hit, btb_target = btb_conditional(pc, target, taken, thread)
                 if predicted and not hit and miss_forces_not_taken:
                     predicted = False
@@ -332,7 +340,8 @@ class SmtCore:
             if not se_mode:
                 event = syscall_events[thread]
                 if local >= event._next:
-                    for _ in range(event.pending(local)):
+                    n_events = event.pending(local)
+                    for _ in range(n_events):
                         notify_privilege(thread, kernel)
                         notify_privilege(thread, user)
                         privilege_switches += 2
@@ -340,6 +349,8 @@ class SmtCore:
                         local += kernel_cycles
                         stat.cycles += kernel_cycles
                     local_cycles[thread] = local
+                    if n_events and exec_kernel is not None:
+                        dir_kernels[thread] = exec_kernel(thread)
 
             # Per-thread OS timer ticks.
             timer = timers[thread]
@@ -350,6 +361,8 @@ class SmtCore:
                     stat.context_switches += ticks
                     for _ in range(ticks):
                         notify_context(thread)
+                    if exec_kernel is not None:
+                        dir_kernels[thread] = exec_kernel(thread)
 
         elapsed = max(local_cycles)
         if warmup_instructions > 0:

@@ -49,8 +49,11 @@ __all__ = [
 ]
 
 #: Simulation-engine revision; part of every cache key.  Bump whenever a
-#: change alters simulated statistics for the same seeds.
-ENGINE_VERSION = "2024.1-batched"
+#: change alters simulated statistics for the same seeds.  2026.2: packed
+#: predictor kernels + fused XOR isolation + batched workload RNG (the
+#: geometric event-skip sampling changes the RNG schedule, so traces — and
+#: therefore statistics — differ from the 2024.1 batched engine).
+ENGINE_VERSION = "2026.2-packed-xor"
 
 
 def env_jobs() -> int:

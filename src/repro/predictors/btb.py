@@ -21,7 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from .table import IdentityIsolation, TableIsolation, is_passthrough_isolation
+from .table import (ROW_DIVERSIFIER, IdentityIsolation, TableIsolation,
+                    is_passthrough_isolation, supports_fused_xor)
 from ..types import BranchType
 
 __all__ = ["BTBEntry", "BTBResult", "BranchTargetBuffer"]
@@ -92,12 +93,23 @@ class BranchTargetBuffer:
         self._tag_shift = 2 + self._index_bits
         self._isolation = isolation if isolation is not None else IdentityIsolation()
         self._fast = is_passthrough_isolation(self._isolation)
+        self._xor_fast = (not self._fast) and supports_fused_xor(self._isolation)
+        # Per-thread (index_key, tag_key, target_key) masks of the fused-XOR
+        # fast path, re-randomised at switch time via the isolation policy's
+        # mask-cache protocol; the per-set row-diversifier vectors are
+        # thread-independent and built lazily.
+        self._xor_masks: dict = {}
+        self._tag_row_keys: Optional[List[int]] = None
+        self._target_row_keys: Optional[List[int]] = None
         self._sets: List[List[BTBEntry]] = [
             [BTBEntry() for _ in range(n_ways)] for _ in range(n_sets)]
         self._clock = 0
         self.name = "btb"
         self.lookups = 0
         self.hits = 0
+        if self._xor_fast:
+            self._isolation.register_fast_mask_cache(self, self._xor_masks,
+                                                     self._build_xor_masks)
         self._isolation.register_flushable(self)
 
     # -- geometry -------------------------------------------------------------
@@ -148,6 +160,31 @@ class BranchTargetBuffer:
             return 1.0
         return self.hits / self.lookups
 
+    # -- fused-XOR mask maintenance -------------------------------------------
+    def _row_diversifier_keys(self) -> None:
+        """Build the per-set row-diffusion vectors (thread-independent)."""
+        if self._tag_row_keys is not None:
+            return
+        if getattr(self._isolation, "_row_diversified", False):
+            self._tag_row_keys = [(s * ROW_DIVERSIFIER) & self._tag_mask
+                                  for s in range(self._n_sets)]
+            self._target_row_keys = [(s * ROW_DIVERSIFIER) & self._target_mask
+                                     for s in range(self._n_sets)]
+        else:
+            zeros = [0] * self._n_sets
+            self._tag_row_keys = zeros
+            self._target_row_keys = zeros
+
+    def _build_xor_masks(self, thread_id: int) -> tuple:
+        """(Re)compute the fused-XOR masks for one hardware thread."""
+        self._row_diversifier_keys()
+        isolation = self._isolation
+        masks = (isolation.fused_index_key(thread_id, self._index_bits, self),
+                 isolation.fused_content_key(thread_id, self._tag_bits, self),
+                 isolation.fused_content_key(thread_id, self._target_bits, self))
+        self._xor_masks[thread_id] = masks
+        return masks
+
     # -- address decomposition ------------------------------------------------
     def logical_set_of(self, pc: int) -> int:
         """Set index derived from the PC before any index encoding."""
@@ -170,21 +207,44 @@ class BranchTargetBuffer:
         Behaviourally identical to :meth:`lookup` (same counters, same LRU
         update) but returns a plain ``(hit, target)`` tuple instead of a
         :class:`BTBResult`, and skips the isolation virtual dispatch entirely
-        when the attached policy is a passthrough (baseline / flush).
+        when the attached policy is a passthrough (baseline / flush) or a
+        plain-XOR encoder (fused thread-private masks).
         """
-        if not self._fast:
-            result = self.lookup(pc, thread_id)
-            return result.hit, result.target
-        self.lookups += 1
-        clock = self._clock + 1
-        self._clock = clock
-        lookup_tag = (pc >> self._tag_shift) & self._tag_mask
-        for entry in self._sets[(pc >> 2) & self._index_mask]:
-            if entry.valid and entry.tag == lookup_tag:
-                entry.last_use = clock
-                self.hits += 1
-                return True, entry.target & self._target_mask
-        return False, None
+        if self._fast:
+            self.lookups += 1
+            clock = self._clock + 1
+            self._clock = clock
+            lookup_tag = (pc >> self._tag_shift) & self._tag_mask
+            for entry in self._sets[(pc >> 2) & self._index_mask]:
+                if entry.valid and entry.tag == lookup_tag:
+                    entry.last_use = clock
+                    self.hits += 1
+                    return True, entry.target & self._target_mask
+            return False, None
+        if self._xor_fast:
+            # Fused-XOR probe: encode the lookup tag once and compare raw
+            # stored tags (XOR is a bijection, so this equals decoding every
+            # stored tag); decode the target only on a hit.
+            masks = self._xor_masks.get(thread_id)
+            if masks is None:
+                masks = self._build_xor_masks(thread_id)
+            index_key, tag_key, target_key = masks
+            self.lookups += 1
+            clock = self._clock + 1
+            self._clock = clock
+            set_index = ((pc >> 2) ^ index_key) & self._index_mask
+            enc_tag = (((pc >> self._tag_shift) & self._tag_mask)
+                       ^ tag_key ^ self._tag_row_keys[set_index])
+            for entry in self._sets[set_index]:
+                if entry.valid and entry.tag == enc_tag:
+                    entry.last_use = clock
+                    self.hits += 1
+                    return True, ((entry.target ^ target_key
+                                   ^ self._target_row_keys[set_index])
+                                  & self._target_mask)
+            return False, None
+        result = self.lookup(pc, thread_id)
+        return result.hit, result.target
 
     def execute_conditional_fast(self, pc: int, target: int, taken: bool,
                                  thread_id: int = 0) -> tuple:
@@ -193,26 +253,40 @@ class BranchTargetBuffer:
         Behaviourally identical to :meth:`lookup_fast` followed by
         :meth:`update` (for taken branches), but computes the set index and
         tag once.  Falls back to the two-call sequence when the isolation
-        policy is not a passthrough.
+        policy is neither a passthrough nor a fused-XOR encoder.
         """
-        if not self._fast:
+        if self._fast:
+            set_index = (pc >> 2) & self._index_mask
+            enc_tag = (pc >> self._tag_shift) & self._tag_mask
+            enc_target = target & self._target_mask
+            dec_tag_key = dec_target_key = 0
+        elif self._xor_fast:
+            masks = self._xor_masks.get(thread_id)
+            if masks is None:
+                masks = self._build_xor_masks(thread_id)
+            index_key, tag_key, target_key = masks
+            set_index = ((pc >> 2) ^ index_key) & self._index_mask
+            dec_tag_key = tag_key ^ self._tag_row_keys[set_index]
+            dec_target_key = target_key ^ self._target_row_keys[set_index]
+            enc_tag = ((pc >> self._tag_shift) & self._tag_mask) ^ dec_tag_key
+            enc_target = (target & self._target_mask) ^ dec_target_key
+        else:
             result = self.lookup(pc, thread_id)
             if taken:
                 self.update(pc, target, thread_id, BranchType.CONDITIONAL)
             return result.hit, result.target
         self.lookups += 1
         clock = self._clock + 1
-        lookup_tag = (pc >> self._tag_shift) & self._tag_mask
-        ways = self._sets[(pc >> 2) & self._index_mask]
+        ways = self._sets[set_index]
         hit = False
         btb_target = None
         victim = None
         for entry in ways:
-            if entry.valid and entry.tag == lookup_tag:
+            if entry.valid and entry.tag == enc_tag:
                 entry.last_use = clock
                 self.hits += 1
                 hit = True
-                btb_target = entry.target & self._target_mask
+                btb_target = (entry.target ^ dec_target_key) & self._target_mask
                 victim = entry
                 break
         if taken:
@@ -232,8 +306,8 @@ class BranchTargetBuffer:
                     if entry.last_use < victim.last_use:
                         victim = entry
             victim.valid = True
-            victim.tag = lookup_tag
-            victim.target = target & self._target_mask
+            victim.tag = enc_tag
+            victim.target = enc_target
             victim.branch_type = _CONDITIONAL_INT
             victim.owner = thread_id
             victim.last_use = clock
@@ -279,6 +353,16 @@ class BranchTargetBuffer:
             set_index = (pc >> 2) & self._index_mask
             encoded_tag = (pc >> self._tag_shift) & self._tag_mask
             encoded_target = target & self._target_mask
+        elif self._xor_fast:
+            masks = self._xor_masks.get(thread_id)
+            if masks is None:
+                masks = self._build_xor_masks(thread_id)
+            index_key, tag_key, target_key = masks
+            set_index = ((pc >> 2) ^ index_key) & self._index_mask
+            encoded_tag = (((pc >> self._tag_shift) & self._tag_mask)
+                           ^ tag_key ^ self._tag_row_keys[set_index])
+            encoded_target = ((target & self._target_mask)
+                              ^ target_key ^ self._target_row_keys[set_index])
         else:
             set_index = self.set_of(pc, thread_id)
             lookup_tag = self.tag_of(pc)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from .base import DirectionPrediction, DirectionPredictor
+from .base import DirectionPrediction, DirectionPredictor, PredictorStats
 from .counters import counter_is_taken, saturating_update
 from .history import GlobalHistory
 from .table import PackedCounterTable, PredictorTable, TableIsolation
@@ -43,6 +43,13 @@ class GsharePredictor(DirectionPredictor):
         self._pht = PackedCounterTable(n_entries, 2, word_bits=word_bits,
                                        reset_value=1, name="gshare_pht",
                                        isolation=isolation)
+        # Per-call constants of the fused execute path (the word table and
+        # its storage list are never rebound; flushes reset rows in place).
+        words = self._pht.word_table
+        self._exec_bundle = (words, words._data, words._offset,
+                             words._index_mask, words._value_mask,
+                             self._pht.counters_per_word,
+                             self._index_bits, self._index_mask)
 
     def index_of(self, pc: int, thread_id: int = 0) -> int:
         """Logical PHT index: PC bits XOR folded global history."""
@@ -69,18 +76,64 @@ class GsharePredictor(DirectionPredictor):
     def execute(self, pc: int, taken: bool, thread_id: int = 0) -> bool:
         """Fused lookup + stats + update without prediction-object allocation.
 
-        State-identical to the ``lookup``/``update`` pair: the PHT counter is
-        read once (reads are side-effect free), trained with the resolved
-        direction, and the outcome is shifted into the global history.
+        State-identical to the ``lookup``/``update`` pair: the PHT word is
+        read once (reads are side-effect free), the counter trained with the
+        resolved direction, and the outcome shifted into the global history.
+        Passthrough and fused-XOR policies read/write the packed word list
+        directly; anything else takes the word table's generic dispatch.
         """
-        pht = self._pht
-        index = ((pc >> 2) ^ self._ghr.folded(self._index_bits, thread_id)) \
-            & self._index_mask
-        counter = pht.read(index, thread_id)
-        predicted = counter_is_taken(counter)
-        self.stats(thread_id).record(predicted == taken)
-        pht.write(index, saturating_update(counter, taken), thread_id)
-        self._ghr.push(taken, thread_id)
+        (words, data, offset, windex_mask, vmask, cpw, index_bits,
+         index_mask) = self._exec_bundle
+        ghr = self._ghr
+        # Inlined self._ghr.folded(index_bits, thread_id): zero chunks are
+        # no-ops, so stopping at the highest set bit matches fold_history.
+        history = ghr._values.get(thread_id, 0)
+        folded = history & index_mask
+        history >>= index_bits
+        while history:
+            folded ^= history & index_mask
+            history >>= index_bits
+        index = ((pc >> 2) ^ folded) & index_mask
+        word_index = index // cpw
+        shift = (index % cpw) * 2
+        if words._fast:
+            row = word_index
+            decode_key = 0
+            word = data[offset + row]
+        elif words._xor_fast:
+            masks = words._xor_masks.get(thread_id)
+            if masks is None:
+                masks = words._build_xor_masks(thread_id)
+            index_key, content_key, row_keys = masks
+            row = (word_index ^ index_key) & windex_mask
+            decode_key = content_key ^ row_keys[row]
+            word = data[offset + row] ^ decode_key
+        else:
+            row = -1
+            decode_key = 0
+            word = words.read(word_index, thread_id)
+        counter = (word >> shift) & 3
+        predicted = counter >= 2
+        pstats = self._stats.get(thread_id)
+        if pstats is None:
+            pstats = self._stats[thread_id] = PredictorStats()
+        pstats.lookups += 1
+        if predicted != taken:
+            pstats.mispredictions += 1
+        # Inlined saturating_update(counter, taken, 2).
+        if taken:
+            new_counter = counter + 1 if counter < 3 else 3
+        else:
+            new_counter = counter - 1 if counter > 0 else 0
+        new_word = (word & ~(3 << shift)) | (new_counter << shift)
+        if row >= 0:
+            data[offset + row] = (new_word & vmask) ^ decode_key
+        else:
+            words.write(word_index, new_word, thread_id)
+        ghr_values = ghr._values
+        ghr_values[thread_id] = \
+            ((ghr_values.get(thread_id, 0) << 1) | (1 if taken else 0)) \
+            & ghr._mask
         return predicted
 
     def tables(self) -> List[PredictorTable]:

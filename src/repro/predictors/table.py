@@ -18,6 +18,23 @@ Keeping the policy at the storage layer means the predictor algorithms
 (Gshare, Tournament, TAGE, ...) are written once and are oblivious to which
 isolation mechanism is active — mirroring the paper's claim that the scheme
 is "versatile to accommodate multiple branch predictors".
+
+Two monomorphic fast paths avoid the virtual dispatch on the simulation hot
+path:
+
+* the *passthrough* fast path (baseline and flush policies: identity
+  transforms, no owner tracking) reads and writes storage directly;
+* the *fused-XOR* fast path (plain-XOR content/index encoding, the paper's
+  headline XOR-BP / Noisy-XOR-BP mechanisms) applies thread-private
+  encode/decode masks inline.  The masks are precomputed per (thread, table)
+  and re-randomised only at context/privilege-switch time — hoisted out of
+  the per-branch loop — via the mask-cache registration protocol on
+  :class:`repro.core.isolation.XorContentIsolation`.
+
+Tables can also share one flat storage list (``storage``/``storage_offset``),
+which lets multi-table predictors such as TAGE keep every tagged entry in a
+single packed buffer with precomputed per-table strides while each table view
+retains the full read/write/flush API.
 """
 
 from __future__ import annotations
@@ -25,9 +42,14 @@ from __future__ import annotations
 from typing import Iterable, List, Optional
 
 __all__ = ["TableIsolation", "IdentityIsolation", "PredictorTable",
-           "PackedCounterTable", "is_passthrough_isolation"]
+           "PackedCounterTable", "is_passthrough_isolation",
+           "supports_fused_xor", "ROW_DIVERSIFIER"]
 
 _NO_OWNER = -1
+
+#: Multiplier of the per-row key diffusion used by row-diversified content
+#: encoding (must match ``XorContentIsolation._content_key``).
+ROW_DIVERSIFIER = 0x45D9F3B
 
 
 class TableIsolation:
@@ -45,6 +67,12 @@ class TableIsolation:
     #: footnote to Table 1: with thread IDs attached, branches in different
     #: hardware threads cannot use each other's history).
     tracks_owner: bool = False
+
+    #: True when the policy is a plain-XOR encoder whose per-(thread, table)
+    #: masks can be precomputed and fused into storage accesses (the
+    #: monomorphic fused-XOR fast path).  Set by
+    #: :class:`repro.core.isolation.XorContentIsolation`.
+    supports_fused_xor: bool = False
 
     def map_index(self, index: int, index_bits: int, thread_id: int, table: object) -> int:
         """Map a logical table index to a physical one (index encoding)."""
@@ -101,6 +129,19 @@ def is_passthrough_isolation(isolation: TableIsolation) -> bool:
             and not isolation.tracks_owner)
 
 
+def supports_fused_xor(isolation: TableIsolation) -> bool:
+    """True when storage can fuse the policy's XOR masks inline.
+
+    Plain-XOR content (and, for Noisy-XOR, index) encoding commutes into a
+    precomputed per-(thread, table) mask, so the storage layer can decode and
+    encode without any virtual dispatch.  Policies using non-XOR encoders
+    (S-box, shift-XOR ablations) or owner tracking must keep the generic
+    dispatch path.
+    """
+    return bool(getattr(isolation, "supports_fused_xor", False)
+                and not isolation.tracks_owner)
+
+
 def _require_power_of_two(n: int, what: str) -> None:
     if n < 1 or n & (n - 1):
         raise ValueError(f"{what} must be a positive power of two, got {n}")
@@ -115,10 +156,17 @@ class PredictorTable:
         reset_value: value every row takes on reset/flush.
         name: human-readable name (used by per-table key derivation).
         isolation: the isolation policy; defaults to the identity policy.
+        storage: optional shared flat storage list.  When given, this table
+            occupies rows ``[storage_offset, storage_offset + n_entries)`` of
+            it; multiple views may share one list (TAGE keeps all tagged
+            tables in a single packed buffer this way).
+        storage_offset: first row of this table inside ``storage``.
     """
 
     def __init__(self, n_entries: int, entry_bits: int, *, reset_value: int = 0,
-                 name: str = "table", isolation: Optional[TableIsolation] = None) -> None:
+                 name: str = "table", isolation: Optional[TableIsolation] = None,
+                 storage: Optional[List[int]] = None,
+                 storage_offset: int = 0) -> None:
         _require_power_of_two(n_entries, "n_entries")
         if entry_bits < 1:
             raise ValueError("entry_bits must be positive")
@@ -132,11 +180,33 @@ class PredictorTable:
         self._value_mask = max_value
         self._reset_value = reset_value
         self.name = name
-        self._isolation = isolation if isolation is not None else _IDENTITY
-        self._fast = is_passthrough_isolation(self._isolation)
-        self._data: List[int] = [reset_value] * n_entries
+        if storage is None:
+            self._offset = 0
+            self._data: List[int] = [reset_value] * n_entries
+        else:
+            if storage_offset < 0 or storage_offset + n_entries > len(storage):
+                raise ValueError("storage slice out of range")
+            self._offset = storage_offset
+            self._data = storage
+            storage[storage_offset:storage_offset + n_entries] = \
+                [reset_value] * n_entries
         self._owner: List[int] = [_NO_OWNER] * n_entries
-        self._isolation.register_flushable(self)
+        self._row_keys: Optional[List[int]] = None
+        self._attach_isolation(isolation if isolation is not None else _IDENTITY)
+
+    def _attach_isolation(self, isolation: TableIsolation) -> None:
+        self._isolation = isolation
+        self._fast = is_passthrough_isolation(isolation)
+        self._xor_fast = (not self._fast) and supports_fused_xor(isolation)
+        # Per-thread (index_key, content_key, row_keys) decode masks of the
+        # fused-XOR fast path.  A fresh dict per attachment so that a
+        # previously attached policy invalidating its registered caches can
+        # never clear the new policy's masks.
+        self._xor_masks: dict = {}
+        if self._xor_fast:
+            isolation.register_fast_mask_cache(self, self._xor_masks,
+                                               self._build_xor_masks)
+        isolation.register_flushable(self)
 
     # -- geometry -------------------------------------------------------------
     @property
@@ -166,10 +236,35 @@ class PredictorTable:
 
     def set_isolation(self, isolation: TableIsolation) -> None:
         """Attach a different isolation policy (contents are reset)."""
-        self._isolation = isolation
-        self._fast = is_passthrough_isolation(isolation)
-        isolation.register_flushable(self)
+        self._attach_isolation(isolation)
         self.flush()
+
+    # -- fused-XOR mask maintenance -------------------------------------------
+    def row_diversifier_keys(self) -> List[int]:
+        """Per-row content-key diffusion values (thread-independent).
+
+        Row-diversified content encoding XORs ``(row * ROW_DIVERSIFIER)``
+        (width-masked) into the content key; a non-diversified policy uses a
+        zero vector.  Cached, since the vector only depends on the table
+        geometry and the policy's ``row_diversified`` flag.
+        """
+        if self._row_keys is None:
+            if getattr(self._isolation, "_row_diversified", False):
+                mask = self._value_mask
+                self._row_keys = [(row * ROW_DIVERSIFIER) & mask
+                                  for row in range(self._n_entries)]
+            else:
+                self._row_keys = [0] * self._n_entries
+        return self._row_keys
+
+    def _build_xor_masks(self, thread_id: int) -> tuple:
+        """(Re)compute this table's fused-XOR masks for one hardware thread."""
+        isolation = self._isolation
+        masks = (isolation.fused_index_key(thread_id, self._index_bits, self),
+                 isolation.fused_content_key(thread_id, self._entry_bits, self),
+                 self.row_diversifier_keys())
+        self._xor_masks[thread_id] = masks
+        return masks
 
     # -- access ---------------------------------------------------------------
     def physical_index(self, index: int, thread_id: int = 0) -> int:
@@ -188,25 +283,44 @@ class PredictorTable:
         if self._fast:
             # Identity/flush policies: no index mapping, no decoding, no
             # owner check — stored words are already masked.
-            return self._data[index & self._index_mask]
+            return self._data[self._offset + (index & self._index_mask)]
+        if self._xor_fast:
+            # Fused-XOR fast path: precomputed thread-private masks replace
+            # the virtual encode/decode dispatch (bit-identical to it).
+            masks = self._xor_masks.get(thread_id)
+            if masks is None:
+                masks = self._build_xor_masks(thread_id)
+            index_key, content_key, row_keys = masks
+            row = (index ^ index_key) & self._index_mask
+            return self._data[self._offset + row] ^ content_key ^ row_keys[row]
         row = self.physical_index(index, thread_id)
         if self._isolation.tracks_owner:
             owner = self._owner[row]
             if owner != _NO_OWNER and owner != thread_id:
                 return self._reset_value
-        raw = self._data[row]
+        raw = self._data[self._offset + row]
         value = self._isolation.decode(raw, self._entry_bits, thread_id, self, row)
         return value & self._value_mask
 
     def write(self, index: int, value: int, thread_id: int = 0) -> None:
         """Encode and write a word at a logical index."""
         if self._fast:
-            self._data[index & self._index_mask] = value & self._value_mask
+            self._data[self._offset + (index & self._index_mask)] = \
+                value & self._value_mask
+            return
+        if self._xor_fast:
+            masks = self._xor_masks.get(thread_id)
+            if masks is None:
+                masks = self._build_xor_masks(thread_id)
+            index_key, content_key, row_keys = masks
+            row = (index ^ index_key) & self._index_mask
+            self._data[self._offset + row] = \
+                (value & self._value_mask) ^ content_key ^ row_keys[row]
             return
         row = self.physical_index(index, thread_id)
         encoded = self._isolation.encode(value & self._value_mask, self._entry_bits,
                                          thread_id, self, row)
-        self._data[row] = encoded & self._value_mask
+        self._data[self._offset + row] = encoded & self._value_mask
         if self._isolation.tracks_owner:
             self._owner[row] = thread_id
 
@@ -217,11 +331,11 @@ class PredictorTable:
         for the attack framework, which models an adversary that can observe
         side effects of the physical storage but not the decoded contents.
         """
-        return self._data[row & self._index_mask]
+        return self._data[self._offset + (row & self._index_mask)]
 
     def write_raw(self, row: int, value: int) -> None:
         """Write a raw (pre-encoded) word at a physical row (tests only)."""
-        self._data[row & self._index_mask] = value & self._value_mask
+        self._data[self._offset + (row & self._index_mask)] = value & self._value_mask
 
     def owner_of(self, row: int) -> int:
         """Owning hardware thread of a physical row, or ``-1`` if untracked."""
@@ -229,9 +343,14 @@ class PredictorTable:
 
     # -- flush support --------------------------------------------------------
     def flush(self) -> None:
-        """Reset every row (Complete Flush)."""
-        self._data = [self._reset_value] * self._n_entries
-        self._owner = [_NO_OWNER] * self._n_entries
+        """Reset every row (Complete Flush).
+
+        Rows are reset in place so that shared flat storage (and any direct
+        references the fused kernels hold to it) stays valid.
+        """
+        self._data[self._offset:self._offset + self._n_entries] = \
+            [self._reset_value] * self._n_entries
+        self._owner[:] = [_NO_OWNER] * self._n_entries
 
     def flush_thread(self, thread_id: int) -> None:
         """Reset only rows owned by ``thread_id`` (Precise Flush).
@@ -242,14 +361,16 @@ class PredictorTable:
         if not self._isolation.tracks_owner:
             self.flush()
             return
+        data = self._data
+        offset = self._offset
         for row, owner in enumerate(self._owner):
             if owner == thread_id:
-                self._data[row] = self._reset_value
+                data[offset + row] = self._reset_value
                 self._owner[row] = _NO_OWNER
 
     def rows(self) -> Iterable[int]:
         """Iterate over raw stored words (for tests and entropy analysis)."""
-        return iter(self._data)
+        return iter(self._data[self._offset:self._offset + self._n_entries])
 
     def __len__(self) -> int:
         return self._n_entries
@@ -265,6 +386,13 @@ class PackedCounterTable:
     the structure still behaves as ``n_counters`` independent counters; the
     packing only changes the granularity at which the isolation policy's
     encode/decode runs — and therefore the obfuscation strength.
+
+    All storage access (including both monomorphic fast paths) is delegated
+    to the underlying :class:`PredictorTable`, so there is a single packed
+    implementation of the isolation dispatch for every direction table; this
+    class only translates counter indices to (word, slot) coordinates.  The
+    fused predictor kernels bypass these wrappers and drive the word table
+    directly.
 
     Args:
         n_counters: number of logical counters; power of two.
@@ -332,28 +460,19 @@ class PackedCounterTable:
     def read(self, index: int, thread_id: int = 0) -> int:
         """Read the logical counter at ``index``."""
         index &= self._n_counters - 1
-        cpw = self._counters_per_word
-        words = self._words
-        # Monomorphic fast path: passthrough isolation reads storage directly.
-        word = (words._data[index // cpw] if words._fast
-                else words.read(index // cpw, thread_id))
-        return (word >> ((index % cpw) * self._counter_bits)) & self._counter_mask
+        word = self._words.read(index // self._counters_per_word, thread_id)
+        return (word >> ((index % self._counters_per_word) * self._counter_bits)) \
+            & self._counter_mask
 
     def write(self, index: int, value: int, thread_id: int = 0) -> None:
         """Write the logical counter at ``index`` (read-modify-write the word)."""
         index &= self._n_counters - 1
-        cpw = self._counters_per_word
-        words = self._words
-        word_index = index // cpw
-        word = (words._data[word_index] if words._fast
-                else words.read(word_index, thread_id))
-        shift = (index % cpw) * self._counter_bits
+        word_index = index // self._counters_per_word
+        word = self._words.read(word_index, thread_id)
+        shift = (index % self._counters_per_word) * self._counter_bits
         word &= ~(self._counter_mask << shift)
         word |= (value & self._counter_mask) << shift
-        if words._fast:
-            words._data[word_index] = word & words._value_mask
-        else:
-            words.write(word_index, word, thread_id)
+        self._words.write(word_index, word, thread_id)
 
     def flush(self) -> None:
         """Reset every counter."""

@@ -12,20 +12,52 @@ Every tagged entry (tag, prediction counter, useful counter) is packed into a
 single word of a :class:`repro.predictors.table.PredictorTable`, so content
 encoding covers the whole entry and index encoding covers the table index —
 exactly the attachment points shown for the TAGE tables in Figure 6(b).
+
+Hot-path layout
+---------------
+
+The batched simulation kernel (:meth:`TagePredictor.execute`) works on flat
+packed state rather than per-table objects:
+
+* all tagged-table entries live in **one flat storage list** with a
+  precomputed per-table stride (the :class:`PredictorTable` views share the
+  list, so the scalar protocol, attacks and flush machinery see the same
+  bits);
+* the per-thread folded global histories (one index-width and two tag-width
+  circular shift registers per tagged table) are packed **lane-wise into
+  three machine integers** and updated SWAR-style: one shift/XOR sequence per
+  register file instead of one per (table, register), with the per-table
+  "oldest history bit" gather replaced by a precomputed 2^n_tables-entry map;
+* XOR-family isolation (XOR-BP / Noisy-XOR-BP) is **fused into the kernel**:
+  per-(thread, table) encode/decode masks are precomputed at switch time and
+  applied inline, so the encoded presets take the same monomorphic loop as
+  the baseline (which pays no mask work at all);
+* the kernel itself is **generated and compiled per isolation arm** (see
+  :meth:`TagePredictor._kernel_source`): the tagged-table loop is unrolled
+  with all geometry constants inlined as literals and the thread's packed
+  state and masks bound in the function's globals, so a branch pays no
+  attribute loads, constant-tuple unpacking or mask lookups.  The batched
+  engines fetch the kernel via :meth:`TagePredictor.exec_kernel` and
+  re-fetch it after every switch notification.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from itertools import product
+from typing import Dict, List, Optional, Sequence
 
 from .base import DirectionPrediction, DirectionPredictor, PredictorStats
 from .bimodal import BimodalPredictor
 from .counters import counter_is_taken, saturating_update
 from .history import GlobalHistory, PathHistory
-from .table import PredictorTable, TableIsolation
+from .table import PredictorTable, TableIsolation, supports_fused_xor
 
 __all__ = ["TageConfig", "TagePredictor", "geometric_history_lengths"]
+
+#: Largest table count for which the oldest-bit gather map is materialised
+#: (2^n entries); beyond it the push loop gathers bits one table at a time.
+_MAX_GATHER_TABLES = 12
 
 
 def geometric_history_lengths(n_tables: int, min_length: int, max_length: int) -> List[int]:
@@ -93,6 +125,31 @@ class _DeterministicLfsr:
         return value
 
 
+class _FoldedSwar:
+    """SWAR constants of one packed folded-history register file.
+
+    Each of the ``n_tables`` folded circular-shift registers of width
+    ``width`` occupies one ``width + 1``-bit lane (the extra bit buffers the
+    shift-out before the fold) of a single integer.  One shift, one XOR with
+    the gathered oldest-bit insert mask, one guard fold and one mask update
+    all lanes at once.
+    """
+
+    __slots__ = ("width", "lane_offsets", "new_mask", "lane_mask",
+                 "guard_mask", "insert_masks")
+
+    def __init__(self, width: int, n_tables: int, inserts: Sequence[int]) -> None:
+        pitch = width + 1
+        self.width = width
+        self.lane_offsets = [t * pitch for t in range(n_tables)]
+        self.new_mask = sum(1 << off for off in self.lane_offsets)
+        self.lane_mask = sum(((1 << width) - 1) << off
+                             for off in self.lane_offsets)
+        self.guard_mask = sum(1 << (off + width) for off in self.lane_offsets)
+        self.insert_masks = [1 << (self.lane_offsets[t] + inserts[t])
+                             for t in range(n_tables)]
+
+
 class TagePredictor(DirectionPredictor):
     """TAGE direction predictor with pluggable isolation.
 
@@ -119,29 +176,64 @@ class TagePredictor(DirectionPredictor):
         self._u_mask = (1 << cfg.useful_bits) - 1
         self._ctr_weak_taken = 1 << (cfg.counter_bits - 1)
         self._index_bits = cfg.table_entries.bit_length() - 1
-        self._tables: List[PredictorTable] = []
-        for i in range(cfg.n_tables):
-            table = PredictorTable(cfg.table_entries, self._entry_bits,
-                                   reset_value=0, name=f"tage_t{i}",
-                                   isolation=isolation)
-            self._tables.append(table)
+        # All tagged entries live in one flat packed buffer; each table is a
+        # view over its stride so the whole-table API (flush, raw access,
+        # isolation dispatch) keeps working while the fused kernel walks the
+        # single list.
+        self._flat: List[int] = [0] * (cfg.n_tables * cfg.table_entries)
+        self._tables: List[PredictorTable] = [
+            PredictorTable(cfg.table_entries, self._entry_bits, reset_value=0,
+                           name=f"tage_t{i}", isolation=isolation,
+                           storage=self._flat,
+                           storage_offset=i * cfg.table_entries)
+            for i in range(cfg.n_tables)]
         self._ghr = GlobalHistory(max(cfg.max_history, max(self._history_lengths)) + 1)
         self._path = PathHistory(32)
-        # Per-table constants of the folded-history shift registers, hoisted
-        # out of the per-branch update loop: (oldest-bit shift, index-fold
-        # insertion shift, tag-fold insertion shifts).
-        self._push_consts = [
-            (length - 1, length % self._index_bits, length % cfg.tag_bits,
-             length % (cfg.tag_bits - 1))
-            for length in self._history_lengths]
-        # Per-table lookup constants: (table number, table object, path-fold
-        # shift, index-hash XOR constant).  The table objects are never
-        # rebound, so caching them here is safe.
-        self._exec_consts = [(t, self._tables[t], t & 3, t * 0x1F)
-                             for t in range(cfg.n_tables)]
+
+        # -- folded-history SWAR register files -------------------------------
+        index_bits = self._index_bits
+        tag_bits = cfg.tag_bits
+        tag1_bits = tag_bits - 1
+        n = cfg.n_tables
+        lengths = self._history_lengths
+        self._swar_i = _FoldedSwar(index_bits, n,
+                                   [length % index_bits for length in lengths])
+        self._swar_t0 = _FoldedSwar(tag_bits, n,
+                                    [length % tag_bits for length in lengths])
+        self._swar_t1 = _FoldedSwar(tag1_bits, n,
+                                    [length % tag1_bits for length in lengths])
+        old_shifts = [length - 1 for length in lengths]
+        self._old_shifts = old_shifts
+        self._old_mask = sum(1 << shift for shift in old_shifts)
+        # Oldest-bit gather: the n GHR bits about to leave each table's
+        # history window, mapped straight to the three lane-wise insert
+        # masks.  2^n entries — one dict hit replaces an n-iteration loop.
+        if n <= _MAX_GATHER_TABLES:
+            gather: Dict[int, tuple] = {}
+            for combo in product((0, 1), repeat=n):
+                key = sum(bit << old_shifts[t] for t, bit in enumerate(combo))
+                gather[key] = (
+                    sum(self._swar_i.insert_masks[t]
+                        for t, bit in enumerate(combo) if bit),
+                    sum(self._swar_t0.insert_masks[t]
+                        for t, bit in enumerate(combo) if bit),
+                    sum(self._swar_t1.insert_masks[t]
+                        for t, bit in enumerate(combo) if bit))
+            self._old_gather: Optional[Dict[int, tuple]] = gather
+        else:
+            self._old_gather = None
+        self._new_masks = ((0, 0, 0), (self._swar_i.new_mask,
+                                       self._swar_t0.new_mask,
+                                       self._swar_t1.new_mask))
+        # Incrementally folded global histories, per hardware thread: a
+        # three-element list [packed_index, packed_tag0, packed_tag1].
+        self._folded_state: Dict[int, list] = {}
+
+        # -- fused-kernel constants -------------------------------------------
         # The base component is always a BimodalPredictor; the fused execute
         # path reads/trains its PHT directly to skip prediction-object
-        # allocation (flushes mutate the table in place, so caching is safe).
+        # allocation (flushes reset the storage list in place, so caching
+        # both the table and its storage list is safe).
         self._base_pht = self._base.pht
         self._base_index_mask = cfg.base_entries - 1
         self._base_counter_bits = 2
@@ -152,22 +244,44 @@ class TagePredictor(DirectionPredictor):
         self._use_alt_max = (1 << cfg.use_alt_bits) - 1
         self._lfsr = _DeterministicLfsr()
         self._update_count = 0
-        # Incrementally folded global histories, per hardware thread: one
-        # index-width register and two tag-width registers per tagged table
-        # (the standard TAGE circular-shift-register implementation).  They
-        # avoid re-folding hundreds of history bits on every lookup.
-        self._folded_state: dict = {}
-        # Per-call constants of the fused execute path, packed into one tuple
-        # so the hot path pays a single attribute load instead of ~20.  Every
-        # member is immutable or never rebound after construction.
+        # Per-thread kernel bundles: the per-table constant tuples (with the
+        # thread's fused isolation masks baked in) plus the base-PHT masks.
+        # ``False`` marks a thread whose isolation policy cannot be fused
+        # (owner tracking, non-XOR encoders) — those take the generic path.
+        self._kernel_masks: Dict[int, object] = {}
+        self._zero_row_keys = [0] * cfg.table_entries
+        self._zero_base_row_keys = [0] * self._base_words.n_entries
+        # Per-thread specialised kernels (generated functions, see
+        # ``_build_exec_fn``) and the compiled kernel code objects, keyed by
+        # isolation arm.  The kernels close over per-thread masks and state,
+        # so they register as a second mask cache: key re-randomisation
+        # drops them and the switch-time refresh rebuilds them eagerly.
+        self._exec_fns: Dict[int, object] = {}
+        self._kernel_code: Dict[tuple, object] = {}
+        attached = self._tables[0].isolation
+        if supports_fused_xor(attached):
+            attached.register_fast_mask_cache(self, self._kernel_masks,
+                                              self._build_kernel_masks)
+            self._exec_token = object()
+            attached.register_fast_mask_cache(self._exec_token,
+                                              self._exec_fns,
+                                              self._build_exec_fn)
+        # Per-call constants of the generic fused-execute path (non-fusable
+        # isolation policies), packed into one tuple so that path pays a
+        # single attribute load instead of ~25.  Every member is immutable
+        # or never rebound after construction.
         self._exec_bundle = (
-            self._tables, cfg.n_tables, cfg.useful_bits + cfg.counter_bits,
+            cfg.n_tables, cfg.useful_bits + cfg.counter_bits,
             self._ctr_mask, self._u_mask, self._tag_mask, self._ctr_weak_taken,
             1 << (cfg.counter_bits - 1), 1 << (cfg.use_alt_bits - 1),
-            cfg.useful_bits, self._base_words, self._base_index_mask,
-            self._base_cpw, self._base_threshold, self._index_bits,
-            (1 << self._index_bits) - 1, self._exec_consts, self._push_consts,
-            self._path, self._ghr, cfg.useful_reset_period, cfg.tag_bits)
+            cfg.useful_bits,
+            self._base_index_mask, self._base_cpw, self._base_threshold,
+            index_bits, (1 << index_bits) - 1, self._path, self._ghr,
+            cfg.useful_reset_period, (1 << tag1_bits) - 1,
+            self._old_mask, self._old_gather, self._new_masks,
+            self._swar_i.guard_mask, self._swar_i.lane_mask,
+            self._swar_t0.guard_mask, self._swar_t0.lane_mask, tag_bits,
+            self._swar_t1.guard_mask, self._swar_t1.lane_mask, tag1_bits)
 
     # -- entry packing --------------------------------------------------------
     def _pack(self, tag: int, ctr: int, useful: int) -> int:
@@ -183,72 +297,119 @@ class TagePredictor(DirectionPredictor):
         tag = (word >> (cfg.useful_bits + cfg.counter_bits)) & self._tag_mask
         return tag, ctr, useful
 
-    # -- folded-history maintenance --------------------------------------------
-    def _folded(self, thread_id: int) -> dict:
-        state = self._folded_state.get(thread_id)
-        if state is None:
-            state = {
-                "index": [0] * self.config.n_tables,
-                "tag0": [0] * self.config.n_tables,
-                "tag1": [0] * self.config.n_tables,
-            }
-            self._folded_state[thread_id] = state
-        return state
+    # -- fused-kernel mask bundles --------------------------------------------
+    def _build_kernel_masks(self, thread_id: int):
+        """(Re)build the per-thread kernel constants for one hardware thread.
 
-    @staticmethod
-    def _fold_step(folded: int, width: int, new_bit: int, old_bit: int,
-                   length: int) -> int:
-        """One circular-shift-register update of a folded history."""
-        folded = (folded << 1) | new_bit
-        folded ^= old_bit << (length % width)
-        folded ^= folded >> width
-        return folded & ((1 << width) - 1)
+        Passthrough policies (baseline / flush) get all-zero masks; plain-XOR
+        policies get the thread's fused index/content keys (pulled from the
+        tables' own mask caches, so both dispatch layers agree bit for bit);
+        anything else is marked non-fusable and served by the generic path.
+
+        The result is cached per thread; XOR policies invalidate it on every
+        key re-randomisation and it rebuilds on the next access.  Tests that
+        force storage fast-path flags off must clear ``_kernel_masks``
+        afterwards (``invalidate_kernel_masks``).
+        """
+        tables = self._tables
+        base_words = self._base_words
+        n = self.config.n_tables
+        swar_i = self._swar_i.lane_offsets
+        swar_t0 = self._swar_t0.lane_offsets
+        swar_t1 = self._swar_t1.lane_offsets
+        entries = self.config.table_entries
+        if all(t._fast for t in tables) and base_words._fast:
+            # Passthrough: the specialised loop needs no key fields at all.
+            consts = tuple(
+                (t, t * entries, t * 0x1F, swar_i[t], t & 3,
+                 swar_t0[t], swar_t1[t])
+                for t in range(n))
+            bundle = (False, consts, 0, 0, self._zero_base_row_keys)
+        elif all(t._xor_fast for t in tables) and base_words._xor_fast:
+            per_table = []
+            for t in range(n):
+                table = tables[t]
+                masks = table._xor_masks.get(thread_id)
+                if masks is None:
+                    masks = table._build_xor_masks(thread_id)
+                index_key, content_key, row_keys = masks
+                # The index hash constant t*0x1F and the thread's index key
+                # are both XORed into the index, so they fuse into one mask.
+                per_table.append((t, t * entries, (t * 0x1F) ^ index_key,
+                                  content_key, row_keys,
+                                  swar_i[t], t & 3, swar_t0[t], swar_t1[t]))
+            base_masks = base_words._xor_masks.get(thread_id)
+            if base_masks is None:
+                base_masks = base_words._build_xor_masks(thread_id)
+            bundle = (True, tuple(per_table), base_masks[0], base_masks[1],
+                      base_masks[2])
+        else:
+            bundle = False
+        self._kernel_masks[thread_id] = bundle
+        return bundle
+
+    def invalidate_kernel_masks(self) -> None:
+        """Drop every cached kernel bundle (tests / manual flag flips)."""
+        self._kernel_masks.clear()
+        self._exec_fns.clear()
+
+    # -- folded-history maintenance --------------------------------------------
+    def _folded_regs(self, thread_id: int) -> list:
+        regs = self._folded_state.get(thread_id)
+        if regs is None:
+            regs = self._folded_state[thread_id] = [0, 0, 0]
+        return regs
+
+    def _gather_insert_masks(self, ghr_value: int) -> tuple:
+        """Lane-wise insert masks of the oldest history bits (slow fallback)."""
+        mask_i = mask_t0 = mask_t1 = 0
+        for t, shift in enumerate(self._old_shifts):
+            if (ghr_value >> shift) & 1:
+                mask_i |= self._swar_i.insert_masks[t]
+                mask_t0 |= self._swar_t0.insert_masks[t]
+                mask_t1 |= self._swar_t1.insert_masks[t]
+        return mask_i, mask_t0, mask_t1
 
     def _push_history(self, taken: bool, thread_id: int) -> None:
         """Shift the outcome into the GHR and all folded registers."""
+        regs = self._folded_regs(thread_id)
         ghr_value = self._ghr.value(thread_id)
-        state = self._folded(thread_id)
-        new_bit = 1 if taken else 0
-        cfg = self.config
-        index_bits = self._index_bits
-        tag_bits = cfg.tag_bits
-        tag1_bits = tag_bits - 1
-        index_regs = state["index"]
-        tag0_regs = state["tag0"]
-        tag1_regs = state["tag1"]
-        index_mask = (1 << index_bits) - 1
-        tag0_mask = (1 << tag_bits) - 1
-        tag1_mask = (1 << tag1_bits) - 1
-        for table, (old_shift, index_insert, tag0_insert,
-                    tag1_insert) in enumerate(self._push_consts):
-            old_bit = (ghr_value >> old_shift) & 1
-            # Inlined circular-shift-register updates (hot path).
-            folded = (index_regs[table] << 1) | new_bit
-            folded ^= old_bit << index_insert
-            folded ^= folded >> index_bits
-            index_regs[table] = folded & index_mask
-            folded = (tag0_regs[table] << 1) | new_bit
-            folded ^= old_bit << tag0_insert
-            folded ^= folded >> tag_bits
-            tag0_regs[table] = folded & tag0_mask
-            folded = (tag1_regs[table] << 1) | new_bit
-            folded ^= old_bit << tag1_insert
-            folded ^= folded >> tag1_bits
-            tag1_regs[table] = folded & tag1_mask
+        gather = self._old_gather
+        if gather is not None:
+            mask_i, mask_t0, mask_t1 = gather[ghr_value & self._old_mask]
+        else:
+            mask_i, mask_t0, mask_t1 = self._gather_insert_masks(ghr_value)
+        new_i, new_t0, new_t1 = self._new_masks[1 if taken else 0]
+        swar = self._swar_i
+        packed = ((regs[0] << 1) | new_i) ^ mask_i
+        packed ^= (packed & swar.guard_mask) >> swar.width
+        regs[0] = packed & swar.lane_mask
+        swar = self._swar_t0
+        packed = ((regs[1] << 1) | new_t0) ^ mask_t0
+        packed ^= (packed & swar.guard_mask) >> swar.width
+        regs[1] = packed & swar.lane_mask
+        swar = self._swar_t1
+        packed = ((regs[2] << 1) | new_t1) ^ mask_t1
+        packed ^= (packed & swar.guard_mask) >> swar.width
+        regs[2] = packed & swar.lane_mask
         self._ghr.push(taken, thread_id)
 
     # -- index / tag hashing --------------------------------------------------
     def _table_index(self, pc: int, table: int, thread_id: int) -> int:
-        history = self._folded(thread_id)["index"][table]
+        regs = self._folded_regs(thread_id)
+        history = (regs[0] >> self._swar_i.lane_offsets[table]) \
+            & ((1 << self._index_bits) - 1)
         path = self._path.folded(self._index_bits, thread_id)
         pc_bits = (pc >> 2) ^ (pc >> (2 + self._index_bits))
         return (pc_bits ^ history ^ (path >> (table & 3)) ^ (table * 0x1F)) \
             & ((1 << self._index_bits) - 1)
 
     def _table_tag(self, pc: int, table: int, thread_id: int) -> int:
-        state = self._folded(thread_id)
-        return ((pc >> 2) ^ state["tag0"][table] ^ (state["tag1"][table] << 1)) \
-            & self._tag_mask
+        regs = self._folded_regs(thread_id)
+        tag0 = (regs[1] >> self._swar_t0.lane_offsets[table]) & self._tag_mask
+        tag1 = (regs[2] >> self._swar_t1.lane_offsets[table]) \
+            & ((1 << (self.config.tag_bits - 1)) - 1)
+        return ((pc >> 2) ^ tag0 ^ (tag1 << 1)) & self._tag_mask
 
     # -- prediction protocol --------------------------------------------------
     def lookup(self, pc: int, thread_id: int = 0) -> DirectionPrediction:
@@ -351,40 +512,381 @@ class TagePredictor(DirectionPredictor):
     def execute(self, pc: int, taken: bool, thread_id: int = 0) -> bool:
         """Fused lookup + stats + update for the simulation hot path.
 
-        State-identical to the ``lookup`` / ``stats().record`` / ``update``
-        sequence the scalar engine performs, but with the per-table index/tag
-        hashing hoisted into locals, the path-history fold computed once
-        instead of once per tagged table (its value is loop-invariant), and
-        no :class:`DirectionPrediction`/meta-dictionary allocation.
+        Dispatches to the thread's specialised kernel (see
+        :meth:`exec_kernel`).  State evolution and statistics are identical
+        to the ``lookup`` / ``stats().record`` / ``update`` sequence the
+        scalar engine performs, for every isolation policy.
         """
-        # One attribute load for the whole per-call constant set (every member
-        # is immutable or never rebound after construction).
-        (tables, n_tables, ctr_shift, ctr_mask, u_mask, tag_mask, weak_taken,
-         taken_threshold, use_alt_threshold, useful_bits, base_words,
-         base_index_mask, base_cpw, base_threshold, index_bits, index_mask,
-         exec_consts, push_consts, path_obj, ghr, useful_reset_period,
-         tag_bits) = self._exec_bundle
+        fn = self._exec_fns.get(thread_id)
+        if fn is None:
+            fn = self._build_exec_fn(thread_id)
+        return fn(pc, taken)
+
+    def exec_kernel(self, thread_id: int = 0):
+        """Return the thread's specialised execute kernel ``fn(pc, taken)``.
+
+        The kernel is a generated function: the tagged-table loop is
+        unrolled with the geometry constants inlined as literals, and the
+        thread's packed folded-history registers, statistics object and
+        fused isolation masks are bound in its globals.  A branch therefore
+        pays no per-call attribute loads, constant-tuple unpacking or mask
+        lookups — all of that happens once, here.
+
+        The kernel is dropped (and must be re-fetched by callers) whenever
+        the bound state changes identity: key re-randomisation (via the
+        isolation mask-cache protocol), ``flush``/``flush_thread``,
+        ``reset_stats`` and ``invalidate_kernel_masks``.  The batched
+        engines re-fetch it after every switch notification.  The callable
+        also accepts (and ignores) a trailing ``thread_id`` argument so
+        engines can drive specialised and generic predictors through one
+        call shape.
+        """
+        fn = self._exec_fns.get(thread_id)
+        if fn is None:
+            fn = self._build_exec_fn(thread_id)
+        return fn
+
+    def _build_exec_fn(self, thread_id: int):
+        """Build, cache and return one thread's specialised kernel."""
+        bundle = self._kernel_masks.get(thread_id)
+        if bundle is None:
+            bundle = self._build_kernel_masks(thread_id)
+        if bundle is False:
+            # Non-fusable isolation (owner tracking / non-XOR encoders).
+            generic = self._execute_generic
+
+            def fn(pc, taken, thread_id=thread_id, _generic=generic):
+                return _generic(pc, taken, thread_id)
+        else:
+            encoded = bundle[0]
+            diversified = encoded and bool(
+                getattr(self._tables[0].isolation, "_row_diversified", False))
+            key = (encoded, diversified)
+            code = self._kernel_code.get(key)
+            if code is None:
+                source = self._kernel_source(encoded, diversified)
+                code = compile(source, f"<tage-kernel {key}>", "exec")
+                self._kernel_code[key] = code
+            namespace = self._kernel_namespace(thread_id, bundle)
+            exec(code, namespace)
+            fn = namespace["_kernel"]
+        self._exec_fns[thread_id] = fn
+        return fn
+
+    def _kernel_namespace(self, thread_id: int, bundle) -> dict:
+        """Globals of one generated kernel: bound state + per-thread masks.
+
+        Every bound object is identity-stable across branches (storage lists
+        are reset in place, the history dicts are cleared in place); events
+        that do change identities — flushes, key rotation, stats resets —
+        invalidate the kernel itself.
+        """
+        namespace = {
+            "flat": self._flat,
+            "base_data": self._base_words._data,
+            "path_values": self._path._values,
+            "ghr_values": self._ghr._values,
+            "regs": self._folded_regs(thread_id),
+            "pstats": self.stats(thread_id),
+            "predictor": self,
+            "TID": thread_id,
+        }
+        if self._old_gather is not None:
+            namespace["old_gather"] = self._old_gather
+        else:
+            namespace["gather"] = self._gather_insert_masks
+        if bundle[0]:
+            _, consts, base_index_key, base_content_key, base_row_keys = bundle
+            for entry in consts:
+                t, _toff, mkey, ckey, row_keys = entry[:5]
+                namespace[f"MK{t}"] = mkey
+                namespace[f"CK{t}"] = ckey
+                namespace[f"RK{t}"] = row_keys
+                # Index key alone (hash constant stripped): maps a physical
+                # row back to its logical index on the cold reset-reread path.
+                namespace[f"IK{t}"] = mkey ^ (t * 0x1F)
+            namespace["BIK"] = base_index_key
+            namespace["BCK"] = base_content_key
+            namespace["BRK"] = base_row_keys
+        return namespace
+
+    def _kernel_source(self, encoded: bool, diversified: bool) -> str:
+        """Generate the source of one specialised kernel arm.
+
+        Two arms exist: the *passthrough* arm (baseline / flush presets) and
+        the *fused-XOR* arm (XOR-BP / Noisy-XOR-BP), which differs only in
+        the mask XORs folded into the index/content math.  Geometry
+        (strides, lane offsets, masks, hash constants) is inlined as
+        literals; per-thread mask values are globals so key rotation swaps
+        namespace entries instead of recompiling.  Statement order mirrors
+        :meth:`_execute_generic` exactly — the parity suite holds the
+        generated kernels, the generic path and the scalar engine
+        bit-identical.
+        """
+        cfg = self.config
+        n = cfg.n_tables
+        ibits = self._index_bits
+        imask = (1 << ibits) - 1
+        tmask = self._tag_mask
+        t1bits = cfg.tag_bits - 1
+        t1mask = (1 << t1bits) - 1
+        ubits = cfg.useful_bits
+        cmask = self._ctr_mask
+        umask = self._u_mask
+        ctr_shift = ubits + cfg.counter_bits
+        weak = self._ctr_weak_taken
+        thresh = 1 << (cfg.counter_bits - 1)
+        entries = cfg.table_entries
+        lanes_i = self._swar_i.lane_offsets
+        lanes_t0 = self._swar_t0.lane_offsets
+        lanes_t1 = self._swar_t1.lane_offsets
+        boff = self._base_words._offset
+        cpw = self._base_cpw
+        cbits = self._base_counter_bits
+        bcmask = (1 << cbits) - 1
+        new_i, new_t0, new_t1 = self._new_masks[1]
+
+        def hist_term(t: int) -> str:
+            lane = lanes_i[t]
+            return (f"((packed_i >> {lane}) & {imask})" if lane
+                    else f"(packed_i & {imask})")
+
+        def path_term(t: int) -> str:
+            shift = t & 3
+            return f"(path >> {shift})" if shift else "path"
+
+        def tag_term(t: int) -> str:
+            lane0 = lanes_t0[t]
+            lane1 = lanes_t1[t]
+            fold0 = (f"((packed_t0 >> {lane0}) & {tmask})" if lane0
+                     else f"(packed_t0 & {tmask})")
+            fold1 = (f"((packed_t1 >> {lane1}) & {t1mask})" if lane1
+                     else f"(packed_t1 & {t1mask})")
+            return f"(pc2 ^ {fold0} ^ ({fold1} << 1)) & {tmask}"
+
+        lines = []
+        emit = lines.append
+        emit("def _kernel(pc, taken, thread_id=0):")
+        # -- lookup ----------------------------------------------------------
+        emit("    packed_i = regs[0]")
+        emit("    packed_t0 = regs[1]")
+        emit("    packed_t1 = regs[2]")
+        emit("    path_value = path_values.get(TID, 0)")
+        emit(f"    path = path_value & {imask}")
+        emit(f"    remaining = path_value >> {ibits}")
+        emit("    while remaining:")
+        emit(f"        path ^= remaining & {imask}")
+        emit(f"        remaining >>= {ibits}")
+        emit(f"    pc_bits = (pc >> 2) ^ (pc >> {ibits + 2})")
+        emit("    pc2 = pc >> 2")
+        emit("    provider = -1")
+        emit("    alt = -1")
+        emit("    provider_ctr = 0")
+        for t in range(n):
+            toff = t * entries
+            key = f"MK{t}" if encoded else (str(t * 0x1F) if t else "")
+            key_xor = f" ^ {key}" if key else ""
+            emit(f"    row = (pc_bits ^ {hist_term(t)} ^ {path_term(t)}"
+                 f"{key_xor}) & {imask}")
+            cell = f"flat[{toff} + row]" if toff else "flat[row]"
+            if encoded:
+                decode = f" ^ CK{t}" + (f" ^ RK{t}[row]" if diversified else "")
+                emit(f"    word = {cell}{decode}")
+            else:
+                emit(f"    word = {cell}")
+            emit("    if word:")
+            emit(f"        tag = {tag_term(t)}")
+            emit(f"        if ((word >> {ctr_shift}) & {tmask}) == tag:")
+            emit("            alt = provider")
+            emit("            alt_ctr = provider_ctr")
+            emit(f"            provider = {t}")
+            emit("            provider_row = row")
+            emit("            provider_tag = tag")
+            emit(f"            provider_ctr = (word >> {ubits}) & {cmask}")
+            emit(f"            provider_useful = word & {umask}")
+            emit(f"            provider_base = {toff}")
+            if encoded:
+                emit(f"            provider_ck = CK{t}")
+                if diversified:
+                    emit(f"            provider_rk = RK{t}")
+                emit(f"            provider_ik = IK{t}")
+        # Inlined bimodal base lookup (reads are side-effect free; the
+        # decoded word is reused by the base update below).
+        emit(f"    base_index = pc2 & {self._base_index_mask}")
+        if cpw & (cpw - 1) == 0:
+            rshift = cpw.bit_length() - 1
+            row_expr = f"(base_index >> {rshift})" if rshift else "base_index"
+            emit(f"    base_shift = (base_index & {cpw - 1}) * {cbits}")
+        else:
+            row_expr = f"(base_index // {cpw})"
+            emit(f"    base_shift = (base_index % {cpw}) * {cbits}")
+        if encoded:
+            emit(f"    base_row = ({row_expr} ^ BIK)"
+                 f" & {self._base_words._index_mask}")
+        else:
+            emit(f"    base_row = {row_expr}")
+        base_cell = (f"base_data[{boff} + base_row]" if boff
+                     else "base_data[base_row]")
+        base_decode = ""
+        if encoded:
+            base_decode = " ^ BCK" + (" ^ BRK[base_row]" if diversified else "")
+        emit(f"    base_word = {base_cell}{base_decode}")
+        emit(f"    base_counter = (base_word >> base_shift) & {bcmask}")
+        emit(f"    base_taken = base_counter >= {self._base_threshold}")
+        emit(f"    alt_taken = (alt_ctr >= {thresh}) if alt >= 0 else base_taken")
+        emit("    if provider >= 0:")
+        emit(f"        provider_taken = provider_ctr >= {thresh}")
+        emit("        use_alt = (provider_useful == 0")
+        emit(f"                   and {weak - 1} <= provider_ctr <= {weak}")
+        emit(f"                   and predictor._use_alt >= "
+             f"{1 << (cfg.use_alt_bits - 1)})")
+        emit("        predicted = alt_taken if use_alt else provider_taken")
+        emit("    else:")
+        emit("        use_alt = False")
+        emit("        predicted = base_taken")
+        # -- stats (recorded between lookup and update, as in the BPU) -------
+        emit("    pstats.lookups += 1")
+        emit("    mispredicted = predicted != taken")
+        emit("    if mispredicted:")
+        emit("        pstats.mispredictions += 1")
+        # -- update ----------------------------------------------------------
+        emit("    count = predictor._update_count + 1")
+        emit("    predictor._update_count = count")
+        emit(f"    reset_fired = count % {cfg.useful_reset_period} == 0")
+        emit("    if reset_fired:")
+        emit("        predictor._graceful_useful_reset(TID)")
+        emit("    if provider >= 0:")
+        emit("        ctr = provider_ctr")
+        emit("        useful = provider_useful")
+        emit("        if reset_fired:")
+        if encoded:
+            emit("            word = predictor._tables[provider].read("
+                 f"(provider_row ^ provider_ik) & {imask}, TID)")
+        else:
+            emit("            word = predictor._tables[provider].read("
+                 "provider_row, TID)")
+        emit(f"            ctr = (word >> {ubits}) & {cmask}")
+        emit(f"            useful = word & {umask}")
+        emit(f"        provider_taken = ctr >= {thresh}")
+        emit(f"        if use_alt or (useful == 0 and {weak - 1} <= ctr <= {weak}):")
+        emit("            if provider_taken != alt_taken:")
+        emit("                if alt_taken == taken:")
+        emit("                    ua = predictor._use_alt + 1")
+        emit(f"                    if ua <= {self._use_alt_max}:")
+        emit("                        predictor._use_alt = ua")
+        emit("                else:")
+        emit("                    ua = predictor._use_alt - 1")
+        emit("                    if ua >= 0:")
+        emit("                        predictor._use_alt = ua")
+        emit("        if taken:")
+        emit(f"            new_ctr = ctr + 1 if ctr < {cmask} else {cmask}")
+        emit("        else:")
+        emit("            new_ctr = ctr - 1 if ctr > 0 else 0")
+        emit("        new_useful = useful")
+        emit("        if provider_taken != alt_taken:")
+        emit("            if provider_taken == taken:")
+        emit(f"                new_useful = useful + 1 if useful < {umask}"
+             f" else {umask}")
+        emit("            else:")
+        emit("                new_useful = useful - 1 if useful > 0 else 0")
+        packed = (f"(provider_tag << {ctr_shift}) | (new_ctr << {ubits})"
+                  " | new_useful")
+        if encoded:
+            encode = " ^ provider_ck" + (" ^ provider_rk[provider_row]"
+                                         if diversified else "")
+            emit(f"        flat[provider_base + provider_row] = ({packed}){encode}")
+        else:
+            emit(f"        flat[provider_base + provider_row] = {packed}")
+        # Inlined bimodal base update: trains the base when it predicted (no
+        # provider) or provided the alternate.
+        emit("    if provider < 0 or alt < 0:")
+        emit("        if taken:")
+        emit(f"            new_base = base_counter + 1 if base_counter < {bcmask}"
+             f" else {bcmask}")
+        emit("        else:")
+        emit("            new_base = base_counter - 1 if base_counter > 0 else 0")
+        new_word = (f"((base_word & ~({bcmask} << base_shift))"
+                    f" | (new_base << base_shift))"
+                    f" & {self._base_words._value_mask}")
+        if encoded:
+            emit(f"        {base_cell} = ({new_word}){base_decode}")
+        else:
+            emit(f"        {base_cell} = {new_word}")
+        # Allocation on misprediction: the logical index/tag hashes are only
+        # needed on this (rare) path; the folded registers have not been
+        # pushed yet, so the values equal the ones used by the lookup above.
+        emit(f"    if mispredicted and provider < {n - 1}:")
+        idx_items = ", ".join(
+            f"(pc_bits ^ {hist_term(t)} ^ {path_term(t)}"
+            + (f" ^ {t * 0x1F}" if t else "") + f") & {imask}"
+            for t in range(n))
+        tag_items = ", ".join(tag_term(t) for t in range(n))
+        emit("        predictor._allocate(pc, taken, provider,")
+        emit(f"                            [{idx_items}],")
+        emit(f"                            [{tag_items}], TID)")
+        # -- history push (SWAR over the three packed register files) --------
+        emit("    ghr_value = ghr_values.get(TID, 0)")
+        if self._old_gather is not None:
+            emit("    mask_i, mask_t0, mask_t1 = "
+                 f"old_gather[ghr_value & {self._old_mask}]")
+        else:
+            emit("    mask_i, mask_t0, mask_t1 = gather(ghr_value)")
+        emit("    if taken:")
+        emit(f"        packed_i = ((packed_i << 1) | {new_i}) ^ mask_i")
+        emit(f"        packed_t0 = ((packed_t0 << 1) | {new_t0}) ^ mask_t0")
+        emit(f"        packed_t1 = ((packed_t1 << 1) | {new_t1}) ^ mask_t1")
+        emit(f"        ghr_values[TID] = ((ghr_value << 1) | 1)"
+             f" & {self._ghr._mask}")
+        emit("    else:")
+        emit("        packed_i = (packed_i << 1) ^ mask_i")
+        emit("        packed_t0 = (packed_t0 << 1) ^ mask_t0")
+        emit("        packed_t1 = (packed_t1 << 1) ^ mask_t1")
+        emit(f"        ghr_values[TID] = (ghr_value << 1) & {self._ghr._mask}")
+        emit(f"    packed_i ^= (packed_i & {self._swar_i.guard_mask})"
+             f" >> {ibits}")
+        emit(f"    regs[0] = packed_i & {self._swar_i.lane_mask}")
+        emit(f"    packed_t0 ^= (packed_t0 & {self._swar_t0.guard_mask})"
+             f" >> {cfg.tag_bits}")
+        emit(f"    regs[1] = packed_t0 & {self._swar_t0.lane_mask}")
+        emit(f"    packed_t1 ^= (packed_t1 & {self._swar_t1.guard_mask})"
+             f" >> {t1bits}")
+        emit(f"    regs[2] = packed_t1 & {self._swar_t1.lane_mask}")
+        pcb = self._path._pc_bits
+        emit(f"    path_values[TID] = ((path_value << {pcb})"
+             f" | (pc2 & {(1 << pcb) - 1})) & {self._path._mask}")
+        emit("    return predicted")
+        return "\n".join(lines) + "\n"
+
+    def _execute_generic(self, pc: int, taken: bool, thread_id: int) -> bool:
+        """Fused execute for non-fusable isolation policies.
+
+        Structurally the same flow as :meth:`execute`, but every storage
+        access goes through the table API so owner tracking (Precise Flush)
+        and non-XOR encoders (S-box / shift-XOR ablations) keep their exact
+        generic-dispatch semantics.
+        """
+        (n_tables, ctr_shift, ctr_mask, u_mask, tag_mask, weak_taken,
+         taken_threshold, use_alt_threshold, useful_bits, base_index_mask,
+         base_cpw, base_threshold, index_bits, index_mask, path_obj, ghr,
+         useful_reset_period, tag1_mask, old_mask, old_gather, new_masks,
+         guard_i, lanes_i, guard_t0, lanes_t0, tag_bits, guard_t1, lanes_t1,
+         tag1_bits) = self._exec_bundle
+        tables = self._tables
+        base_words = self._base_words
 
         # -- lookup ----------------------------------------------------------
-        # Inlined bimodal base lookup straight from the packed word table
-        # (reads have no side effects, so the word is reused by the base
-        # update below — nothing writes to the base PHT in between).
         base_index = (pc >> 2) & base_index_mask
         base_word_index = base_index // base_cpw
         base_shift = (base_index % base_cpw) * 2
-        base_word = (base_words._data[base_word_index] if base_words._fast
-                     else base_words.read(base_word_index, thread_id))
+        base_word = base_words.read(base_word_index, thread_id)
         base_counter = (base_word >> base_shift) & 3
         base_taken = base_counter >= base_threshold
-        state = self._folded_state.get(thread_id)
-        if state is None:
-            state = self._folded(thread_id)
-        index_folds = state["index"]
-        tag0_folds = state["tag0"]
-        tag1_folds = state["tag1"]
-        # Inlined self._path.folded(index_bits, thread_id): XOR-fold the path
-        # register in index_bits-wide chunks (zero chunks are no-ops, so
-        # stopping at the highest set bit matches fold_history exactly).
+        regs = self._folded_state.get(thread_id)
+        if regs is None:
+            regs = self._folded_state[thread_id] = [0, 0, 0]
+        packed_i = regs[0]
+        packed_t0 = regs[1]
+        packed_t1 = regs[2]
         path_value = path_obj._values.get(thread_id, 0)
         path = path_value & index_mask
         remaining = path_value >> index_bits
@@ -393,24 +895,25 @@ class TagePredictor(DirectionPredictor):
             remaining >>= index_bits
         pc_bits = (pc >> 2) ^ (pc >> (2 + index_bits))
         pc2 = pc >> 2
+        lanes_off_i = self._swar_i.lane_offsets
+        lanes_off_t0 = self._swar_t0.lane_offsets
+        lanes_off_t1 = self._swar_t1.lane_offsets
         provider = -1
         alt = -1
         provider_index = provider_tag = provider_ctr = provider_useful = 0
         alt_ctr = 0
-        for table, t, path_shift, hash_const in exec_consts:
-            index = (pc_bits ^ index_folds[table] ^ (path >> path_shift)
-                     ^ hash_const) & index_mask
-            word = t._data[index] if t._fast else t.read(index, thread_id)
+        for t in range(n_tables):
+            index = (pc_bits ^ ((packed_i >> lanes_off_i[t]) & index_mask)
+                     ^ (path >> (t & 3)) ^ (t * 0x1F)) & index_mask
+            word = tables[t].read(index, thread_id)
             if word:
-                # The tag hash is only needed for non-empty entries; tagged
-                # tables are sparsely populated, so computing it lazily here
-                # skips the fold/XOR work for the common all-zero read.
-                tag = (pc2 ^ tag0_folds[table]
-                       ^ (tag1_folds[table] << 1)) & tag_mask
+                tag = (pc2 ^ ((packed_t0 >> lanes_off_t0[t]) & tag_mask)
+                       ^ (((packed_t1 >> lanes_off_t1[t]) & tag1_mask) << 1)) \
+                    & tag_mask
                 if ((word >> ctr_shift) & tag_mask) == tag:
                     alt = provider
                     alt_ctr = provider_ctr
-                    provider = table
+                    provider = t
                     provider_index = index
                     provider_tag = tag
                     provider_ctr = (word >> useful_bits) & ctr_mask
@@ -426,7 +929,7 @@ class TagePredictor(DirectionPredictor):
             use_alt = False
             predicted = base_taken
 
-        # -- stats (recorded between lookup and update, as in the BPU) -------
+        # -- stats -----------------------------------------------------------
         pstats = self._stats.get(thread_id)
         if pstats is None:
             pstats = self._stats[thread_id] = PredictorStats()
@@ -443,11 +946,7 @@ class TagePredictor(DirectionPredictor):
         if provider >= 0:
             ctr, useful = provider_ctr, provider_useful
             if reset_fired:
-                # The graceful reset halves useful counters in place; re-read
-                # the provider entry exactly as the scalar update path does.
-                t = tables[provider]
-                word = (t._data[provider_index] if t._fast
-                        else t.read(provider_index, thread_id))
+                word = tables[provider].read(provider_index, thread_id)
                 ctr = (word >> useful_bits) & ctr_mask
                 useful = word & u_mask
             provider_taken = ctr >= taken_threshold
@@ -457,7 +956,6 @@ class TagePredictor(DirectionPredictor):
                         self._use_alt = min(self._use_alt + 1, self._use_alt_max)
                     else:
                         self._use_alt = max(self._use_alt - 1, 0)
-            # Inlined saturating_update(ctr, taken, counter_bits).
             if taken:
                 new_ctr = ctr + 1 if ctr < ctr_mask else ctr_mask
             else:
@@ -471,60 +969,41 @@ class TagePredictor(DirectionPredictor):
             packed = ((provider_tag << ctr_shift)
                       | ((new_ctr & ctr_mask) << useful_bits)
                       | (new_useful & u_mask))
-            t = tables[provider]
-            if t._fast:
-                t._data[provider_index] = packed
-            else:
-                t.write(provider_index, packed, thread_id)
+            tables[provider].write(provider_index, packed, thread_id)
         if provider < 0 or alt < 0:
-            # Inlined bimodal base update (read-modify-write the packed word
-            # fetched during the lookup): trains the base when it predicted
-            # (no provider) or provided the alternate.  The base update is
-            # the last table write either way, so hoisting it here keeps the
-            # write order identical to the scalar path.
             if taken:
                 new_base = base_counter + 1 if base_counter < 3 else 3
             else:
                 new_base = base_counter - 1 if base_counter > 0 else 0
             new_word = (base_word & ~(3 << base_shift)) | (new_base << base_shift)
-            if base_words._fast:
-                base_words._data[base_word_index] = new_word & base_words._value_mask
-            else:
-                base_words.write(base_word_index, new_word, thread_id)
+            base_words.write(base_word_index, new_word, thread_id)
         if mispredicted and provider < n_tables - 1:
-            # The index/tag hashes are only needed on the (rare) allocation
-            # path; recompute them here instead of building lists per branch.
-            # The folded registers have not been pushed yet, so the values
-            # are identical to the ones used by the lookup above.
-            indices = [(pc_bits ^ index_folds[table] ^ (path >> (table & 3))
-                        ^ (table * 0x1F)) & index_mask
-                       for table in range(n_tables)]
-            tags = [(pc2 ^ tag0_folds[table] ^ (tag1_folds[table] << 1)) & tag_mask
-                    for table in range(n_tables)]
+            indices = [(pc_bits ^ ((packed_i >> lanes_off_i[t]) & index_mask)
+                        ^ (path >> (t & 3)) ^ (t * 0x1F)) & index_mask
+                       for t in range(n_tables)]
+            tags = [(pc2 ^ ((packed_t0 >> lanes_off_t0[t]) & tag_mask)
+                     ^ (((packed_t1 >> lanes_off_t1[t]) & tag1_mask) << 1))
+                    & tag_mask for t in range(n_tables)]
             self._allocate(pc, taken, provider, indices, tags, thread_id)
 
-        # -- history push (inlined _push_history + path push) ----------------
+        # -- history push ----------------------------------------------------
         ghr_values = ghr._values
         ghr_value = ghr_values.get(thread_id, 0)
+        if old_gather is not None:
+            mask_i, mask_t0, mask_t1 = old_gather[ghr_value & old_mask]
+        else:
+            mask_i, mask_t0, mask_t1 = self._gather_insert_masks(ghr_value)
         new_bit = 1 if taken else 0
-        tag1_bits = tag_bits - 1
-        tag0_mask = tag_mask
-        tag1_mask = (1 << tag1_bits) - 1
-        for table, (old_shift, index_insert, tag0_insert,
-                    tag1_insert) in enumerate(push_consts):
-            old_bit = (ghr_value >> old_shift) & 1
-            folded = (index_folds[table] << 1) | new_bit
-            folded ^= old_bit << index_insert
-            folded ^= folded >> index_bits
-            index_folds[table] = folded & index_mask
-            folded = (tag0_folds[table] << 1) | new_bit
-            folded ^= old_bit << tag0_insert
-            folded ^= folded >> tag_bits
-            tag0_folds[table] = folded & tag0_mask
-            folded = (tag1_folds[table] << 1) | new_bit
-            folded ^= old_bit << tag1_insert
-            folded ^= folded >> tag1_bits
-            tag1_folds[table] = folded & tag1_mask
+        new_i, new_t0, new_t1 = new_masks[new_bit]
+        packed_i = ((packed_i << 1) | new_i) ^ mask_i
+        packed_i ^= (packed_i & guard_i) >> index_bits
+        regs[0] = packed_i & lanes_i
+        packed_t0 = ((packed_t0 << 1) | new_t0) ^ mask_t0
+        packed_t0 ^= (packed_t0 & guard_t0) >> tag_bits
+        regs[1] = packed_t0 & lanes_t0
+        packed_t1 = ((packed_t1 << 1) | new_t1) ^ mask_t1
+        packed_t1 ^= (packed_t1 & guard_t1) >> tag1_bits
+        regs[2] = packed_t1 & lanes_t1
         ghr_values[thread_id] = ((ghr_value << 1) | new_bit) & ghr._mask
         path_obj._values[thread_id] = \
             ((path_value << path_obj._pc_bits)
@@ -601,6 +1080,8 @@ class TagePredictor(DirectionPredictor):
         self._ghr.clear()
         self._path.clear()
         self._folded_state.clear()
+        # The specialised kernels bind the (now dropped) folded registers.
+        self._exec_fns.clear()
 
     def flush_thread(self, thread_id: int) -> None:
         self._base.flush_thread(thread_id)
@@ -609,3 +1090,9 @@ class TagePredictor(DirectionPredictor):
         self._ghr.clear(thread_id)
         self._path.clear(thread_id)
         self._folded_state.pop(thread_id, None)
+        self._exec_fns.pop(thread_id, None)
+
+    def reset_stats(self) -> None:
+        super().reset_stats()
+        # The specialised kernels bind the (now replaced) stats objects.
+        self._exec_fns.clear()

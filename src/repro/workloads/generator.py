@@ -237,12 +237,22 @@ class SyntheticWorkload:
         choice = rng.choice
         log = math.log
         bisect_left = bisect.bisect_left
-        inv_mean_gap = 1.0 / self._mean_gap
+        # Geometric-gap constant: multiplying by the (negated) mean replaces
+        # the per-record division by its inverse.
+        neg_mean_gap = -self._mean_gap
         conditional = BranchType.CONDITIONAL
         call_type = BranchType.CALL
         return_type = BranchType.RETURN
         indirect_type = BranchType.INDIRECT
-        loop_kind, biased_kind, pattern_kind = _LOOP, _BIASED, _PATTERN
+        loop_kind, pattern_kind = _LOOP, _PATTERN
+        # Per-site constants as parallel lists: one list index replaces an
+        # attribute (instance-dict) load per field in the record loop.
+        site_pc = [site.pc for site in sites]
+        site_target = [site.target for site in sites]
+        site_kind = [site.kind for site in sites]
+        site_param = [site.param for site in sites]
+        site_param_int = [int(site.param) for site in sites]
+        site_aux = [bool(site.aux) for site in sites]
 
         # Active working set: an *ordered*, nested-loop-like tour of branch
         # sites.  Real code is loops over code — a small inner region (a
@@ -264,13 +274,47 @@ class SyntheticWorkload:
         block_position = 0
         block_repeats = 1 + randrange(6)
 
+        # Batched RNG for the per-iteration Bernoulli events (working-set
+        # drift, call/return pairs, indirect jumps): instead of drawing one
+        # uniform per iteration per event, the number of iterations until the
+        # next occurrence is sampled geometrically (the inverse-CDF of the
+        # same per-trial process), one draw per *event*.  ``inf`` disables an
+        # event; a non-positive log argument never occurs since
+        # ``1 - random() ∈ (0, 1]``.
+        never = float("inf")
+        drift_log1m = log(1.0 - drift_probability)
+        if call_sites and call_prob > 0.0:
+            call_log1m = log(1.0 - call_prob) if call_prob < 1.0 else None
+        else:
+            call_log1m = never
+        if indirect_sites and indirect_prob > 0.0:
+            indirect_log1m = (log(1.0 - indirect_prob)
+                              if indirect_prob < 1.0 else None)
+        else:
+            indirect_log1m = never
+
+        def skip(log1m):
+            """Iterations until the next event (0 = this iteration)."""
+            if log1m is never:
+                return never
+            if log1m is None:  # probability >= 1: fires every iteration
+                return 0
+            return int(log(1.0 - random_()) / log1m)
+
+        drift_skip = skip(drift_log1m)
+        call_skip = skip(call_log1m)
+        indirect_skip = skip(indirect_log1m)
+
         batch: List[tuple] = []
         append = batch.append
 
         while True:
-            if random_() < drift_probability:
+            if drift_skip > 0:
+                drift_skip -= 1
+            else:
                 active[randrange(window)] = bisect_left(cumulative,
                                                         random_() * total_weight)
+                drift_skip = skip(drift_log1m)
             # Advance the nested-loop tour.
             block_position += 1
             if block_position >= block_size:
@@ -283,41 +327,46 @@ class SyntheticWorkload:
                     else:
                         block_start = (block_start + block_size) % window
             site_index = active[(block_start + block_position) % window]
-            site = sites[site_index]
 
-            kind = site.kind
+            kind = site_kind[site_index]
             if kind == loop_kind:
-                trip = int(site.param)
-                pc = site.pc
-                target = site.target
+                trip = site_param_int[site_index]
+                pc = site_pc[site_index]
+                target = site_target[site_index]
                 # Emit the whole loop: (trip - 1) taken back-edges, then exit.
                 for _ in range(trip - 1):
                     append((pc, True, target, conditional,
-                            int(-log(1.0 - random_()) / inv_mean_gap) + 1))
+                            int(log(1.0 - random_()) * neg_mean_gap) + 1))
                 append((pc, False, target, conditional,
-                        int(-log(1.0 - random_()) / inv_mean_gap) + 1))
+                        int(log(1.0 - random_()) * neg_mean_gap) + 1))
             else:
-                if kind == biased_kind:
-                    taken = (random_() < site.param) == bool(site.aux)
-                elif kind == pattern_kind:
-                    period = int(site.aux)
+                if kind == pattern_kind:
+                    period = int(sites[site_index].aux)
                     phase = pattern_phase[site_index]
-                    taken = bool((int(site.param) >> (phase % period)) & 1)
+                    taken = bool((site_param_int[site_index]
+                                  >> (phase % period)) & 1)
                     pattern_phase[site_index] = (phase + 1) % period
-                else:
-                    taken = (random_() < site.param) == bool(site.aux)
-                append((site.pc, taken, site.target, conditional,
-                        int(-log(1.0 - random_()) / inv_mean_gap) + 1))
+                else:  # biased and random sites share the draw shape
+                    taken = ((random_() < site_param[site_index])
+                             == site_aux[site_index])
+                append((site_pc[site_index], taken, site_target[site_index],
+                        conditional,
+                        int(log(1.0 - random_()) * neg_mean_gap) + 1))
 
             # Occasionally interleave call/return pairs and indirect jumps.
-            if call_sites and random_() < call_prob:
+            if call_skip > 0:
+                call_skip -= 1
+            else:
                 call_pc = choice(call_sites)
                 callee = call_pc + 0x1000
                 append((call_pc, True, callee, call_type,
-                        int(-log(1.0 - random_()) / inv_mean_gap) + 1))
+                        int(log(1.0 - random_()) * neg_mean_gap) + 1))
                 append((callee + 0x40, True, call_pc + 4, return_type,
-                        int(-log(1.0 - random_()) / inv_mean_gap) + 1))
-            if indirect_sites and random_() < indirect_prob:
+                        int(log(1.0 - random_()) * neg_mean_gap) + 1))
+                call_skip = skip(call_log1m)
+            if indirect_skip > 0:
+                indirect_skip -= 1
+            else:
                 index = randrange(len(indirect_sites))
                 pc, targets = indirect_sites[index]
                 indirect_counters[index] += 1
@@ -325,7 +374,8 @@ class SyntheticWorkload:
                 # perfect nor hopeless on indirect branches.
                 target = targets[indirect_counters[index] % len(targets)]
                 append((pc, True, target, indirect_type,
-                        int(-log(1.0 - random_()) / inv_mean_gap) + 1))
+                        int(log(1.0 - random_()) * neg_mean_gap) + 1))
+                indirect_skip = skip(indirect_log1m)
 
             if len(batch) >= n:
                 yield batch

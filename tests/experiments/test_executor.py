@@ -53,6 +53,36 @@ class TestCacheKey:
     def test_label_is_not_part_of_the_key(self):
         assert _spec(label="a").cache_key() == _spec(label="b").cache_key()
 
+    def test_engine_version_changes_the_key(self, monkeypatch):
+        # An engine-version bump must invalidate every cached entry: stale
+        # results from an older kernel generation may differ bit-for-bit.
+        before = _spec().cache_key()
+        monkeypatch.setattr("repro.experiments.executor.ENGINE_VERSION",
+                            "0000.0-test-bump")
+        assert _spec().cache_key() != before
+
+    def test_engine_version_bump_misses_disk_cache(self, tmp_path, monkeypatch):
+        # Populate a disk cache under the current engine version, then bump
+        # the version: the same spec must re-simulate (disk entry unused).
+        cache = RunResultCache(directory=str(tmp_path))
+        executor = SweepExecutor(jobs=1, cache=cache)
+        executor.run_spec(_spec())
+        assert executor.simulated == 1
+
+        monkeypatch.setattr("repro.experiments.executor.ENGINE_VERSION",
+                            "0000.0-test-bump")
+        fresh = SweepExecutor(jobs=1,
+                              cache=RunResultCache(directory=str(tmp_path)))
+        fresh.run_spec(_spec())
+        assert fresh.simulated == 1  # disk entry from the old engine ignored
+
+        # Under the old version the entry would still have been a hit.
+        monkeypatch.undo()
+        rerun = SweepExecutor(jobs=1,
+                              cache=RunResultCache(directory=str(tmp_path)))
+        rerun.run_spec(_spec())
+        assert rerun.simulated == 0
+
 
 class TestRunResultCache:
     def test_memory_roundtrip(self):

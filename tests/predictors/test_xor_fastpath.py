@@ -1,0 +1,183 @@
+"""Fused-XOR fast path vs generic ``TableIsolation`` dispatch.
+
+The XOR-family presets (``xor_bp``, ``noisy_xor_bp``, ``noisy_xor_btb``,
+``noisy_xor_pht``) are served by monomorphic fast paths: precomputed
+per-(thread, table) encode/decode masks fused into storage accesses, the
+generated TAGE kernels and the BTB's masked probe arms.  The masks are
+re-randomised at switch time via the isolation mask-cache protocol.
+
+These tests build twin systems — one on the fast paths, one with every
+storage fast-path flag forced off so all accesses take the generic virtual
+dispatch — and drive both through identical branch streams interleaved with
+context switches and privilege switches (mask re-randomisation boundaries).
+Per-branch outcomes, statistics and the raw (still encoded) storage bits
+must match exactly, on the bare BPU and through both batched core engines.
+"""
+
+import pytest
+
+from repro.core.registry import make_bpu
+from repro.cpu.config import fpga_prototype, sunny_cove_smt
+from repro.cpu.core import SingleThreadCore
+from repro.cpu.smt import SmtCore
+from repro.experiments.runner import build_bpu
+from repro.experiments.scaling import ExperimentScale
+from repro.types import Privilege
+from repro.workloads import SINGLE_THREAD_PAIRS, SMT2_PAIRS, make_pair_workloads
+from repro.workloads.generator import make_workload
+
+#: Every preset whose mechanisms are plain-XOR encoders (the paper's
+#: headline defenses); ``noisy_xor_btb``/``noisy_xor_pht`` protect only one
+#: structure, so the other side runs the passthrough fast path.
+XOR_PRESETS = ["xor_bp", "noisy_xor_bp", "noisy_xor_btb", "noisy_xor_pht"]
+
+SCALE = ExperimentScale(
+    time_scale=200.0, smt_time_scale=400.0, syscall_time_scale=25.0,
+    st_target_branches=2_000, st_warmup_branches=500,
+    smt_instructions=20_000, smt_warmup_instructions=5_000, seed=4242)
+
+
+def _force_generic_dispatch(bpu):
+    """Turn off every storage fast path so accesses take virtual dispatch."""
+    for table in bpu.direction.tables():
+        table._fast = False
+        table._xor_fast = False
+    bpu.btb._fast = False
+    bpu.btb._xor_fast = False
+    invalidate = getattr(bpu.direction, "invalidate_kernel_masks", None)
+    if invalidate is not None:
+        invalidate()
+
+
+def _drive(bpu, records, *, thread_id=0, priv_every=41, switch_every=97):
+    """Run a record stream with interleaved switch notifications."""
+    outcomes = []
+    for i, record in enumerate(records):
+        outcomes.append(bpu.execute_branch_fast(
+            record.pc, record.taken, record.target, record.branch_type,
+            thread_id))
+        if i % priv_every == 0:
+            # A system call: two privilege transitions, each re-randomising
+            # the thread's key material (and therefore the fused masks).
+            bpu.notify_privilege_switch(thread_id, Privilege.KERNEL)
+            bpu.notify_privilege_switch(thread_id, Privilege.USER)
+        if i % switch_every == 0:
+            bpu.notify_context_switch(thread_id)
+    return outcomes
+
+
+def _raw_direction_state(bpu):
+    """Raw (encoded) contents of every direction-predictor table."""
+    return [list(table.rows()) for table in bpu.direction.tables()]
+
+
+def _raw_btb_state(bpu):
+    """Raw (encoded) BTB entries."""
+    return [[(e.valid, e.tag, e.target) for e in ways]
+            for ways in bpu.btb._sets]
+
+
+class TestBpuFastPathVsGenericDispatch:
+    @pytest.mark.parametrize("preset", XOR_PRESETS)
+    @pytest.mark.parametrize("predictor", ["tage", "gshare"])
+    def test_outcomes_stats_and_storage_match(self, preset, predictor):
+        records = make_workload("gcc", seed=13).segment(2_500)
+        fast = make_bpu(predictor, preset, seed=99)
+        slow = make_bpu(predictor, preset, seed=99)
+        _force_generic_dispatch(slow)
+
+        assert _drive(fast, records) == _drive(slow, records)
+        assert (fast.direction.stats(0).lookups
+                == slow.direction.stats(0).lookups)
+        assert (fast.direction.stats(0).mispredictions
+                == slow.direction.stats(0).mispredictions)
+        assert fast.btb.lookups == slow.btb.lookups
+        assert fast.btb.hits == slow.btb.hits
+        # The stored bits (encoded under the same thread keys) are identical,
+        # so the fast paths encode exactly what the generic dispatch does.
+        assert _raw_direction_state(fast) == _raw_direction_state(slow)
+        assert _raw_btb_state(fast) == _raw_btb_state(slow)
+
+    @pytest.mark.parametrize("preset", ["xor_bp", "noisy_xor_bp"])
+    def test_multi_thread_mask_isolation(self, preset):
+        # Two hardware threads with interleaved re-randomisation: thread 0's
+        # rekey must not disturb thread 1's masks on either path.
+        records = make_workload("mcf", seed=3).segment(1_200)
+        fast = make_bpu("tage", preset, seed=7)
+        slow = make_bpu("tage", preset, seed=7)
+        _force_generic_dispatch(slow)
+        for bpu in (fast, slow):
+            for i, record in enumerate(records):
+                thread = i & 1
+                bpu.execute_branch_fast(record.pc, record.taken,
+                                        record.target, record.branch_type,
+                                        thread)
+                if i % 53 == 0:
+                    bpu.notify_context_switch(0)
+                if i % 89 == 0:
+                    bpu.notify_privilege_switch(1, Privilege.KERNEL)
+                    bpu.notify_privilege_switch(1, Privilege.USER)
+        for thread in (0, 1):
+            assert (fast.direction.stats(thread).mispredictions
+                    == slow.direction.stats(thread).mispredictions)
+        assert _raw_direction_state(fast) == _raw_direction_state(slow)
+        assert _raw_btb_state(fast) == _raw_btb_state(slow)
+
+
+def _engine_snapshot(result):
+    return {
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "context_switches": result.context_switches,
+        "privilege_switches": result.privilege_switches,
+        "threads": {
+            name: (t.cycles, t.instructions, t.branches,
+                   t.conditional_branches, t.direction_mispredicts,
+                   t.target_mispredicts, t.btb_lookups, t.btb_hits,
+                   t.syscalls, t.context_switches)
+            for name, t in result.threads.items()},
+    }
+
+
+class TestEngineFastPathVsGenericDispatch:
+    """The batched engines must produce identical results either way.
+
+    This covers the engine-level plumbing on top of the storage layer: the
+    per-thread kernel fetch/refresh around switch notifications and the
+    silent-fallback dispatcher (forcing generic dispatch mid-stack must not
+    change a single statistic, only throughput).
+    """
+
+    @pytest.mark.parametrize("preset", XOR_PRESETS)
+    def test_single_thread_core(self, preset):
+        def run(force_generic):
+            config = fpga_prototype()
+            workloads = make_pair_workloads(SINGLE_THREAD_PAIRS[0],
+                                            seed=SCALE.seed)
+            bpu = build_bpu(config, preset, seed=SCALE.seed + 1)
+            if force_generic:
+                _force_generic_dispatch(bpu)
+            core = SingleThreadCore(
+                config, bpu, workloads, time_scale=SCALE.time_scale,
+                syscall_time_scale=SCALE.syscall_time_scale)
+            return core.run(target_branches=SCALE.st_target_branches,
+                            warmup_branches=SCALE.st_warmup_branches,
+                            mechanism_name=preset, engine="batched")
+
+        assert _engine_snapshot(run(False)) == _engine_snapshot(run(True))
+
+    @pytest.mark.parametrize("preset", ["xor_bp", "noisy_xor_bp"])
+    def test_smt_core(self, preset):
+        def run(force_generic):
+            config = sunny_cove_smt()
+            workloads = make_pair_workloads(SMT2_PAIRS[0], seed=SCALE.seed)
+            bpu = build_bpu(config, preset, seed=SCALE.seed + 1)
+            if force_generic:
+                _force_generic_dispatch(bpu)
+            core = SmtCore(config, bpu, workloads,
+                           time_scale=SCALE.smt_time_scale, se_mode=False)
+            return core.run(instructions=SCALE.smt_instructions,
+                            warmup_instructions=SCALE.smt_warmup_instructions,
+                            mechanism_name=preset, engine="batched")
+
+        assert _engine_snapshot(run(False)) == _engine_snapshot(run(True))
