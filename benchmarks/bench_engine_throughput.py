@@ -43,6 +43,7 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
                                 os.pardir, "src"))
 
+from repro.core.registry import resolve_preset  # noqa: E402
 from repro.cpu.config import fpga_prototype  # noqa: E402
 from repro.cpu.core import SingleThreadCore  # noqa: E402
 from repro.experiments.executor import ENGINE_VERSION  # noqa: E402
@@ -57,9 +58,11 @@ PAIR = SINGLE_THREAD_PAIRS[0]
 SCALE = ExperimentScale()
 REPEATS = int(os.environ.get("BENCH_REPEATS", "3"))
 
-#: Preset sweep: baseline (passthrough fast path) plus the paper's headline
-#: XOR mechanisms (fused-XOR fast path).
-SWEEP_PRESETS = ("baseline", "xor_bp", "noisy_xor_bp")
+#: Preset sweep: baseline (passthrough fast path), the paper's headline
+#: full-BP XOR mechanisms (fused-XOR fast path on every structure) and the
+#: BTB-heavy presets (fused-XOR packed BTB, passthrough direction tables).
+SWEEP_PRESETS = ("baseline", "xor_bp", "noisy_xor_bp", "xor_btb",
+                 "noisy_xor_btb")
 SWEEP_PREDICTORS = ("tage", "gshare")
 
 
@@ -81,45 +84,56 @@ def _disable_fast_paths(core: SingleThreadCore) -> None:
     seed per-record engine (slightly optimistic: it still benefits from
     ``slots`` dataclasses, which makes the reported speedup conservative).
     """
-    for table in core.bpu.direction.tables():
-        table._fast = False
-        table._xor_fast = False
-    core.bpu.btb._fast = False
-    core.bpu.btb._xor_fast = False
-    invalidate = getattr(core.bpu.direction, "invalidate_kernel_masks", None)
-    if invalidate is not None:
-        invalidate()
+    core.bpu.force_generic_dispatch()
 
 
 def assert_fast_path(core: SingleThreadCore, preset: str) -> None:
-    """Fail loudly unless the intended monomorphic fast path is active.
+    """Fail loudly unless the intended monomorphic fast paths are active.
 
-    ``baseline`` must ride the passthrough fast path; the XOR presets must
-    ride the fused-XOR fast path (tables, BTB and — for TAGE — the
-    specialised kernel's encoded arm).  Guards the benchmark and the CI
-    smoke step against silent fallbacks to the generic dispatch.
+    Expectations are derived per structure from the preset's protection
+    config: an XOR-mechanism structure must ride the fused-XOR fast path,
+    anything else the passthrough one.  On top of the storage flags, the
+    packed-BTB probe kernel and the gshare/TAGE execute kernels must report
+    the matching specialisation arm.  Guards the benchmark and the CI smoke
+    step against silent fallbacks to the generic dispatch.
     """
     bpu = core.bpu
-    want_xor = preset != "baseline"
+    config = resolve_preset(preset)
+    want_pht_xor = config.pht_mechanism in ("xor", "noisy_xor")
+    want_btb_xor = config.btb_mechanism in ("xor", "noisy_xor")
     for table in bpu.direction.tables():
-        active = table._xor_fast if want_xor else table._fast
+        active = table._xor_fast if want_pht_xor else table._fast
         if not active:
             raise AssertionError(
                 f"{preset}: table {table.name!r} is not on the "
-                f"{'fused-XOR' if want_xor else 'passthrough'} fast path")
-    btb_active = bpu.btb._xor_fast if want_xor else bpu.btb._fast
+                f"{'fused-XOR' if want_pht_xor else 'passthrough'} fast path")
+    btb_active = bpu.btb._xor_fast if want_btb_xor else bpu.btb._fast
     if not btb_active:
         raise AssertionError(f"{preset}: BTB is not on the fast path")
+    btb_arm = bpu.btb.exec_conditional_kernel(0).arm
+    want_arm = "fused-xor" if want_btb_xor else "passthrough"
+    if btb_arm != want_arm:
+        raise AssertionError(
+            f"{preset}: packed-BTB probe kernel runs the {btb_arm!r} arm, "
+            f"expected {want_arm!r}")
+    exec_kernel = getattr(bpu.direction, "exec_kernel", None)
+    if exec_kernel is not None:
+        dir_arm = getattr(exec_kernel(0), "arm", None)
+        want_arm = "fused-xor" if want_pht_xor else "passthrough"
+        if dir_arm != want_arm:
+            raise AssertionError(
+                f"{preset}: {bpu.direction.name} kernel runs the "
+                f"{dir_arm!r} arm, expected {want_arm!r}")
     build_masks = getattr(bpu.direction, "_build_kernel_masks", None)
     if build_masks is not None:
         bundle = build_masks(0)
         if bundle is False:
             raise AssertionError(
                 f"{preset}: TAGE kernel fell back to generic dispatch")
-        if bool(bundle[0]) != want_xor:
+        if bool(bundle[0]) != want_pht_xor:
             raise AssertionError(
                 f"{preset}: TAGE kernel compiled the wrong arm "
-                f"(encoded={bool(bundle[0])}, expected {want_xor})")
+                f"(encoded={bool(bundle[0])}, expected {want_pht_xor})")
 
 
 def _measure(engine: str, *, preset: str = "baseline", predictor: str = "tage",

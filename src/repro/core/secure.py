@@ -164,10 +164,11 @@ class BranchPredictionUnit:
             return direction_mispredicted, target_mispredicted, True, hit
         if branch_type is BranchType.RETURN:
             return False, self.ras.pop(thread_id) != target, False, False
-        btb = self.btb
-        hit, btb_target = btb.lookup_fast(pc, thread_id)
+        # Fused probe + unconditional install on the packed BTB arrays
+        # (identical to the lookup_fast / update pair it replaces).
+        hit, btb_target = self.btb.execute_indirect_fast(pc, target,
+                                                         branch_type, thread_id)
         target_mispredicted = not hit or btb_target != target
-        btb.update(pc, target, thread_id, branch_type)
         if branch_type is BranchType.CALL:
             self.ras.push(pc + 4, thread_id)
         return False, target_mispredicted, True, hit
@@ -223,6 +224,29 @@ class BranchPredictionUnit:
                              btb_accessed=False, btb_hit=False)
 
     # -- maintenance ------------------------------------------------------------
+    def force_generic_dispatch(self) -> None:
+        """Route every storage access through the generic isolation dispatch.
+
+        Diagnostic hook shared by the parity/fuzz suites and the throughput
+        benchmark: turns off the passthrough and fused-XOR storage fast
+        paths on every direction table and the BTB, and drops all cached
+        specialised kernels so they rebuild on their generic arm.  Results
+        must be bit-identical either way — only throughput changes — which
+        is exactly what the differential tests assert.  Any new kernel
+        cache added to a structure must be invalidated here.
+        """
+        for table in self.direction.tables():
+            table._fast = False
+            table._xor_fast = False
+        self.btb._fast = False
+        self.btb._xor_fast = False
+        invalidate_btb = getattr(self.btb, "invalidate_kernels", None)
+        if invalidate_btb is not None:
+            invalidate_btb()
+        invalidate = getattr(self.direction, "invalidate_kernel_masks", None)
+        if invalidate is not None:
+            invalidate()
+
     def flush(self) -> None:
         """Flush every structure (used by tests and manual experiments)."""
         self.direction.flush()

@@ -267,7 +267,12 @@ class SingleThreadCore:
         exec_kernel = getattr(direction, "exec_kernel", None)
         dir_execute = (exec_kernel(hw) if exec_kernel is not None
                        else direction.execute)
-        btb_conditional = bpu.btb.execute_conditional_fast
+        # The packed BTB exposes the same kernel protocol for its fused
+        # conditional probe; duck-typed replacement BTBs fall back to the
+        # bound method (identical call shape).
+        btb_kernel = getattr(bpu.btb, "exec_conditional_kernel", None)
+        btb_conditional = (btb_kernel(hw) if btb_kernel is not None
+                           else bpu.btb.execute_conditional_fast)
         miss_forces_not_taken = bpu._btb_miss_forces_not_taken
         notify_privilege = bpu.notify_privilege_switch
         notify_context = bpu.notify_context_switch
@@ -302,11 +307,14 @@ class SingleThreadCore:
         own = own_cycles[current]
         # Integer statistics of the *current* context accumulate in locals
         # and are folded into the ThreadStats object when the context (or
-        # measurement phase) changes.  ``stat.cycles`` stays per-record: it
-        # is a float sum, and changing its accumulation order would change
-        # the rounding (the scalar engine adds per record).
+        # measurement phase) changes.  ``s_cycles`` is the context's
+        # ``stat.cycles`` held in a local between fold points: it receives
+        # the exact same per-record ``+=`` sequence from the same starting
+        # value, so the float rounding is bit-identical to the scalar
+        # engine's per-record attribute adds.
         s_instr = s_branches = s_cond = s_dirm = s_tgtm = 0
         s_lookups = s_hits = s_sys = s_switches = 0
+        s_cycles = stat.cycles
 
         while True:
             if pos >= buf_len:
@@ -318,8 +326,10 @@ class SingleThreadCore:
 
             if branch_type is conditional:
                 # Inlined conditional-branch path of execute_branch_fast.
-                predicted = dir_execute(pc, taken, hw)
-                hit, btb_target = btb_conditional(pc, target, taken, hw)
+                # The kernels are per-thread (hw is baked in at fetch time),
+                # so no thread argument is passed.
+                predicted = dir_execute(pc, taken)
+                hit, btb_target = btb_conditional(pc, target, taken)
                 if predicted and not hit and miss_forces_not_taken:
                     predicted = False
                 dirm = predicted != taken
@@ -333,7 +343,7 @@ class SingleThreadCore:
                     cost = instructions * base_cpi + 0.0
                 cycles += cost
                 own += cost
-                stat.cycles += cost
+                s_cycles += cost
                 s_instr += instructions
                 s_branches += 1
                 s_cond += 1
@@ -355,7 +365,7 @@ class SingleThreadCore:
                     cost = instructions * base_cpi + 0.0
                 cycles += cost
                 own += cost
-                stat.cycles += cost
+                s_cycles += cost
                 s_instr += instructions
                 s_branches += 1
                 if tgtm:
@@ -375,11 +385,14 @@ class SingleThreadCore:
                     privilege_switches += 2
                     s_sys += 1
                     cycles += kernel_cycles
-                    stat.cycles += kernel_cycles
+                    s_cycles += kernel_cycles
                     own += kernel_cycles
                 event_next = event._next
-                if n_events and exec_kernel is not None:
-                    dir_execute = exec_kernel(hw)
+                if n_events:
+                    if exec_kernel is not None:
+                        dir_execute = exec_kernel(hw)
+                    if btb_kernel is not None:
+                        btb_conditional = btb_kernel(hw)
 
             # Timer tick: round-robin to the next software context.  The
             # local context state is reloaded only after the commit check
@@ -395,6 +408,8 @@ class SingleThreadCore:
                     notify_context(hw)
                     if exec_kernel is not None:
                         dir_execute = exec_kernel(hw)
+                    if btb_kernel is not None:
+                        btb_conditional = btb_kernel(hw)
                     buffers[current] = buf
                     positions[current] = pos
                     own_cycles[current] = own
@@ -414,10 +429,12 @@ class SingleThreadCore:
                         stat = stats[current]
                         s_instr = s_branches = s_cond = s_dirm = s_tgtm = 0
                         s_lookups = s_hits = s_sys = s_switches = 0
+                        s_cycles = stat.cycles
                         cycles_offset = cycles
                         privilege_switches = 0
                         scheduler.switches = 0
                     else:
+                        stat.cycles = s_cycles
                         stat.instructions += s_instr
                         stat.branches += s_branches
                         stat.conditional_branches += s_cond
@@ -431,6 +448,7 @@ class SingleThreadCore:
             if switched:
                 # Fold the outgoing context's counters, then load the
                 # incoming context.
+                stat.cycles = s_cycles
                 stat.instructions += s_instr
                 stat.branches += s_branches
                 stat.conditional_branches += s_cond
@@ -447,6 +465,7 @@ class SingleThreadCore:
                 buf_len = len(buf)
                 pos = positions[current]
                 stat = stats[current]
+                s_cycles = stat.cycles
                 event = syscall_events[current]
                 event_next = event._next
                 own = own_cycles[current]

@@ -234,7 +234,13 @@ class SmtCore:
             dir_kernels = [exec_kernel(t) for t in range(n)]
         else:
             dir_kernels = [direction.execute] * n
-        btb_conditional = bpu.btb.execute_conditional_fast
+        # Per-hardware-thread packed-BTB probe kernels (same protocol as the
+        # direction kernels); duck-typed BTBs fall back to the bound method.
+        btb_kernel = getattr(bpu.btb, "exec_conditional_kernel", None)
+        if btb_kernel is not None:
+            btb_kernels = [btb_kernel(t) for t in range(n)]
+        else:
+            btb_kernels = [bpu.btb.execute_conditional_fast] * n
         miss_forces_not_taken = bpu._btb_miss_forces_not_taken
         notify_privilege = bpu.notify_privilege_switch
         notify_context = bpu.notify_context_switch
@@ -284,7 +290,7 @@ class SmtCore:
             if branch_type is conditional:
                 # Inlined conditional-branch path of execute_branch_fast.
                 predicted = dir_kernels[thread](pc, taken, thread)
-                hit, btb_target = btb_conditional(pc, target, taken, thread)
+                hit, btb_target = btb_kernels[thread](pc, target, taken, thread)
                 if predicted and not hit and miss_forces_not_taken:
                     predicted = False
                 dirm = predicted != taken
@@ -349,8 +355,11 @@ class SmtCore:
                         local += kernel_cycles
                         stat.cycles += kernel_cycles
                     local_cycles[thread] = local
-                    if n_events and exec_kernel is not None:
-                        dir_kernels[thread] = exec_kernel(thread)
+                    if n_events:
+                        if exec_kernel is not None:
+                            dir_kernels[thread] = exec_kernel(thread)
+                        if btb_kernel is not None:
+                            btb_kernels[thread] = btb_kernel(thread)
 
             # Per-thread OS timer ticks.
             timer = timers[thread]
@@ -363,6 +372,8 @@ class SmtCore:
                         notify_context(thread)
                     if exec_kernel is not None:
                         dir_kernels[thread] = exec_kernel(thread)
+                    if btb_kernel is not None:
+                        btb_kernels[thread] = btb_kernel(thread)
 
         elapsed = max(local_cycles)
         if warmup_instructions > 0:

@@ -49,11 +49,14 @@ __all__ = [
 ]
 
 #: Simulation-engine revision; part of every cache key.  Bump whenever a
-#: change alters simulated statistics for the same seeds.  2026.2: packed
-#: predictor kernels + fused XOR isolation + batched workload RNG (the
-#: geometric event-skip sampling changes the RNG schedule, so traces — and
-#: therefore statistics — differ from the 2024.1 batched engine).
-ENGINE_VERSION = "2026.2-packed-xor"
+#: change alters simulated statistics for the same seeds, and on every
+#: hot-path storage/kernel rewrite even when statistics are provably
+#: unchanged (so on-disk results can never mix engine revisions).  2026.2:
+#: packed predictor kernels + fused XOR isolation + batched workload RNG.
+#: 2026.3: packed-array BTB + gshare closure kernels + packed TAGE
+#: allocation (statistics bit-identical to 2026.2 — the golden-trace suite
+#: pins that — but every BTB/gshare hot path was rebuilt).
+ENGINE_VERSION = "2026.3-packed-btb"
 
 
 def env_jobs() -> int:

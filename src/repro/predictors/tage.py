@@ -570,6 +570,10 @@ class TagePredictor(DirectionPredictor):
             namespace = self._kernel_namespace(thread_id, bundle)
             exec(code, namespace)
             fn = namespace["_kernel"]
+        # Which specialisation this kernel runs (benchmarks and tests assert
+        # the intended arm is active instead of a silent generic fallback).
+        fn.arm = ("generic" if bundle is False
+                  else "fused-xor" if bundle[0] else "passthrough")
         self._exec_fns[thread_id] = fn
         return fn
 
@@ -1015,6 +1019,14 @@ class TagePredictor(DirectionPredictor):
                   thread_id: int) -> None:
         cfg = self.config
         start = provider + 1
+        bundle = self._kernel_masks.get(thread_id)
+        if bundle is None:
+            bundle = self._build_kernel_masks(thread_id)
+        if bundle is not False:
+            self._allocate_packed(taken, start, indices, tags, bundle)
+            return
+        # Generic arm (owner tracking / non-XOR encoders): every candidate
+        # read and write goes through the per-table isolation dispatch.
         candidates = []
         for table in range(start, cfg.n_tables):
             word = self._tables[table].read(indices[table], thread_id)
@@ -1039,6 +1051,56 @@ class TagePredictor(DirectionPredictor):
         ctr = self._ctr_weak_taken if taken else self._ctr_weak_taken - 1
         self._tables[choice].write(indices[choice],
                                    self._pack(tags[choice], ctr, 0), thread_id)
+
+    def _allocate_packed(self, taken: bool, start: int,
+                         indices: Sequence[int], tags: Sequence[int],
+                         bundle) -> None:
+        """Allocation on the flat packed buffer (passthrough / fused-XOR).
+
+        Reads candidate entries straight from ``self._flat`` with the
+        thread's precomputed kernel masks instead of the generic per-table
+        accessors — bit-identical to the generic arm (the masks come from
+        the same caches the table reads use), but without any dispatch on
+        this ~10%-of-runtime path of high-mispredict encoded runs.
+        """
+        cfg = self.config
+        n_tables = cfg.n_tables
+        flat = self._flat
+        index_mask = (1 << self._index_bits) - 1
+        u_mask = self._u_mask
+        consts = bundle[1]
+        # Per candidate table: flat position and decode/encode key.
+        positions = [0] * n_tables
+        keys = [0] * n_tables
+        if bundle[0]:
+            for t in range(start, n_tables):
+                entry = consts[t]
+                # entry[2] fuses the t*0x1F hash constant with the thread's
+                # index key; strip the constant to map logical index -> row.
+                row = (indices[t] ^ entry[2] ^ (t * 0x1F)) & index_mask
+                positions[t] = entry[1] + row
+                keys[t] = entry[3] ^ entry[4][row]
+        else:
+            for t in range(start, n_tables):
+                positions[t] = consts[t][1] + (indices[t] & index_mask)
+        candidates = []
+        for t in range(start, n_tables):
+            if (flat[positions[t]] ^ keys[t]) & u_mask == 0:
+                candidates.append(t)
+        if not candidates:
+            # No free entry: age the useful counters of all longer tables.
+            # ``useful`` occupies the low bits, so the aged word is word - 1.
+            for t in range(start, n_tables):
+                word = flat[positions[t]] ^ keys[t]
+                if word & u_mask:
+                    flat[positions[t]] = (word - 1) ^ keys[t]
+            return
+        choice = candidates[0]
+        if len(candidates) > 1 and self._lfsr.next_bits(2) == 0:
+            choice = candidates[1]
+        ctr = self._ctr_weak_taken if taken else self._ctr_weak_taken - 1
+        flat[positions[choice]] = \
+            self._pack(tags[choice], ctr, 0) ^ keys[choice]
 
     def _graceful_useful_reset(self, thread_id: int) -> None:
         """Periodically clear the low bit of every useful counter."""

@@ -1,0 +1,235 @@
+"""Randomized differential-parity harness across engines and dispatch arms.
+
+Every kernel rewrite in this repo (packed TAGE storage, generated TAGE and
+gshare kernels, the packed-array BTB, fused-XOR storage) promises the same
+contract: *bit-identical statistics and storage* versus the scalar reference
+protocol, for every isolation preset.  The hand-written parity suites pin a
+few curated configurations; this module is the systematic layer — a seeded
+generator samples dozens of (preset × predictor × core × switch-schedule)
+configurations and drives them through three independent implementations:
+
+* the **scalar** engine (per-record reference loop, generic-capable),
+* the **batched** engine (chunked traces + generated kernels — the fast
+  engines under test),
+* the batched/fast machinery with every storage fast path **forced onto the
+  generic virtual dispatch** (the semantic reference for the fused arms).
+
+Engine-level cases compare complete :class:`RunResult` snapshots.  BPU-level
+cases additionally stop at every context-switch / rekey boundary and compare
+the *raw (still encoded) storage bits* of all direction tables and the BTB,
+so a kernel that drifts only between switches — where no end-of-run
+statistic would catch it — still fails at the exact boundary.
+
+The harness is deliberately reusable: future kernel rewrites extend
+``PRESETS`` / ``PREDICTORS`` or raise ``N_*`` and inherit the whole layer.
+"""
+
+import random
+
+import pytest
+
+from repro.core.registry import make_bpu, preset_names
+from repro.cpu.config import fpga_prototype, sunny_cove_smt
+from repro.cpu.core import SingleThreadCore
+from repro.cpu.smt import SmtCore
+from repro.experiments.runner import build_bpu
+from repro.experiments.scaling import ExperimentScale
+from repro.types import Privilege
+from repro.workloads import SINGLE_THREAD_PAIRS, SMT2_PAIRS, make_pair_workloads
+from repro.workloads.generator import make_workload
+
+#: Master seed of the configuration sampler: fixed, so the sampled
+#: configuration set is stable across runs (failures are reproducible) but
+#: still covers the cross-product far more densely than hand-picked cases.
+MASTER_SEED = 0xD1FF5EED
+
+PRESETS = sorted(preset_names())
+PREDICTORS = ["tage", "gshare", "tournament", "bimodal"]
+WORKLOADS = ["gcc", "mcf", "milc", "gobmk", "povray", "calculix"]
+
+N_ENGINE_CASES = 24
+N_BOUNDARY_CASES = 10
+
+# The samplers guarantee every preset a deterministic slot before random
+# fill; keep the case counts in step with the preset list as it grows.
+assert N_ENGINE_CASES >= 2 * len(PRESETS)
+assert N_BOUNDARY_CASES >= len(PRESETS)
+
+
+def _sample_engine_cases():
+    """Sample (preset, predictor, core-kind, schedule) engine-level cases.
+
+    Every preset appears at least twice (single-thread and SMT rotation)
+    before the remainder is filled randomly, so no isolation arm can drop
+    out of coverage as the lists grow.
+    """
+    rng = random.Random(MASTER_SEED)
+    cases = []
+    for i in range(N_ENGINE_CASES):
+        preset = PRESETS[i % len(PRESETS)] if i < 2 * len(PRESETS) \
+            else rng.choice(PRESETS)
+        predictor = rng.choice(PREDICTORS)
+        kind = "smt" if i % 2 else "single"
+        # Randomised OS-event schedule: context-switch interval and (for the
+        # single-thread core) syscall scaling vary per case, so warm-up
+        # resets, flushes and rekeys land at different trace positions.
+        time_scale = rng.choice([100.0, 200.0, 400.0])
+        syscall_scale = rng.choice([10.0, 25.0, 50.0])
+        seed = rng.randrange(1, 10_000)
+        cases.append((preset, predictor, kind, time_scale, syscall_scale,
+                      seed))
+    return cases
+
+
+def _sample_boundary_cases():
+    rng = random.Random(MASTER_SEED ^ 0xB0B)
+    cases = []
+    for i in range(N_BOUNDARY_CASES):
+        preset = PRESETS[i % len(PRESETS)] if i < len(PRESETS) \
+            else rng.choice(PRESETS)
+        predictor = rng.choice(["tage", "gshare"])
+        workload = rng.choice(WORKLOADS)
+        # Random (co-prime-ish) switch/rekey periods and thread interleave.
+        switch_every = rng.choice([37, 61, 97, 131])
+        priv_every = rng.choice([23, 41, 53, 79])
+        threads = rng.choice([1, 2])
+        seed = rng.randrange(1, 10_000)
+        cases.append((preset, predictor, workload, switch_every, priv_every,
+                      threads, seed))
+    return cases
+
+
+ENGINE_CASES = _sample_engine_cases()
+BOUNDARY_CASES = _sample_boundary_cases()
+
+
+def _force_generic_dispatch(bpu):
+    """Force every storage access onto the generic virtual dispatch."""
+    bpu.force_generic_dispatch()
+
+
+def _result_snapshot(result):
+    return {
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "context_switches": result.context_switches,
+        "privilege_switches": result.privilege_switches,
+        "threads": {
+            name: (t.cycles, t.instructions, t.branches,
+                   t.conditional_branches, t.direction_mispredicts,
+                   t.target_mispredicts, t.btb_lookups, t.btb_hits,
+                   t.syscalls, t.context_switches)
+            for name, t in result.threads.items()},
+    }
+
+
+def _run_case(preset, predictor, kind, time_scale, syscall_scale, seed, *,
+              engine, force_generic=False):
+    scale = ExperimentScale(
+        time_scale=time_scale, smt_time_scale=2 * time_scale,
+        syscall_time_scale=syscall_scale,
+        st_target_branches=1_500, st_warmup_branches=400,
+        smt_instructions=15_000, smt_warmup_instructions=4_000, seed=seed)
+    if kind == "single":
+        config = fpga_prototype(predictor)
+        workloads = make_pair_workloads(
+            SINGLE_THREAD_PAIRS[seed % len(SINGLE_THREAD_PAIRS)],
+            seed=scale.seed)
+        bpu = build_bpu(config, preset, seed=scale.seed + 1)
+        if force_generic:
+            _force_generic_dispatch(bpu)
+        core = SingleThreadCore(config, bpu, workloads,
+                                time_scale=scale.time_scale,
+                                syscall_time_scale=scale.syscall_time_scale)
+        return core.run(target_branches=scale.st_target_branches,
+                        warmup_branches=scale.st_warmup_branches,
+                        mechanism_name=preset, engine=engine)
+    config = sunny_cove_smt(predictor)
+    workloads = make_pair_workloads(SMT2_PAIRS[seed % len(SMT2_PAIRS)],
+                                    seed=scale.seed)
+    bpu = build_bpu(config, preset, seed=scale.seed + 1)
+    if force_generic:
+        _force_generic_dispatch(bpu)
+    core = SmtCore(config, bpu, workloads, time_scale=scale.smt_time_scale,
+                   se_mode=bool(seed % 2))
+    return core.run(instructions=scale.smt_instructions,
+                    warmup_instructions=scale.smt_warmup_instructions,
+                    mechanism_name=preset, engine=engine)
+
+
+class TestEngineDifferential:
+    """scalar vs batched vs forced-generic-batched over sampled configs."""
+
+    @pytest.mark.parametrize(
+        "case", ENGINE_CASES,
+        ids=[f"{c[0]}-{c[1]}-{c[2]}-s{c[5]}" for c in ENGINE_CASES])
+    def test_three_way_engine_parity(self, case):
+        scalar = _result_snapshot(_run_case(*case, engine="scalar"))
+        batched = _result_snapshot(_run_case(*case, engine="batched"))
+        generic = _result_snapshot(_run_case(*case, engine="batched",
+                                             force_generic=True))
+        assert batched == scalar
+        assert generic == scalar
+
+
+def _raw_state(bpu):
+    """Raw (still encoded) storage of every predictor structure."""
+    return ([list(table.rows()) for table in bpu.direction.tables()],
+            bpu.btb.raw_sets())
+
+
+def _stats_state(bpu, threads):
+    return [
+        (bpu.direction.stats(t).lookups, bpu.direction.stats(t).mispredictions)
+        for t in range(threads)
+    ] + [(bpu.btb.lookups, bpu.btb.hits)]
+
+
+class TestSwitchBoundaryDifferential:
+    """Fast paths vs forced-generic dispatch, checked at every boundary.
+
+    Both systems execute the same randomized record stream with interleaved
+    context switches and privilege-switch (rekey) pairs; at *every* boundary
+    the raw storage bits and the statistics must already be identical, not
+    just at the end of the run.
+    """
+
+    @pytest.mark.parametrize(
+        "case", BOUNDARY_CASES,
+        ids=[f"{c[0]}-{c[1]}-{c[2]}-t{c[5]}-s{c[6]}" for c in BOUNDARY_CASES])
+    def test_raw_storage_identical_at_every_boundary(self, case):
+        (preset, predictor, workload, switch_every, priv_every, threads,
+         seed) = case
+        records = make_workload(workload, seed=seed).segment(1_200)
+        fast = make_bpu(predictor, preset, seed=seed + 1)
+        slow = make_bpu(predictor, preset, seed=seed + 1)
+        _force_generic_dispatch(slow)
+
+        boundaries = 0
+        for i, record in enumerate(records):
+            thread = i % threads
+            out_fast = fast.execute_branch_fast(
+                record.pc, record.taken, record.target, record.branch_type,
+                thread)
+            out_slow = slow.execute_branch_fast(
+                record.pc, record.taken, record.target, record.branch_type,
+                thread)
+            assert out_fast == out_slow, f"outcome diverged at record {i}"
+            at_boundary = False
+            if i % priv_every == 0:
+                for bpu in (fast, slow):
+                    bpu.notify_privilege_switch(thread, Privilege.KERNEL)
+                    bpu.notify_privilege_switch(thread, Privilege.USER)
+                at_boundary = True
+            if i % switch_every == 0:
+                for bpu in (fast, slow):
+                    bpu.notify_context_switch(thread)
+                at_boundary = True
+            if at_boundary:
+                boundaries += 1
+                assert _stats_state(fast, threads) == \
+                    _stats_state(slow, threads), f"stats diverged at {i}"
+                assert _raw_state(fast) == _raw_state(slow), \
+                    f"raw storage diverged at boundary after record {i}"
+        assert boundaries > 10  # the schedule really exercised boundaries
+        assert _raw_state(fast) == _raw_state(slow)

@@ -1,0 +1,110 @@
+"""Golden-trace regression fixtures for the paper's figure pipelines.
+
+Engine rewrites in this repo must be *bit-identical*: the batched engine, the
+generated predictor kernels and the packed storage layouts all promise the
+same statistics as the scalar reference loop.  The parity suites check that
+promise pairwise within one revision; these fixtures pin it **across**
+revisions.  Each fixture is a small deterministic snapshot of one figure
+driver (Figure 1, Figure 2 and Figure 8 at smoke scale) committed under
+``tests/integration/golden/``; the test recomputes the figure and compares
+the result exactly — every float, every rendered row.  A kernel or storage
+rewrite that silently shifts any paper result fails here even if it is
+self-consistent across its own engines.
+
+Regenerating (only legitimate after an *intentional* statistics change, e.g.
+a new workload RNG schedule — bump ``ENGINE_VERSION`` in the same commit)::
+
+    PYTHONPATH=src python tests/integration/test_golden_traces.py --regen
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, os.pardir, "src"))
+
+from repro.experiments import fig1_flush_single, fig2_flush_smt, fig8_xor_pht
+from repro.experiments.scaling import ExperimentScale
+from repro.workloads.pairs import SINGLE_THREAD_PAIRS, SMT2_PAIRS, SMT4_QUADS
+
+GOLDEN_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "golden")
+
+#: Fixed smoke scale: small enough to run in CI, large enough for several
+#: context switches, syscalls and warm-up resets per case.  Never derived
+#: from ``REPRO_SCALE`` — fixtures must not depend on the environment.
+GOLDEN_SCALE = ExperimentScale(
+    time_scale=200.0, smt_time_scale=600.0, syscall_time_scale=25.0,
+    st_target_branches=2_000, st_warmup_branches=500,
+    smt_instructions=20_000, smt_warmup_instructions=5_000, seed=2021)
+
+
+def _snapshot(result):
+    """JSON-stable snapshot of one figure driver's output.
+
+    Floats are kept as-is: ``json`` serialises them with shortest-round-trip
+    ``repr``, so dump → load → compare is exact, and any change in simulated
+    cycle counts (however small) changes the snapshot.
+    """
+    figure = result.figure
+    return {
+        "name": result.name,
+        "categories": list(figure.categories),
+        "series": {label: list(values)
+                   for label, values in figure.series.items()},
+        "rows": [[str(cell) for cell in row] for row in result.rows],
+    }
+
+
+def _fig1():
+    return fig1_flush_single.run(scale=GOLDEN_SCALE,
+                                 pairs=SINGLE_THREAD_PAIRS[:2])
+
+
+def _fig2():
+    return fig2_flush_smt.run(scale=GOLDEN_SCALE,
+                              smt2_pairs=SMT2_PAIRS[:1],
+                              smt4_quads=SMT4_QUADS[:1])
+
+
+def _fig8():
+    return fig8_xor_pht.run(scale=GOLDEN_SCALE,
+                            pairs=SINGLE_THREAD_PAIRS[:2],
+                            intervals=["8M"])
+
+
+RUNNERS = {"fig1": _fig1, "fig2": _fig2, "fig8": _fig8}
+
+
+def _golden_path(name):
+    return os.path.join(GOLDEN_DIR, f"{name}.json")
+
+
+@pytest.mark.parametrize("name", sorted(RUNNERS))
+def test_figure_matches_golden_trace(name):
+    with open(_golden_path(name), "r", encoding="utf-8") as handle:
+        expected = json.load(handle)
+    actual = _snapshot(RUNNERS[name]())
+    assert actual == expected, (
+        f"{name} drifted from its golden trace; if the statistics change is "
+        "intentional, bump ENGINE_VERSION and regenerate with "
+        "`PYTHONPATH=src python tests/integration/test_golden_traces.py "
+        "--regen`")
+
+
+def _regenerate():
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for name, runner in sorted(RUNNERS.items()):
+        path = _golden_path(name)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(_snapshot(runner()), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    if "--regen" not in sys.argv[1:]:
+        sys.exit("refusing to overwrite golden traces without --regen")
+    _regenerate()

@@ -14,10 +14,13 @@ Per-branch outcomes, statistics and the raw (still encoded) storage bits
 must match exactly, on the bare BPU and through both batched core engines.
 """
 
+import random
+
 import pytest
 
-from repro.core.registry import make_bpu
+from repro.core.registry import make_bpu, resolve_preset
 from repro.cpu.config import fpga_prototype, sunny_cove_smt
+from repro.predictors.tage import TageConfig
 from repro.cpu.core import SingleThreadCore
 from repro.cpu.smt import SmtCore
 from repro.experiments.runner import build_bpu
@@ -39,14 +42,7 @@ SCALE = ExperimentScale(
 
 def _force_generic_dispatch(bpu):
     """Turn off every storage fast path so accesses take virtual dispatch."""
-    for table in bpu.direction.tables():
-        table._fast = False
-        table._xor_fast = False
-    bpu.btb._fast = False
-    bpu.btb._xor_fast = False
-    invalidate = getattr(bpu.direction, "invalidate_kernel_masks", None)
-    if invalidate is not None:
-        invalidate()
+    bpu.force_generic_dispatch()
 
 
 def _drive(bpu, records, *, thread_id=0, priv_every=41, switch_every=97):
@@ -73,8 +69,7 @@ def _raw_direction_state(bpu):
 
 def _raw_btb_state(bpu):
     """Raw (encoded) BTB entries."""
-    return [[(e.valid, e.tag, e.target) for e in ways]
-            for ways in bpu.btb._sets]
+    return bpu.btb.raw_sets()
 
 
 class TestBpuFastPathVsGenericDispatch:
@@ -122,6 +117,116 @@ class TestBpuFastPathVsGenericDispatch:
                     == slow.direction.stats(thread).mispredictions)
         assert _raw_direction_state(fast) == _raw_direction_state(slow)
         assert _raw_btb_state(fast) == _raw_btb_state(slow)
+
+
+class TestPackedKernelArms:
+    """The packed-BTB and gshare/TAGE kernels must run their intended arm.
+
+    Silent fallback to the generic dispatch would keep results correct but
+    quietly lose the packed fast paths; these assertions (mirrored by the
+    throughput benchmark) pin the specialisation choice itself.
+    """
+
+    @pytest.mark.parametrize("preset", XOR_PRESETS + ["baseline",
+                                                      "complete_flush"])
+    @pytest.mark.parametrize("predictor", ["tage", "gshare"])
+    def test_kernel_arms_match_preset(self, preset, predictor):
+        config = resolve_preset(preset)
+        bpu = make_bpu(predictor, preset, seed=11)
+        want_btb = ("fused-xor" if config.btb_mechanism in ("xor", "noisy_xor")
+                    else "passthrough")
+        want_pht = ("fused-xor" if config.pht_mechanism in ("xor", "noisy_xor")
+                    else "passthrough")
+        assert bpu.btb.exec_conditional_kernel(0).arm == want_btb
+        assert bpu.direction.exec_kernel(0).arm == want_pht
+        # Re-randomisation rebuilds the same arm (never a generic fallback).
+        bpu.notify_context_switch(0)
+        assert bpu.btb.exec_conditional_kernel(0).arm == want_btb
+        assert bpu.direction.exec_kernel(0).arm == want_pht
+
+    @pytest.mark.parametrize("predictor", ["tage", "gshare"])
+    def test_non_xor_encoder_takes_generic_arm(self, predictor):
+        # S-box content encoding is reversible but not plain XOR, so it must
+        # not be fused into the packed kernels.
+        bpu = make_bpu(predictor, "xor_bp", seed=11,
+                       config_overrides={"encoder": "sbox"})
+        assert bpu.btb.exec_conditional_kernel(0).arm == "generic"
+        assert bpu.direction.exec_kernel(0).arm == "generic"
+
+    def test_precise_flush_takes_generic_arm(self):
+        bpu = make_bpu("gshare", "precise_flush", seed=11)
+        assert bpu.btb.exec_conditional_kernel(0).arm == "generic"
+        assert bpu.direction.exec_kernel(0).arm == "generic"
+
+
+class TestNonXorFallbackEquivalence:
+    """Generic-arm kernels must equal the two-phase scalar protocol.
+
+    When isolation is *not* plain XOR (S-box ablation encoder), every kernel
+    drops to its generic arm; driving the fused entry points must then be
+    indistinguishable — outcome for outcome, bit for bit — from the
+    ``lookup``/``update`` reference flow.
+    """
+
+    @pytest.mark.parametrize("predictor", ["tage", "gshare"])
+    def test_fast_entry_points_match_reference(self, predictor):
+        records = make_workload("gobmk", seed=21).segment(1_500)
+        fast = make_bpu(predictor, "xor_bp", seed=33,
+                        config_overrides={"encoder": "sbox"})
+        ref = make_bpu(predictor, "xor_bp", seed=33,
+                       config_overrides={"encoder": "sbox"})
+        for i, record in enumerate(records):
+            out = fast.execute_branch_fast(record.pc, record.taken,
+                                           record.target, record.branch_type,
+                                           0)
+            expected = ref.execute_branch(record.pc, record.taken,
+                                          record.target, record.branch_type,
+                                          0)
+            assert out == (expected.direction_mispredicted,
+                           expected.target_mispredicted,
+                           expected.btb_accessed, expected.btb_hit)
+            if i % 67 == 0:
+                fast.notify_context_switch(0)
+                ref.notify_context_switch(0)
+        assert _raw_direction_state(fast) == _raw_direction_state(ref)
+        assert _raw_btb_state(fast) == _raw_btb_state(ref)
+
+
+class TestAllocateParityHighMispredict:
+    def test_packed_allocation_matches_generic_dispatch(self):
+        # A coin-flip direction stream over a reused site set mispredicts
+        # ~50%, so the TAGE allocator runs on a large fraction of branches;
+        # the packed flat-buffer reads/writes must leave storage, stats and
+        # the allocation LFSR bit-identical to the generic per-table arm.
+        cfg = TageConfig(n_tables=4, table_entries=256, base_entries=512,
+                         min_history=4, max_history=24)
+        fast = make_bpu("tage", "xor_bp", seed=5,
+                        predictor_kwargs={"config": cfg})
+        slow = make_bpu("tage", "xor_bp", seed=5,
+                        predictor_kwargs={"config": cfg})
+        _force_generic_dispatch(slow)
+        rng = random.Random(99)
+        sites = [0x40000 + 4 * rng.randrange(4096) for _ in range(300)]
+        stream = [(sites[rng.randrange(len(sites))], rng.random() < 0.5)
+                  for _ in range(6_000)]
+        for i, (pc, taken) in enumerate(stream):
+            assert (fast.direction.execute(pc, taken, 0)
+                    == slow.direction.execute(pc, taken, 0)), f"record {i}"
+            if i % 97 == 0:
+                # Rekey boundary: allocation masks re-randomise mid-stream.
+                fast.notify_privilege_switch(0, Privilege.KERNEL)
+                fast.notify_privilege_switch(0, Privilege.USER)
+                slow.notify_privilege_switch(0, Privilege.KERNEL)
+                slow.notify_privilege_switch(0, Privilege.USER)
+        assert fast.direction.stats(0).mispredictions \
+            == slow.direction.stats(0).mispredictions
+        # The workload really was high-mispredict (allocation-heavy).
+        assert fast.direction.stats(0).mispredictions > 1_500
+        assert _raw_direction_state(fast) == _raw_direction_state(slow)
+        # The tie-break LFSR advanced identically: multi-candidate
+        # allocations took the packed path on one side, generic on the other.
+        assert fast.direction._lfsr._state == slow.direction._lfsr._state
+        assert fast.direction._lfsr._state != 0xACE1
 
 
 def _engine_snapshot(result):
