@@ -4,13 +4,17 @@ Exposes the package's main entry points without writing any Python::
 
     python -m repro list                         # what can be reproduced
     python -m repro run figure7 --json out.json  # regenerate one artefact
+    python -m repro run all --jobs 4 --out out/  # the whole paper, one pipeline
+    python -m repro run all --shard 0/4 --out out/   # one shard of a fleet
+    python -m repro merge --out merged out/shard-*.json  # assemble the fleet
+    python -m repro plan --hash                  # manifest digest (CI cache key)
     python -m repro attack branchscope --mechanism noisy_xor_bp
     python -m repro leakage --mechanisms baseline noisy_xor_bp
     python -m repro hwcost --btb 256 --ways 2 --pht 4096
     python -m repro report --output results.md   # paper-vs-measured summary
 
-Every subcommand prints human-readable text to stdout; ``run`` and ``report``
-can additionally write machine-readable artefacts.
+Every subcommand prints human-readable text to stdout; ``run``, ``merge`` and
+``report`` can additionally write machine-readable artefacts.
 """
 
 from __future__ import annotations
@@ -33,14 +37,48 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("list", help="list reproducible experiments, attacks "
                                        "and protection presets")
 
-    run = subparsers.add_parser("run", help="run one experiment (table/figure)")
-    run.add_argument("experiment", help="experiment key, e.g. figure7 or table5")
+    run = subparsers.add_parser(
+        "run", help="run one experiment (table/figure), or 'all' for the "
+                    "whole sharded reproduction pipeline")
+    run.add_argument("experiment", help="experiment key (e.g. figure7, table5) "
+                                        "or 'all' for the full manifest")
     run.add_argument("--scale", type=float, default=None,
                      help="trace-length scale factor (default from REPRO_SCALE)")
     run.add_argument("--json", default=None, metavar="PATH",
                      help="also write the result as JSON")
     run.add_argument("--csv", default=None, metavar="PATH",
                      help="also write the figure series as CSV")
+    run.add_argument("--experiments", nargs="+", default=None, metavar="KEY",
+                     help="with 'all': subset of experiment keys to plan")
+    run.add_argument("--shard", default=None, metavar="I/N",
+                     help="with 'all': execute only this shard of the global "
+                          "case manifest (0-based, e.g. 0/4; default from "
+                          "REPRO_SHARD) and write a shard artifact")
+    run.add_argument("--jobs", default=None, metavar="N",
+                     help="worker processes (default from REPRO_JOBS)")
+    run.add_argument("--out", default=None, metavar="DIR",
+                     help="with 'all': output directory (shard artifact, or "
+                          "merged figures/tables for unsharded runs)")
+
+    merge = subparsers.add_parser(
+        "merge", help="merge 'run all --shard' artifacts into final "
+                      "figures/tables, asserting every planned case was "
+                      "executed exactly once across the shards")
+    merge.add_argument("artifacts", nargs="+", metavar="SHARD_JSON",
+                       help="shard artifact files written by run all --shard")
+    merge.add_argument("--out", default=None, metavar="DIR",
+                       help="write merged per-experiment JSON/text here")
+
+    plan = subparsers.add_parser(
+        "plan", help="plan the global case manifest without running anything")
+    plan.add_argument("--experiments", nargs="+", default=None, metavar="KEY",
+                      help="subset of experiment keys to plan")
+    plan.add_argument("--scale", type=float, default=None,
+                      help="trace-length scale factor")
+    plan.add_argument("--hash", action="store_true",
+                      help="print only '<engine>:<manifest hash>' (CI cache key)")
+    plan.add_argument("--json", action="store_true",
+                      help="print the full manifest summary as JSON")
 
     attack = subparsers.add_parser("attack", help="run one attack against one "
                                                   "protection preset")
@@ -131,6 +169,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from .analysis.export import save_figure_csv, save_result_json
     from .experiments import EXPERIMENTS
 
+    if args.experiment == "all":
+        return _cmd_run_all(args)
+    if _env_jobs_error():
+        return 2
     if args.experiment not in EXPERIMENTS:
         print(f"unknown experiment {args.experiment!r}; "
               f"try: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
@@ -147,6 +189,128 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print("\n(no figure series to export as CSV)")
         else:
             print(f"\nCSV written to {path}")
+    return 0
+
+
+def _env_jobs_error() -> bool:
+    """Surface a malformed ``REPRO_JOBS`` as a clean CLI error.
+
+    Any command that ends up in :func:`default_executor` would otherwise die
+    with an uncaught traceback from deep inside the executor setup.
+    """
+    from .experiments.executor import env_jobs
+
+    try:
+        env_jobs()
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return True
+    return False
+
+
+def _resolve_jobs(raw) -> int:
+    # A malformed --jobs or REPRO_JOBS must fail here, before any planning or
+    # pool setup, with the offending setting named.
+    from .experiments.executor import env_jobs, parse_jobs
+
+    if raw is None:
+        return env_jobs()
+    return parse_jobs(raw, source="--jobs")
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    from .experiments.manifest import build_manifest, env_shard, parse_shard
+    from .experiments.pipeline import execute_shard, run_serial
+
+    if args.json or args.csv:
+        print("--json/--csv apply to single experiments; 'run all' writes "
+              "per-experiment JSON and text under --out DIR", file=sys.stderr)
+        return 2
+    try:
+        jobs = _resolve_jobs(args.jobs)
+        shard = (parse_shard(args.shard, source="--shard")
+                 if args.shard is not None else env_shard())
+        manifest = build_manifest(keys=args.experiments,
+                                  scale=_resolve_scale(args.scale))
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    summary = manifest.describe()
+    print(f"manifest {summary['manifest_hash'][:12]}… "
+          f"({summary['unique_cases']} unique cases from "
+          f"{summary['planned_cases']} planned across "
+          f"{len(summary['experiments'])} experiments, "
+          f"{summary['deduped_cases']} deduped)")
+
+    if shard is not None:
+        out_dir = args.out or "repro-out"
+        owned = manifest.shard_cases(shard)
+        caseless = manifest.shard_caseless(shard)
+        print(f"shard {shard}: {len(owned)} case(s), "
+              f"{len(caseless)} caseless experiment(s)")
+        path = execute_shard(manifest, shard, out_dir, jobs=jobs)
+        print(f"shard artifact written to {path}")
+        return 0
+
+    results = run_serial(manifest, jobs=jobs, out_dir=args.out)
+    for key in manifest.keys:
+        print(results[key].render())
+        print()
+    if args.out:
+        print(f"figures/tables written to {args.out}")
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    from .experiments.manifest import build_manifest
+    from .experiments.pipeline import load_artifact, merge_artifacts
+    from .experiments.scaling import ExperimentScale
+
+    try:
+        first = load_artifact(args.artifacts[0])
+        manifest = build_manifest(keys=first["experiments"],
+                                  scale=ExperimentScale(**first["scale"]))
+        results = merge_artifacts(args.artifacts, manifest, out_dir=args.out)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"merge failed: {exc}", file=sys.stderr)
+        return 2
+    print(f"merged {len(args.artifacts)} shard artifact(s): every one of the "
+          f"{len(manifest.unique_cases())} planned cases was executed exactly "
+          "once across the shards")
+    for key in manifest.keys:
+        print(results[key].render())
+        print()
+    if args.out:
+        print(f"figures/tables written to {args.out}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .analysis import render_table
+    from .experiments.manifest import build_manifest
+
+    try:
+        manifest = build_manifest(keys=args.experiments,
+                                  scale=_resolve_scale(args.scale))
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    summary = manifest.describe()
+    if args.hash:
+        print(f"{summary['engine']}:{summary['manifest_hash']}")
+        return 0
+    if args.json:
+        print(_json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    rows = [[key, count if count else "(runs whole at shard time)"]
+            for key, count in summary["experiments"].items()]
+    rows.append(["total planned", summary["planned_cases"]])
+    rows.append(["unique after dedupe", summary["unique_cases"]])
+    print(render_table(["experiment", "cases"], rows,
+                       title=f"Manifest {summary['manifest_hash'][:12]}… "
+                             f"(engine {summary['engine']})"))
     return 0
 
 
@@ -241,6 +405,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from .analysis.report import PAPER_EXPECTATIONS, ReproductionReport
     from .experiments import EXPERIMENTS
 
+    if _env_jobs_error():
+        return 2
     keys = args.experiments if args.experiments else list(_DEFAULT_REPORT_EXPERIMENTS)
     unknown = [key for key in keys if key not in EXPERIMENTS]
     if unknown:
@@ -273,6 +439,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "merge":
+        return _cmd_merge(args)
+    if args.command == "plan":
+        return _cmd_plan(args)
     if args.command == "attack":
         return _cmd_attack(args)
     if args.command == "leakage":

@@ -30,7 +30,19 @@ from .executor import (
     RunResultCache,
     SweepExecutor,
     default_executor,
+    env_jobs,
+    parse_jobs,
 )
+from .manifest import (
+    ExperimentDef,
+    ExperimentManifest,
+    ShardSpec,
+    build_manifest,
+    env_shard,
+    experiment_registry,
+    parse_shard,
+)
+from .pipeline import execute_shard, merge_artifacts, run_serial
 from .runner import (
     build_bpu,
     overhead_figure_single_thread,
@@ -77,6 +89,18 @@ __all__ = [
     "RunResultCache",
     "SweepExecutor",
     "default_executor",
+    "env_jobs",
+    "parse_jobs",
+    "ExperimentDef",
+    "ExperimentManifest",
+    "ShardSpec",
+    "build_manifest",
+    "env_shard",
+    "experiment_registry",
+    "parse_shard",
+    "execute_shard",
+    "merge_artifacts",
+    "run_serial",
     "build_bpu",
     "run_single_thread_case",
     "run_smt_case",

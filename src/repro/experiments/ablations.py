@@ -30,24 +30,43 @@ from ..cpu.config import fpga_prototype
 from ..types import BranchType, Privilege
 from ..workloads.pairs import get_pair
 from .base import ExperimentResult
-from .runner import run_single_thread_case
+from .executor import CaseSpec, SweepExecutor, default_executor
 from .scaling import ExperimentScale, default_scale
 
-__all__ = ["encoder_ablation", "key_refresh_ablation", "pht_granularity_ablation"]
+__all__ = ["encoder_ablation", "plan_encoder_ablation",
+           "key_refresh_ablation", "plan_key_refresh_ablation",
+           "pht_granularity_ablation"]
+
+#: Content encoders compared by :func:`encoder_ablation`.
+_ENCODERS = ("xor", "shift_xor", "sbox")
 
 
-def encoder_ablation(scale: Optional[ExperimentScale] = None,
-                     case: str = "case6") -> ExperimentResult:
-    """Compare the XOR, shift-XOR and S-box content encoders."""
+def plan_encoder_ablation(scale: Optional[ExperimentScale] = None,
+                          case: str = "case6") -> List[CaseSpec]:
+    """Cases for :func:`encoder_ablation`: baseline, then one per encoder."""
     scale = scale or default_scale()
     pair = get_pair(case, "single")
     config = fpga_prototype()
-    baseline = run_single_thread_case(pair, config, "baseline", scale)
+    specs = [CaseSpec("single", pair, config, "baseline", scale,
+                      label="baseline")]
+    specs.extend(CaseSpec("single", pair, config, "noisy_xor_bp", scale,
+                          bpu_overrides={"encoder": encoder}, label=encoder)
+                 for encoder in _ENCODERS)
+    return specs
+
+
+def encoder_ablation(scale: Optional[ExperimentScale] = None,
+                     case: str = "case6",
+                     executor: Optional[SweepExecutor] = None) -> ExperimentResult:
+    """Compare the XOR, shift-XOR and S-box content encoders."""
+    scale = scale or default_scale()
+    executor = executor or default_executor()
+    pair = get_pair(case, "single")
+    results = executor.run_specs(plan_encoder_ablation(scale, case))
+    baseline = results[0]
     rows: List[List] = []
-    for encoder in ("xor", "shift_xor", "sbox"):
-        workloads_result = _run_with_overrides(pair, config, scale,
-                                               {"encoder": encoder})
-        overhead = workloads_result.overhead_vs(baseline, workload=pair.target)
+    for encoder, encoded in zip(_ENCODERS, results[1:]):
+        overhead = encoded.overhead_vs(baseline, workload=pair.target)
         rows.append([encoder, f"{100 * overhead:+.2f}%"])
     return ExperimentResult(
         name="Ablation: content encoder",
@@ -59,22 +78,6 @@ def encoder_ablation(scale: Optional[ExperimentScale] = None,
                     "encodings are drop-in replacements",
         notes="Differences between encoders are run-to-run noise: the encoder "
               "never changes what the owning thread reads back.")
-
-
-def _run_with_overrides(pair, config, scale, overrides):
-    workloads = __import__("repro.workloads.pairs", fromlist=["make_pair_workloads"]) \
-        .make_pair_workloads(pair, seed=scale.seed)
-    bpu = make_bpu(config.predictor, "noisy_xor_bp", seed=scale.seed + 1,
-                   btb_sets=config.btb_sets, btb_ways=config.btb_ways,
-                   btb_miss_forces_not_taken=config.btb_miss_forces_not_taken,
-                   predictor_kwargs=dict(config.predictor_kwargs),
-                   config_overrides=overrides)
-    from ..cpu.core import SingleThreadCore
-    core = SingleThreadCore(config, bpu, workloads, time_scale=scale.time_scale,
-                            syscall_time_scale=scale.syscall_time_scale)
-    return core.run(target_branches=scale.st_target_branches,
-                    warmup_branches=scale.st_warmup_branches,
-                    mechanism_name=f"noisy_xor_bp[{overrides}]")
 
 
 def _cross_privilege_training_rate(rotate_on_privilege: bool,
@@ -103,18 +106,38 @@ def _cross_privilege_training_rate(rotate_on_privilege: bool,
     return successes / iterations
 
 
-def key_refresh_ablation(scale: Optional[ExperimentScale] = None,
-                         case: str = "case1") -> ExperimentResult:
-    """Refresh keys on privilege switches (paper design) vs context switches only."""
+#: Key-refresh policies compared by :func:`key_refresh_ablation`.
+_REFRESH_POLICIES = ((True, "context + privilege switches (paper)"),
+                     (False, "context switches only"))
+
+
+def plan_key_refresh_ablation(scale: Optional[ExperimentScale] = None,
+                              case: str = "case1") -> List[CaseSpec]:
+    """Cases for :func:`key_refresh_ablation`: baseline, then one per policy."""
     scale = scale or default_scale()
     pair = get_pair(case, "single")
     config = fpga_prototype()
-    baseline = run_single_thread_case(pair, config, "baseline", scale)
+    specs = [CaseSpec("single", pair, config, "baseline", scale,
+                      label="baseline")]
+    specs.extend(
+        CaseSpec("single", pair, config, "noisy_xor_bp", scale,
+                 bpu_overrides={"rotate_on_privilege_switch": rotate},
+                 label=label)
+        for rotate, label in _REFRESH_POLICIES)
+    return specs
+
+
+def key_refresh_ablation(scale: Optional[ExperimentScale] = None,
+                         case: str = "case1",
+                         executor: Optional[SweepExecutor] = None) -> ExperimentResult:
+    """Refresh keys on privilege switches (paper design) vs context switches only."""
+    scale = scale or default_scale()
+    executor = executor or default_executor()
+    pair = get_pair(case, "single")
+    results = executor.run_specs(plan_key_refresh_ablation(scale, case))
+    baseline = results[0]
     rows: List[List] = []
-    for rotate, label in ((True, "context + privilege switches (paper)"),
-                          (False, "context switches only")):
-        result = _run_with_overrides(pair, config, scale,
-                                     {"rotate_on_privilege_switch": rotate})
+    for (rotate, label), result in zip(_REFRESH_POLICIES, results[1:]):
         overhead = result.overhead_vs(baseline, workload=pair.target)
         steering = _cross_privilege_training_rate(rotate)
         rows.append([label, f"{100 * overhead:+.2f}%", f"{100 * steering:.1f}%"])

@@ -46,6 +46,7 @@ __all__ = [
     "SweepExecutor",
     "default_executor",
     "env_jobs",
+    "parse_jobs",
 ]
 
 #: Simulation-engine revision; part of every cache key.  Bump whenever a
@@ -59,14 +60,34 @@ __all__ = [
 ENGINE_VERSION = "2026.3-packed-btb"
 
 
-def env_jobs() -> int:
-    """Worker count from the ``REPRO_JOBS`` environment variable (default 1)."""
-    raw = os.environ.get("REPRO_JOBS", "1")
+def parse_jobs(raw: str, *, source: str = "REPRO_JOBS") -> int:
+    """Parse a worker count, rejecting malformed values with a clear error.
+
+    A bad value used to slip through here and only blow up (or silently run
+    serially) deep inside the process-pool setup; failing at parse time names
+    the offending setting instead.
+    """
     try:
         jobs = int(raw)
-    except ValueError:
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{source} must be a positive integer, got {raw!r}") from None
+    if jobs < 1:
+        raise ValueError(f"{source} must be >= 1, got {jobs}")
+    return jobs
+
+
+def env_jobs() -> int:
+    """Worker count from the ``REPRO_JOBS`` environment variable (default 1).
+
+    Raises:
+        ValueError: if ``REPRO_JOBS`` is set to anything but a positive
+            integer (``0``, negative, or non-numeric values are all errors).
+    """
+    raw = os.environ.get("REPRO_JOBS")
+    if raw is None:
         return 1
-    return max(1, jobs)
+    return parse_jobs(raw)
 
 
 @dataclass
@@ -84,6 +105,9 @@ class CaseSpec:
             cycles (single-thread sweeps only).
         seed_offset: workload/key seed offset (repetition studies).
         se_mode: system-call-emulation mode (SMT only).
+        bpu_overrides: optional isolation-config overrides applied when the
+            branch prediction unit is built (ablation studies: alternative
+            encoders, key-refresh policies).  Part of the cache key.
         label: result label for the caller's bookkeeping; not part of the
             cache key (two labels for the same case share one simulation).
     """
@@ -96,6 +120,7 @@ class CaseSpec:
     switch_interval: Optional[int] = None
     seed_offset: int = 0
     se_mode: bool = True
+    bpu_overrides: Optional[Dict] = None
     label: Optional[str] = None
 
     def cache_key(self) -> str:
@@ -111,6 +136,7 @@ class CaseSpec:
             "switch_interval": self.switch_interval,
             "seed_offset": self.seed_offset,
             "se_mode": self.se_mode if self.kind == "smt" else None,
+            "bpu_overrides": self.bpu_overrides or None,
         }
         canonical = json.dumps(payload, sort_keys=True, default=str)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
@@ -125,11 +151,13 @@ def _execute_spec(spec: CaseSpec) -> RunResult:
         return run_single_thread_case(
             spec.pair, spec.config, spec.preset, spec.scale,
             switch_interval=spec.switch_interval,
-            seed_offset=spec.seed_offset)
+            seed_offset=spec.seed_offset,
+            bpu_overrides=spec.bpu_overrides)
     if spec.kind == "smt":
         return run_smt_case(spec.pair, spec.config, spec.preset, spec.scale,
                             se_mode=spec.se_mode,
-                            seed_offset=spec.seed_offset)
+                            seed_offset=spec.seed_offset,
+                            bpu_overrides=spec.bpu_overrides)
     raise ValueError(f"unknown case kind {spec.kind!r}")
 
 
@@ -203,12 +231,19 @@ class SweepExecutor:
         cache: result cache shared across calls; a fresh
             :class:`RunResultCache` (honouring ``REPRO_CACHE_DIR``) when
             omitted.
+        allow_simulation: when ``False`` the executor only *replays* cached
+            results and raises on any miss.  The sharded pipeline's merge step
+            uses this to prove that every case an experiment assembles from
+            was planned and executed by some shard — an incomplete ``plan()``
+            fails loudly instead of silently re-simulating at merge time.
     """
 
     def __init__(self, jobs: Optional[int] = None,
-                 cache: Optional[RunResultCache] = None) -> None:
+                 cache: Optional[RunResultCache] = None,
+                 allow_simulation: bool = True) -> None:
         self.jobs = jobs if jobs is not None else env_jobs()
         self.cache = cache if cache is not None else RunResultCache()
+        self.allow_simulation = allow_simulation
         #: Cases actually simulated (cache misses) over this executor's life.
         self.simulated = 0
 
@@ -238,6 +273,15 @@ class SweepExecutor:
                 pending_keys.append(key)
                 pending_seen.add(key)
 
+        if pending and not self.allow_simulation:
+            missing = ", ".join(
+                f"{spec.label or spec.preset}/{spec.pair.case} ({key[:12]}…)"
+                for spec, key in zip(pending, pending_keys))
+            raise RuntimeError(
+                f"replay-only executor has no cached result for "
+                f"{len(pending)} case(s): {missing}; the experiment plan() "
+                "is missing cases its assembly needs, or the shard artifacts "
+                "are incomplete")
         if pending:
             self.simulated += len(pending)
             if self.jobs > 1 and len(pending) > 1:

@@ -22,10 +22,10 @@ from ..analysis.metrics import arithmetic_mean
 from ..cpu.config import sunny_cove_smt
 from ..workloads.pairs import SMT2_PAIRS, BenchmarkPair
 from .base import ExperimentResult
-from .runner import run_smt_case
+from .executor import CaseSpec, SweepExecutor, default_executor
 from .scaling import ExperimentScale, default_scale
 
-__all__ = ["run", "PREDICTORS", "MECHANISMS", "PAPER_BASELINE_MPKI"]
+__all__ = ["run", "plan", "PREDICTORS", "MECHANISMS", "PAPER_BASELINE_MPKI"]
 
 #: Predictors evaluated in Figure 10, in the paper's accuracy order.
 PREDICTORS = ["gshare", "tournament", "ltage", "tage_sc_l"]
@@ -39,9 +39,38 @@ PAPER_BASELINE_MPKI = {"gshare": 8.45, "tournament": 5.17,
                        "ltage": 4.10, "tage_sc_l": 3.99}
 
 
+def _setup(scale, predictors, pairs):
+    scale = scale or default_scale()
+    predictors = list(predictors) if predictors is not None else list(PREDICTORS)
+    pairs = list(pairs) if pairs is not None else list(SMT2_PAIRS)
+    return scale, predictors, pairs
+
+
+def plan(scale: Optional[ExperimentScale] = None,
+         predictors: Optional[Sequence[str]] = None,
+         pairs: Optional[Sequence[BenchmarkPair]] = None) -> List[CaseSpec]:
+    """Enumerate every simulation case Figure 10 needs (same knobs as ``run``).
+
+    Order contract with ``run``: per predictor, one baseline per pair first,
+    then one block of pairs per mechanism.
+    """
+    scale, predictors, pairs = _setup(scale, predictors, pairs)
+    specs: List[CaseSpec] = []
+    for predictor in predictors:
+        config = sunny_cove_smt(predictor, 2)
+        specs.extend(CaseSpec("smt", pair, config, "baseline", scale,
+                              label=f"{predictor}-baseline") for pair in pairs)
+        for suffix, preset in MECHANISMS:
+            specs.extend(CaseSpec("smt", pair, config, preset, scale,
+                                  label=f"{predictor}-{suffix}")
+                         for pair in pairs)
+    return specs
+
+
 def run(scale: Optional[ExperimentScale] = None,
         predictors: Optional[Sequence[str]] = None,
-        pairs: Optional[Sequence[BenchmarkPair]] = None) -> ExperimentResult:
+        pairs: Optional[Sequence[BenchmarkPair]] = None,
+        executor: Optional[SweepExecutor] = None) -> ExperimentResult:
     """Reproduce Figure 10.
 
     Args:
@@ -49,10 +78,11 @@ def run(scale: Optional[ExperimentScale] = None,
         predictors: subset of :data:`PREDICTORS` (all four by default; this
             is the most expensive experiment in the suite).
         pairs: subset of the SMT-2 pairs (all 12 by default).
+        executor: sweep executor (the shared default when omitted).
     """
-    scale = scale or default_scale()
-    predictors = list(predictors) if predictors is not None else list(PREDICTORS)
-    pairs = list(pairs) if pairs is not None else list(SMT2_PAIRS)
+    scale, predictors, pairs = _setup(scale, predictors, pairs)
+    executor = executor or default_executor()
+    results = executor.run_specs(plan(scale, predictors, pairs))
 
     figure = FigureSeries(
         name="Figure 10",
@@ -61,20 +91,21 @@ def run(scale: Optional[ExperimentScale] = None,
     baseline_mpki: Dict[str, float] = {}
     averages: List[List] = []
 
+    position = 0
     for predictor in predictors:
-        config = sunny_cove_smt(predictor, 2)
         baselines = {}
         mpkis = []
         for pair in pairs:
-            baselines[pair.case] = run_smt_case(pair, config, "baseline", scale)
+            baselines[pair.case] = results[position]
+            position += 1
             mpkis.append(baselines[pair.case].direction_mpki)
         baseline_mpki[predictor] = arithmetic_mean(mpkis)
         for suffix, preset in MECHANISMS:
             label = f"{predictor}-{suffix}"
             values = []
             for pair in pairs:
-                result = run_smt_case(pair, config, preset, scale)
-                values.append(result.overhead_vs(baselines[pair.case]))
+                values.append(results[position].overhead_vs(baselines[pair.case]))
+                position += 1
             figure.add_series(label, values)
             averages.append([predictor, suffix,
                              f"{100 * arithmetic_mean(values):+.2f}%"])

@@ -7,33 +7,59 @@ grows further with the thread count.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..analysis.figures import FigureSeries
 from ..analysis.metrics import arithmetic_mean
 from ..cpu.config import sunny_cove_smt
 from ..workloads.pairs import SMT2_PAIRS, SMT4_QUADS, BenchmarkPair
 from .base import ExperimentResult
-from .runner import run_smt_case
+from .executor import CaseSpec, SweepExecutor, default_executor
 from .scaling import ExperimentScale, default_scale
 
-__all__ = ["run"]
+__all__ = ["run", "plan"]
 
 
-def _average_overhead(pairs: Sequence[BenchmarkPair], smt_threads: int,
-                      predictor: str, scale: ExperimentScale) -> tuple:
+def _group_specs(pairs: Sequence[BenchmarkPair], smt_threads: int,
+                 predictor: str, scale: ExperimentScale) -> List[CaseSpec]:
+    """Baseline + Complete-Flush specs for one SMT thread-count group."""
     config = sunny_cove_smt(predictor, smt_threads)
-    overheads = []
+    specs: List[CaseSpec] = []
     for pair in pairs:
-        baseline = run_smt_case(pair, config, "baseline", scale)
-        flushed = run_smt_case(pair, config, "complete_flush", scale)
-        overheads.append(flushed.overhead_vs(baseline))
+        specs.append(CaseSpec("smt", pair, config, "baseline", scale,
+                              label="baseline"))
+        specs.append(CaseSpec("smt", pair, config, "complete_flush", scale,
+                              label="complete_flush"))
+    return specs
+
+
+def _setup(scale, smt2_pairs, smt4_quads):
+    scale = scale or default_scale()
+    smt2 = list(smt2_pairs) if smt2_pairs is not None else list(SMT2_PAIRS)
+    smt4 = list(smt4_quads) if smt4_quads is not None else list(SMT4_QUADS)
+    return scale, smt2, smt4
+
+
+def plan(scale: Optional[ExperimentScale] = None, predictor: str = "tournament",
+         smt2_pairs: Optional[Sequence[BenchmarkPair]] = None,
+         smt4_quads: Optional[Sequence[BenchmarkPair]] = None) -> List[CaseSpec]:
+    """Enumerate every simulation case Figure 2 needs (same knobs as ``run``)."""
+    scale, smt2, smt4 = _setup(scale, smt2_pairs, smt4_quads)
+    return (_group_specs(smt2, 2, predictor, scale)
+            + _group_specs(smt4, 4, predictor, scale))
+
+
+def _assemble_overheads(results: Sequence) -> tuple:
+    """Per-pair overheads from (baseline, flushed) result pairs, plus mean."""
+    overheads = [flushed.overhead_vs(baseline)
+                 for baseline, flushed in zip(results[::2], results[1::2])]
     return overheads, arithmetic_mean(overheads)
 
 
 def run(scale: Optional[ExperimentScale] = None, predictor: str = "tournament",
         smt2_pairs: Optional[Sequence[BenchmarkPair]] = None,
-        smt4_quads: Optional[Sequence[BenchmarkPair]] = None) -> ExperimentResult:
+        smt4_quads: Optional[Sequence[BenchmarkPair]] = None,
+        executor: Optional[SweepExecutor] = None) -> ExperimentResult:
     """Reproduce Figure 2.
 
     Args:
@@ -43,13 +69,16 @@ def run(scale: Optional[ExperimentScale] = None, predictor: str = "tournament",
             the run time moderate and the conclusion is predictor-independent).
         smt2_pairs: subset of the SMT-2 pairs (all 12 by default).
         smt4_quads: subset of the SMT-4 quads (all 6 by default).
+        executor: sweep executor (the shared default when omitted).
     """
-    scale = scale or default_scale()
-    smt2 = list(smt2_pairs) if smt2_pairs is not None else list(SMT2_PAIRS)
-    smt4 = list(smt4_quads) if smt4_quads is not None else list(SMT4_QUADS)
+    scale, smt2, smt4 = _setup(scale, smt2_pairs, smt4_quads)
+    executor = executor or default_executor()
+    specs = plan(scale, predictor, smt2, smt4)
+    results = executor.run_specs(specs)
 
-    smt2_overheads, smt2_avg = _average_overhead(smt2, 2, predictor, scale)
-    smt4_overheads, smt4_avg = _average_overhead(smt4, 4, predictor, scale)
+    split = 2 * len(smt2)
+    smt2_overheads, smt2_avg = _assemble_overheads(results[:split])
+    smt4_overheads, smt4_avg = _assemble_overheads(results[split:])
 
     figure = FigureSeries(
         name="Figure 2",

@@ -15,25 +15,24 @@ from typing import List, Optional, Sequence
 from ..cpu.config import fpga_prototype
 from ..workloads.pairs import SINGLE_THREAD_PAIRS, BenchmarkPair
 from .base import ExperimentResult
-from .runner import overhead_figure_single_thread
+from .executor import CaseSpec, SweepExecutor
+from .runner import overhead_figure_single_thread, plan_overhead_single_thread
 from .scaling import ExperimentScale, default_scale
 
-__all__ = ["run", "SWITCH_INTERVALS"]
+__all__ = ["run", "plan", "setup_interval_sweep", "SWITCH_INTERVALS"]
 
 #: Context-switch periods swept by the paper, in real cycles.
 SWITCH_INTERVALS = {"4M": 4_000_000, "8M": 8_000_000, "12M": 12_000_000}
 
 
-def run(scale: Optional[ExperimentScale] = None,
-        pairs: Optional[Sequence[BenchmarkPair]] = None,
-        intervals: Optional[Sequence[str]] = None) -> ExperimentResult:
-    """Reproduce Figure 7.
+def setup_interval_sweep(scale, pairs, intervals, prefix_presets):
+    """Shared plan/run setup for the Figure 7/8/9 interval-sweep drivers.
 
-    Args:
-        scale: experiment scale.
-        pairs: subset of the single-thread pairs (all 12 by default).
-        intervals: subset of the switch-period labels (``"4M"``, ``"8M"``,
-            ``"12M"``); all three by default.
+    Resolves the scale/pair/interval defaults and expands ``prefix_presets``
+    (``(series-label prefix, preset)`` pairs) into the ``(label, preset,
+    switch_interval)`` mechanism tuples the overhead-figure helpers expect,
+    one per swept interval.  Figures 8 and 9 import this: the three drivers
+    differ only in their preset pairs.
     """
     scale = scale or default_scale()
     pairs = list(pairs) if pairs is not None else list(SINGLE_THREAD_PAIRS)
@@ -41,11 +40,41 @@ def run(scale: Optional[ExperimentScale] = None,
     mechanisms: List = []
     for label in labels:
         cycles = SWITCH_INTERVALS[label]
-        mechanisms.append((f"XOR-BTB-{label}", "xor_btb", cycles))
-        mechanisms.append((f"Noisy-XOR-BTB-{label}", "noisy_xor_btb", cycles))
+        for prefix, preset in prefix_presets:
+            mechanisms.append((f"{prefix}-{label}", preset, cycles))
+    return scale, pairs, mechanisms
+
+
+_PRESETS = [("XOR-BTB", "xor_btb"), ("Noisy-XOR-BTB", "noisy_xor_btb")]
+
+
+def plan(scale: Optional[ExperimentScale] = None,
+         pairs: Optional[Sequence[BenchmarkPair]] = None,
+         intervals: Optional[Sequence[str]] = None) -> List[CaseSpec]:
+    """Enumerate every simulation case Figure 7 needs (same knobs as ``run``)."""
+    scale, pairs, mechanisms = setup_interval_sweep(scale, pairs, intervals, _PRESETS)
+    return plan_overhead_single_thread(mechanisms, pairs, fpga_prototype(),
+                                       scale)
+
+
+def run(scale: Optional[ExperimentScale] = None,
+        pairs: Optional[Sequence[BenchmarkPair]] = None,
+        intervals: Optional[Sequence[str]] = None,
+        executor: Optional[SweepExecutor] = None) -> ExperimentResult:
+    """Reproduce Figure 7.
+
+    Args:
+        scale: experiment scale.
+        pairs: subset of the single-thread pairs (all 12 by default).
+        intervals: subset of the switch-period labels (``"4M"``, ``"8M"``,
+            ``"12M"``); all three by default.
+        executor: sweep executor (the shared default when omitted).
+    """
+    scale, pairs, mechanisms = setup_interval_sweep(scale, pairs, intervals, _PRESETS)
     figure, _ = overhead_figure_single_thread(
         "Figure 7", "XOR-BTB / Noisy-XOR-BTB overhead on the single-threaded core",
-        mechanisms, pairs, config=fpga_prototype(), scale=scale)
+        mechanisms, pairs, config=fpga_prototype(), scale=scale,
+        executor=executor)
     rows = [[label, f"{100 * value:+.2f}%"] for label, value in figure.averages().items()]
     return ExperimentResult(
         name="Figure 7",

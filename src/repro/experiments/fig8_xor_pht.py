@@ -15,28 +15,35 @@ from typing import List, Optional, Sequence
 from ..cpu.config import fpga_prototype
 from ..workloads.pairs import SINGLE_THREAD_PAIRS, BenchmarkPair
 from .base import ExperimentResult
-from .fig7_xor_btb import SWITCH_INTERVALS
-from .runner import overhead_figure_single_thread
-from .scaling import ExperimentScale, default_scale
+from .executor import CaseSpec, SweepExecutor
+from .fig7_xor_btb import setup_interval_sweep
+from .runner import overhead_figure_single_thread, plan_overhead_single_thread
+from .scaling import ExperimentScale
 
-__all__ = ["run"]
+__all__ = ["run", "plan"]
+
+_PRESETS = [("XOR-PHT", "xor_pht"), ("Noisy-XOR-PHT", "noisy_xor_pht")]
+
+
+def plan(scale: Optional[ExperimentScale] = None,
+         pairs: Optional[Sequence[BenchmarkPair]] = None,
+         intervals: Optional[Sequence[str]] = None) -> List[CaseSpec]:
+    """Enumerate every simulation case Figure 8 needs (same knobs as ``run``)."""
+    scale, pairs, mechanisms = setup_interval_sweep(scale, pairs, intervals, _PRESETS)
+    return plan_overhead_single_thread(mechanisms, pairs, fpga_prototype(),
+                                       scale)
 
 
 def run(scale: Optional[ExperimentScale] = None,
         pairs: Optional[Sequence[BenchmarkPair]] = None,
-        intervals: Optional[Sequence[str]] = None) -> ExperimentResult:
+        intervals: Optional[Sequence[str]] = None,
+        executor: Optional[SweepExecutor] = None) -> ExperimentResult:
     """Reproduce Figure 8 (same knobs as Figure 7)."""
-    scale = scale or default_scale()
-    pairs = list(pairs) if pairs is not None else list(SINGLE_THREAD_PAIRS)
-    labels = list(intervals) if intervals is not None else list(SWITCH_INTERVALS)
-    mechanisms: List = []
-    for label in labels:
-        cycles = SWITCH_INTERVALS[label]
-        mechanisms.append((f"XOR-PHT-{label}", "xor_pht", cycles))
-        mechanisms.append((f"Noisy-XOR-PHT-{label}", "noisy_xor_pht", cycles))
+    scale, pairs, mechanisms = setup_interval_sweep(scale, pairs, intervals, _PRESETS)
     figure, _ = overhead_figure_single_thread(
         "Figure 8", "XOR-PHT / Noisy-XOR-PHT overhead on the single-threaded core",
-        mechanisms, pairs, config=fpga_prototype(), scale=scale)
+        mechanisms, pairs, config=fpga_prototype(), scale=scale,
+        executor=executor)
     rows = [[label, f"{100 * value:+.2f}%"] for label, value in figure.averages().items()]
     return ExperimentResult(
         name="Figure 8",

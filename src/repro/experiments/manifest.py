@@ -1,0 +1,331 @@
+"""Declarative experiment manifests: plan every case before running any.
+
+Historically each figure/table driver planned and ran its own cases
+imperatively, so a full-paper reproduction was a serial walk over drivers
+that re-planned overlapping baseline cases and could not be split across
+machines.  This module turns the drivers into *data*:
+
+* every driver exposes a ``plan()`` that enumerates its
+  :class:`~repro.experiments.executor.CaseSpec` list up front (the imperative
+  ``run()`` entry points remain, as thin wrappers over plan + execute +
+  assemble);
+* an :class:`ExperimentManifest` collects the plans of any set of experiments
+  into one global case list, **deduplicated across experiments** by
+  ``cache_key`` — a baseline pair shared by Figures 7, 8 and 9 appears once;
+* the manifest partitions deterministically into ``n`` disjoint, covering
+  shards (:class:`ShardSpec`), by hashing each case's cache key — the
+  assignment is a pure function of the case, so it is stable no matter how
+  many experiments are selected or in which order they are planned.
+
+Experiments that run no ``CaseSpec`` simulations (the configuration tables,
+the attack-based experiments) still participate: they have an empty plan and
+are themselves assigned to a shard by hashing their key, so a sharded run
+executes *everything* exactly once across the fleet.
+
+:mod:`repro.experiments.pipeline` executes manifests and merges shard
+artifacts back into final figures/tables.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .base import ExperimentResult
+from .executor import ENGINE_VERSION, CaseSpec, SweepExecutor
+from .scaling import ExperimentScale, default_scale
+
+__all__ = [
+    "ShardSpec",
+    "parse_shard",
+    "env_shard",
+    "ExperimentDef",
+    "ExperimentManifest",
+    "experiment_registry",
+    "build_manifest",
+]
+
+_SHARD_RE = re.compile(r"^(\d+)/(\d+)$")
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard of a partitioned manifest: ``index`` of ``count`` (0-based)."""
+
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"shard count must be >= 1, got {self.count}")
+        if not 0 <= self.index < self.count:
+            raise ValueError(
+                f"shard index must be in [0, {self.count}), got {self.index} "
+                f"(shards are 0-based: the shards of a 4-way run are 0/4 .. 3/4)")
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.count}"
+
+
+def parse_shard(raw: str, *, source: str = "REPRO_SHARD") -> ShardSpec:
+    """Parse an ``i/n`` shard designator, rejecting malformed values.
+
+    ``0``-based: valid shards of a 4-way run are ``0/4`` … ``3/4``.  Anything
+    else — ``3/2``, ``0/0``, negative or non-numeric parts — raises a
+    :class:`ValueError` naming the offending setting, instead of crashing
+    later inside the scheduler.
+    """
+    match = _SHARD_RE.match(raw.strip()) if isinstance(raw, str) else None
+    if match is None:
+        raise ValueError(
+            f"{source} must look like 'i/n' (e.g. 0/4), got {raw!r}")
+    index, count = int(match.group(1)), int(match.group(2))
+    try:
+        return ShardSpec(index, count)
+    except ValueError as exc:
+        raise ValueError(f"{source}: {exc}") from None
+
+
+def env_shard() -> Optional[ShardSpec]:
+    """Shard from the ``REPRO_SHARD`` environment variable (``None`` if unset)."""
+    raw = os.environ.get("REPRO_SHARD")
+    if raw is None or raw == "":
+        return None
+    return parse_shard(raw)
+
+
+def _shard_of(token: str, count: int) -> int:
+    """Deterministic shard assignment for an arbitrary token."""
+    digest = hashlib.sha256(token.encode("utf-8")).hexdigest()
+    return int(digest[:16], 16) % count
+
+
+@dataclass(frozen=True)
+class ExperimentDef:
+    """One experiment as the manifest sees it.
+
+    Attributes:
+        key: registry key (``"figure1"``, ``"table4"``, ...).
+        plan: callable ``plan(scale) -> List[CaseSpec]`` enumerating every
+            simulation case the experiment's assembly reads.  May return an
+            empty list for experiments that simulate nothing through the
+            executor (configuration tables, attack-based experiments).
+        assemble: callable ``assemble(scale, executor) -> ExperimentResult``
+            producing the final figure/table.  Case-based experiments fetch
+            every case through ``executor`` — at merge time that executor is
+            replay-only, which *proves* the plan covered the assembly.
+    """
+
+    key: str
+    plan: Callable[[ExperimentScale], List[CaseSpec]]
+    assemble: Callable[[ExperimentScale, SweepExecutor], ExperimentResult]
+
+
+def _case_based(key: str, plan_fn, run_fn) -> ExperimentDef:
+    return ExperimentDef(
+        key=key,
+        plan=lambda scale: plan_fn(scale),
+        assemble=lambda scale, executor: run_fn(scale, executor=executor))
+
+
+def _caseless(key: str, run_fn) -> ExperimentDef:
+    return ExperimentDef(
+        key=key,
+        plan=lambda scale: [],
+        assemble=lambda scale, executor: run_fn(scale))
+
+
+def _registry() -> "Dict[str, ExperimentDef]":
+    # Imported lazily to avoid import cycles at package-init time.
+    from . import (
+        ablations,
+        fig1_flush_single,
+        fig2_flush_smt,
+        fig3_precise_flush,
+        fig7_xor_btb,
+        fig8_xor_pht,
+        fig9_xor_bp,
+        fig10_smt_predictors,
+        poc_attacks,
+        sensitivity,
+        table1_security,
+        table2_configs,
+        table3_benchmarks,
+        table4_privilege,
+        table5_hwcost,
+    )
+
+    defs = [
+        _case_based("figure1", fig1_flush_single.plan, fig1_flush_single.run),
+        _case_based("figure2", fig2_flush_smt.plan, fig2_flush_smt.run),
+        _case_based("figure3", fig3_precise_flush.plan, fig3_precise_flush.run),
+        _case_based("figure7", fig7_xor_btb.plan, fig7_xor_btb.run),
+        _case_based("figure8", fig8_xor_pht.plan, fig8_xor_pht.run),
+        _case_based("figure9", fig9_xor_bp.plan, fig9_xor_bp.run),
+        _case_based("figure10", fig10_smt_predictors.plan,
+                    fig10_smt_predictors.run),
+        _caseless("table1", table1_security.run),
+        _caseless("table2", table2_configs.run),
+        _caseless("table3", table3_benchmarks.run),
+        _case_based("table4", table4_privilege.plan, table4_privilege.run),
+        _caseless("table5", table5_hwcost.run),
+        _caseless("poc_attacks", poc_attacks.run),
+        _case_based("ablation_encoder", ablations.plan_encoder_ablation,
+                    ablations.encoder_ablation),
+        _case_based("ablation_key_refresh", ablations.plan_key_refresh_ablation,
+                    ablations.key_refresh_ablation),
+        _caseless("ablation_pht_granularity",
+                  ablations.pht_granularity_ablation),
+        _case_based("ablation_switch_interval",
+                    sensitivity.plan_switch_interval_sensitivity,
+                    sensitivity.switch_interval_sensitivity),
+        _case_based("ablation_penalty",
+                    sensitivity.plan_mispredict_penalty_sensitivity,
+                    sensitivity.mispredict_penalty_sensitivity),
+        _case_based("smt4_noisy_xor", sensitivity.plan_smt4_noisy_xor,
+                    sensitivity.smt4_noisy_xor),
+    ]
+    return {definition.key: definition for definition in defs}
+
+
+_REGISTRY_CACHE: "Optional[Dict[str, ExperimentDef]]" = None
+
+
+def experiment_registry() -> "Dict[str, ExperimentDef]":
+    """The full experiment registry, keyed and ordered like ``EXPERIMENTS``."""
+    global _REGISTRY_CACHE
+    if _REGISTRY_CACHE is None:
+        _REGISTRY_CACHE = _registry()
+    return _REGISTRY_CACHE
+
+
+@dataclass
+class ExperimentManifest:
+    """A set of planned experiments and their deduplicated global case list.
+
+    Attributes:
+        scale: the experiment scale every plan was enumerated at.
+        definitions: the planned experiments, in selection order.
+        plans: per-experiment case lists (``plans[key][i]`` is the i-th case
+            the experiment's assembly will read).
+    """
+
+    scale: ExperimentScale
+    definitions: List[ExperimentDef]
+    plans: Dict[str, List[CaseSpec]] = field(default_factory=dict)
+
+    @property
+    def keys(self) -> List[str]:
+        return [definition.key for definition in self.definitions]
+
+    def definition(self, key: str) -> ExperimentDef:
+        for definition in self.definitions:
+            if definition.key == key:
+                return definition
+        raise KeyError(key)
+
+    def unique_cases(self) -> "Dict[str, CaseSpec]":
+        """Global case list, deduplicated by cache key across experiments.
+
+        Insertion order is the first-appearance order, so iteration is
+        deterministic for a given experiment selection; the *shard assignment*
+        (:meth:`shard_cases`) does not depend on this order at all.
+        """
+        unique: Dict[str, CaseSpec] = {}
+        for key in self.keys:
+            for spec in self.plans[key]:
+                unique.setdefault(spec.cache_key(), spec)
+        return unique
+
+    def caseless_keys(self) -> List[str]:
+        """Experiments whose plan is empty (they run whole at shard time)."""
+        return [key for key in self.keys if not self.plans[key]]
+
+    def total_planned(self) -> int:
+        """Total case references before cross-experiment dedupe."""
+        return sum(len(self.plans[key]) for key in self.keys)
+
+    def manifest_hash(self) -> str:
+        """Deterministic digest of the planned work.
+
+        Covers the engine version (via every cache key), the scale, the
+        experiment selection and the deduplicated case set — and is invariant
+        to the order experiments were selected in.  CI keys the persistent
+        result cache on this.
+        """
+        payload = {
+            "engine": ENGINE_VERSION,
+            "scale": asdict(self.scale),
+            "experiments": sorted(self.keys),
+            "cases": sorted(self.unique_cases()),
+        }
+        canonical = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    # -- sharding ---------------------------------------------------------------
+    def shard_cases(self, shard: Optional[ShardSpec]) -> "Dict[str, CaseSpec]":
+        """The subset of :meth:`unique_cases` owned by a shard.
+
+        Assignment hashes each case's cache key, so for a given shard count
+        the partition is disjoint, covering, and stable under any reordering
+        or re-selection of experiments.  ``shard=None`` means "everything".
+        """
+        unique = self.unique_cases()
+        if shard is None:
+            return unique
+        return {key: spec for key, spec in unique.items()
+                if int(key[:16], 16) % shard.count == shard.index}
+
+    def shard_caseless(self, shard: Optional[ShardSpec]) -> List[str]:
+        """The caseless experiments owned by a shard (all of them if ``None``)."""
+        keys = self.caseless_keys()
+        if shard is None:
+            return keys
+        return [key for key in keys
+                if _shard_of(f"experiment:{key}", shard.count) == shard.index]
+
+    def describe(self) -> Dict:
+        """JSON-friendly summary (for ``python -m repro plan``)."""
+        unique = self.unique_cases()
+        return {
+            "engine": ENGINE_VERSION,
+            "manifest_hash": self.manifest_hash(),
+            "scale": asdict(self.scale),
+            "experiments": {key: len(self.plans[key]) for key in self.keys},
+            "caseless_experiments": self.caseless_keys(),
+            "planned_cases": self.total_planned(),
+            "unique_cases": len(unique),
+            "deduped_cases": self.total_planned() - len(unique),
+        }
+
+
+def build_manifest(keys: Optional[Sequence[str]] = None,
+                   scale: Optional[ExperimentScale] = None,
+                   experiments: "Optional[Dict[str, ExperimentDef]]" = None
+                   ) -> ExperimentManifest:
+    """Plan a set of experiments into one manifest.
+
+    Args:
+        keys: experiment keys to include (every registered experiment when
+            omitted).  Unknown keys raise :class:`ValueError`.
+        scale: experiment scale (default honours ``REPRO_SCALE``).
+        experiments: alternative experiment registry (tests use this to plan
+            reduced-size variants against the golden fixtures).
+    """
+    registry = experiments if experiments is not None else experiment_registry()
+    if keys is None:
+        keys = list(registry)
+    unknown = [key for key in keys if key not in registry]
+    if unknown:
+        raise ValueError(
+            f"unknown experiments: {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(registry))}")
+    scale = scale or default_scale()
+    definitions = [registry[key] for key in keys]
+    plans = {definition.key: list(definition.plan(scale))
+             for definition in definitions}
+    return ExperimentManifest(scale=scale, definitions=definitions, plans=plans)

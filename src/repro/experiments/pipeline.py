@@ -1,0 +1,300 @@
+"""Sharded execution of experiment manifests, and the merge that follows.
+
+The pipeline turns a planned :class:`~repro.experiments.manifest.ExperimentManifest`
+into finished figures/tables in three composable steps:
+
+* :func:`execute_shard` — run the cases (and caseless experiments) owned by
+  one shard over the process pool, and write a self-describing **shard
+  artifact** (JSON: engine version, manifest hash, scale, executed case
+  results keyed by cache key, and any whole experiment results);
+* :func:`merge_artifacts` — validate a set of shard artifacts (same engine /
+  manifest / scale; shards disjoint; **every planned case executed exactly
+  once across the union**), pre-populate a
+  :class:`~repro.experiments.executor.RunResultCache` from them, and
+  re-assemble every experiment through a *replay-only*
+  :class:`~repro.experiments.executor.SweepExecutor` — so the merge simulates
+  nothing and fails loudly if any plan was incomplete;
+* :func:`run_serial` — the degenerate single-machine path (one implicit
+  shard, assembly in-process).
+
+Because a case's :class:`~repro.cpu.stats.RunResult` serialises through JSON
+with exact float round-tripping (the same mechanism the on-disk result cache
+uses), a sharded run merged from artifacts is **bit-identical** to a serial
+run of the same manifest; ``tests/experiments/test_pipeline.py`` pins that
+against the committed golden traces.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..analysis.export import result_from_dict, result_to_dict
+from ..cpu.stats import run_result_from_dict, run_result_to_dict
+from .base import ExperimentResult
+from .executor import ENGINE_VERSION, RunResultCache, SweepExecutor
+from .manifest import ExperimentManifest, ShardSpec
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "shard_artifact_path",
+    "execute_shard",
+    "load_artifact",
+    "merge_artifacts",
+    "run_serial",
+    "write_outputs",
+]
+
+#: Shard-artifact schema revision (bumped on incompatible layout changes).
+ARTIFACT_SCHEMA = 1
+
+
+def shard_artifact_path(out_dir: str, shard: Optional[ShardSpec]) -> str:
+    """Canonical artifact filename for a shard (``shard-i-of-n.json``)."""
+    if shard is None:
+        return os.path.join(out_dir, "shard-0-of-1.json")
+    return os.path.join(out_dir, f"shard-{shard.index}-of-{shard.count}.json")
+
+
+def _execute(manifest: ExperimentManifest, shard: Optional[ShardSpec],
+             jobs: Optional[int], cache: Optional[RunResultCache]
+             ) -> Tuple[Dict[str, dict], Dict[str, dict], SweepExecutor]:
+    """Run one shard's cases + caseless experiments; return JSON-able payloads."""
+    executor = SweepExecutor(jobs=jobs, cache=cache)
+    owned = manifest.shard_cases(shard)
+    results = executor.run_specs(list(owned.values()))
+    cases = {key: run_result_to_dict(result)
+             for key, result in zip(owned, results)}
+    experiment_results = {
+        key: result_to_dict(
+            manifest.definition(key).assemble(manifest.scale, executor))
+        for key in manifest.shard_caseless(shard)}
+    return cases, experiment_results, executor
+
+
+def execute_shard(manifest: ExperimentManifest, shard: Optional[ShardSpec],
+                  out_dir: str, *, jobs: Optional[int] = None,
+                  cache: Optional[RunResultCache] = None) -> str:
+    """Execute one shard of a manifest and write its artifact.
+
+    Args:
+        manifest: the planned manifest (must be planned identically on every
+            shard — same experiments, same scale).
+        shard: this worker's slice; ``None`` executes everything.
+        out_dir: directory receiving ``shard-i-of-n.json``.
+        jobs: process-pool width (``REPRO_JOBS`` when omitted).
+        cache: result cache (a fresh ``REPRO_CACHE_DIR``-honouring cache when
+            omitted, so CI can persist results across runs).
+
+    Returns:
+        The artifact path.
+    """
+    cases, experiment_results, executor = _execute(manifest, shard, jobs, cache)
+    payload = {
+        "schema": ARTIFACT_SCHEMA,
+        "engine": ENGINE_VERSION,
+        "manifest_hash": manifest.manifest_hash(),
+        "scale": asdict(manifest.scale),
+        "experiments": manifest.keys,
+        "shard": {"index": shard.index if shard else 0,
+                  "count": shard.count if shard else 1},
+        "stats": {"simulated": executor.simulated,
+                  "cache_hits": executor.cache.hits},
+        "cases": cases,
+        "experiment_results": experiment_results,
+    }
+    os.makedirs(out_dir, exist_ok=True)
+    path = shard_artifact_path(out_dir, shard)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_artifact(path: str) -> dict:
+    """Read one shard artifact, validating its schema marker."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    schema = payload.get("schema")
+    if schema != ARTIFACT_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported shard-artifact schema {schema!r} "
+            f"(expected {ARTIFACT_SCHEMA})")
+    return payload
+
+
+def _validate_artifacts(manifest: ExperimentManifest,
+                        artifacts: "Sequence[Tuple[str, dict]]") -> None:
+    """Check artifact consistency and the exactly-once execution invariant."""
+    expected_hash = manifest.manifest_hash()
+    shard_counts = set()
+    seen_shards: Dict[int, str] = {}
+    executed: Dict[str, List[str]] = {}
+    caseless_seen: Dict[str, List[str]] = {}
+    for path, payload in artifacts:
+        if payload["engine"] != ENGINE_VERSION:
+            raise ValueError(
+                f"{path}: artifact was produced by engine "
+                f"{payload['engine']!r}, this build is {ENGINE_VERSION!r}")
+        if payload["manifest_hash"] != expected_hash:
+            raise ValueError(
+                f"{path}: manifest hash {payload['manifest_hash'][:12]}… does "
+                f"not match the planned manifest {expected_hash[:12]}… "
+                "(different experiment selection, scale, or engine)")
+        shard = payload["shard"]
+        shard_counts.add(shard["count"])
+        if shard["index"] in seen_shards:
+            raise ValueError(
+                f"{path}: shard {shard['index']} already provided by "
+                f"{seen_shards[shard['index']]}")
+        seen_shards[shard["index"]] = path
+        for key in payload["cases"]:
+            executed.setdefault(key, []).append(path)
+        for key in payload["experiment_results"]:
+            caseless_seen.setdefault(key, []).append(path)
+    if len(shard_counts) > 1:
+        raise ValueError(
+            f"artifacts disagree on the shard count: {sorted(shard_counts)}")
+
+    planned = manifest.unique_cases()
+    duplicated = {key: paths for key, paths in executed.items()
+                  if len(paths) > 1}
+    if duplicated:
+        worst = next(iter(sorted(duplicated)))
+        raise ValueError(
+            f"{len(duplicated)} case(s) were executed by more than one shard "
+            f"(e.g. {worst[:12]}… in {', '.join(duplicated[worst])}); shard "
+            "partitions must be disjoint")
+    unplanned = sorted(set(executed) - set(planned))
+    if unplanned:
+        raise ValueError(
+            f"artifacts contain {len(unplanned)} case(s) the manifest never "
+            f"planned (e.g. {unplanned[0][:12]}…); were they produced with a "
+            "different experiment selection?")
+    missing = sorted(set(planned) - set(executed))
+    if missing:
+        raise ValueError(
+            f"{len(missing)} planned case(s) were executed by no shard "
+            f"(e.g. {missing[0][:12]}…); are all shard artifacts present?")
+
+    # Caseless experiments must obey the same exactly-once invariant as
+    # cases: a missing shard that happened to own only caseless experiments
+    # would otherwise pass the case checks and be silently re-simulated at
+    # merge time.
+    expected_caseless = set(manifest.caseless_keys())
+    duplicated_caseless = sorted(key for key, owners in caseless_seen.items()
+                                 if len(owners) > 1)
+    if duplicated_caseless:
+        raise ValueError(
+            f"caseless experiment(s) executed by more than one shard: "
+            f"{', '.join(duplicated_caseless)}; shard partitions must be "
+            "disjoint")
+    unplanned_caseless = sorted(set(caseless_seen) - expected_caseless)
+    if unplanned_caseless:
+        raise ValueError(
+            f"artifacts contain result(s) for experiment(s) the manifest "
+            f"does not treat as caseless: {', '.join(unplanned_caseless)}")
+    missing_caseless = sorted(expected_caseless - set(caseless_seen))
+    if missing_caseless:
+        raise ValueError(
+            f"caseless experiment(s) executed by no shard: "
+            f"{', '.join(missing_caseless)}; are all shard artifacts present?")
+
+
+def merge_artifacts(paths: Iterable[str], manifest: ExperimentManifest,
+                    *, out_dir: Optional[str] = None
+                    ) -> Dict[str, ExperimentResult]:
+    """Merge shard artifacts into final figures/tables.
+
+    Validates that the artifacts cover the manifest exactly once, then
+    re-assembles every case-based experiment through a **replay-only**
+    executor over the merged results, and loads the caseless experiments'
+    results straight from the artifacts.  Any union of shard outputs that
+    passes validation produces output bit-identical to a serial run.
+
+    Args:
+        paths: shard artifact files (any order).
+        manifest: the manifest the shards were executed from (re-planned
+            locally; the artifact hash check proves it matches).
+        out_dir: when given, final results are also written there via
+            :func:`write_outputs`.
+
+    Returns:
+        Experiment results keyed like the manifest.
+    """
+    artifacts = [(path, load_artifact(path)) for path in paths]
+    if not artifacts:
+        raise ValueError("no shard artifacts to merge")
+    _validate_artifacts(manifest, artifacts)
+
+    cache = RunResultCache(directory=None)
+    for _path, payload in artifacts:
+        for key, data in payload["cases"].items():
+            cache.put(key, run_result_from_dict(data))
+    replay = SweepExecutor(jobs=1, cache=cache, allow_simulation=False)
+
+    caseless: Dict[str, ExperimentResult] = {}
+    for _path, payload in artifacts:
+        for key, data in payload["experiment_results"].items():
+            caseless[key] = result_from_dict(data)
+
+    results: Dict[str, ExperimentResult] = {}
+    for definition in manifest.definitions:
+        if definition.key in caseless:
+            results[definition.key] = caseless[definition.key]
+        else:
+            results[definition.key] = definition.assemble(manifest.scale,
+                                                          replay)
+    if out_dir:
+        write_outputs(results, manifest, out_dir)
+    return results
+
+
+def run_serial(manifest: ExperimentManifest, *, jobs: Optional[int] = None,
+               cache: Optional[RunResultCache] = None,
+               out_dir: Optional[str] = None) -> Dict[str, ExperimentResult]:
+    """Execute and assemble a whole manifest in-process (no shard artifacts).
+
+    The global case list still runs through one
+    :class:`~repro.experiments.executor.SweepExecutor` batch first — fanning
+    out over worker processes and deduplicating across experiments — before
+    the per-experiment assembly replays it from the warm cache.
+    """
+    executor = SweepExecutor(jobs=jobs, cache=cache)
+    executor.run_specs(list(manifest.unique_cases().values()))
+    results = {definition.key: definition.assemble(manifest.scale, executor)
+               for definition in manifest.definitions}
+    if out_dir:
+        write_outputs(results, manifest, out_dir)
+    return results
+
+
+def write_outputs(results: Dict[str, ExperimentResult],
+                  manifest: ExperimentManifest, out_dir: str) -> List[str]:
+    """Write per-experiment JSON + rendered text and a run summary.
+
+    The JSON artifacts are serialised deterministically (sorted keys, exact
+    floats), so two runs of the same manifest can be compared with ``diff``.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    written: List[str] = []
+    for key, result in results.items():
+        json_path = os.path.join(out_dir, f"{key}.json")
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(result_to_dict(result), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        text_path = os.path.join(out_dir, f"{key}.txt")
+        with open(text_path, "w", encoding="utf-8") as handle:
+            handle.write(result.render())
+            handle.write("\n")
+        written.extend([json_path, text_path])
+    summary_path = os.path.join(out_dir, "summary.json")
+    with open(summary_path, "w", encoding="utf-8") as handle:
+        json.dump(manifest.describe(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    written.append(summary_path)
+    return written

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.registry import make_bpu
 from ..core.secure import BranchPredictionUnit
@@ -16,21 +16,26 @@ from .scaling import ExperimentScale, default_scale
 
 __all__ = ["build_bpu", "run_single_thread_case", "run_smt_case",
            "sweep_single_thread", "sweep_smt",
+           "plan_overhead_single_thread", "assemble_overhead_single_thread",
+           "plan_overhead_smt", "assemble_overhead_smt",
            "overhead_figure_single_thread", "overhead_figure_smt"]
 
 
-def build_bpu(config: CoreConfig, preset: str, seed: int) -> BranchPredictionUnit:
+def build_bpu(config: CoreConfig, preset: str, seed: int,
+              overrides: Optional[Dict] = None) -> BranchPredictionUnit:
     """Build a branch prediction unit matching a core configuration."""
     return make_bpu(config.predictor, preset, seed=seed,
                     btb_sets=config.btb_sets, btb_ways=config.btb_ways,
                     btb_miss_forces_not_taken=config.btb_miss_forces_not_taken,
-                    predictor_kwargs=dict(config.predictor_kwargs))
+                    predictor_kwargs=dict(config.predictor_kwargs),
+                    config_overrides=dict(overrides) if overrides else None)
 
 
 def run_single_thread_case(pair: BenchmarkPair, config: CoreConfig, preset: str,
                            scale: ExperimentScale, *,
                            switch_interval: Optional[int] = None,
-                           seed_offset: int = 0) -> RunResult:
+                           seed_offset: int = 0,
+                           bpu_overrides: Optional[Dict] = None) -> RunResult:
     """Run one Table 3 pair on the single-threaded core under one mechanism.
 
     Args:
@@ -41,11 +46,13 @@ def run_single_thread_case(pair: BenchmarkPair, config: CoreConfig, preset: str,
         switch_interval: context-switch period in (real) cycles; defaults to
             the configuration's standard Linux period.
         seed_offset: varies workload and key seeds between repetitions.
+        bpu_overrides: isolation-config overrides for the BPU (ablations).
     """
     if switch_interval is not None:
         config = config.with_switch_interval(switch_interval)
     workloads = make_pair_workloads(pair, seed=scale.seed + seed_offset)
-    bpu = build_bpu(config, preset, seed=scale.seed + 7 * seed_offset + 1)
+    bpu = build_bpu(config, preset, seed=scale.seed + 7 * seed_offset + 1,
+                    overrides=bpu_overrides)
     core = SingleThreadCore(config, bpu, workloads,
                             time_scale=scale.time_scale,
                             syscall_time_scale=scale.syscall_time_scale)
@@ -56,14 +63,16 @@ def run_single_thread_case(pair: BenchmarkPair, config: CoreConfig, preset: str,
 
 def run_smt_case(pair: BenchmarkPair, config: CoreConfig, preset: str,
                  scale: ExperimentScale, *, se_mode: bool = True,
-                 seed_offset: int = 0) -> RunResult:
+                 seed_offset: int = 0,
+                 bpu_overrides: Optional[Dict] = None) -> RunResult:
     """Run one Table 3 pair/quad on the SMT core under one mechanism."""
     workloads = make_pair_workloads(pair, seed=scale.seed + seed_offset)
     if len(workloads) != config.smt_threads:
         raise ValueError(
             f"pair {pair.case} has {len(workloads)} benchmarks but the core has "
             f"{config.smt_threads} hardware threads")
-    bpu = build_bpu(config, preset, seed=scale.seed + 7 * seed_offset + 1)
+    bpu = build_bpu(config, preset, seed=scale.seed + 7 * seed_offset + 1,
+                    overrides=bpu_overrides)
     core = SmtCore(config, bpu, workloads, time_scale=scale.smt_time_scale,
                    se_mode=se_mode)
     return core.run(instructions=scale.smt_instructions,
@@ -145,6 +154,48 @@ def sweep_smt(pairs: Iterable[BenchmarkPair], config: CoreConfig,
     return dict(zip(keys, results))
 
 
+def plan_overhead_single_thread(mechanisms: "Sequence[Tuple[str, str, Optional[int]]]",
+                                pairs: Sequence[BenchmarkPair],
+                                config: CoreConfig,
+                                scale: ExperimentScale) -> List[CaseSpec]:
+    """Enumerate the cases behind a single-thread overhead figure.
+
+    The order is the contract between :func:`plan_overhead_single_thread` and
+    :func:`assemble_overhead_single_thread`: one baseline per pair first, then
+    one block of pairs per mechanism series.
+    """
+    specs = [CaseSpec("single", pair, config, "baseline", scale,
+                      label="baseline") for pair in pairs]
+    for label, preset, interval in mechanisms:
+        specs.extend(CaseSpec("single", pair, config, preset, scale,
+                              switch_interval=interval, label=label)
+                     for pair in pairs)
+    return specs
+
+
+def assemble_overhead_single_thread(name: str, description: str,
+                                    mechanisms: "Sequence[Tuple[str, str, Optional[int]]]",
+                                    pairs: Sequence[BenchmarkPair],
+                                    results: Sequence[RunResult]):
+    """Build the overhead figure from results ordered as the plan emits them."""
+    from ..analysis.figures import FigureSeries
+
+    figure = FigureSeries(name=name, description=description,
+                          categories=[pair.case for pair in pairs])
+    baselines: Dict[str, RunResult] = {
+        pair.case: result for pair, result in zip(pairs, results[:len(pairs)])}
+    position = len(pairs)
+    for label, _preset, _interval in mechanisms:
+        values = []
+        for pair in pairs:
+            result = results[position]
+            position += 1
+            values.append(result.overhead_vs(baselines[pair.case],
+                                             workload=pair.target))
+        figure.add_series(label, values)
+    return figure, baselines
+
+
 def overhead_figure_single_thread(name: str, description: str,
                                   mechanisms: "List[Tuple[str, str, Optional[int]]]",
                                   pairs: List[BenchmarkPair],
@@ -154,9 +205,11 @@ def overhead_figure_single_thread(name: str, description: str,
     """Build a per-case overhead figure on the single-threaded core.
 
     All cases — the per-pair baselines and every mechanism series — are
-    submitted to a :class:`repro.experiments.executor.SweepExecutor` in one
-    batch, so they deduplicate against each other and against previously
-    cached runs, and fan out over worker processes when ``REPRO_JOBS > 1``.
+    planned by :func:`plan_overhead_single_thread`, submitted to a
+    :class:`repro.experiments.executor.SweepExecutor` in one batch (so they
+    deduplicate against each other and against previously cached runs, and
+    fan out over worker processes when ``REPRO_JOBS > 1``), then assembled by
+    :func:`assemble_overhead_single_thread`.
 
     Args:
         name: figure name.
@@ -175,30 +228,47 @@ def overhead_figure_single_thread(name: str, description: str,
         per-case baseline and ``baselines`` maps case name to its baseline
         :class:`repro.cpu.stats.RunResult`.
     """
-    from ..analysis.figures import FigureSeries
-
     scale = scale or default_scale()
     config = config or fpga_prototype()
     executor = executor or default_executor()
+    specs = plan_overhead_single_thread(mechanisms, pairs, config, scale)
+    results = executor.run_specs(specs)
+    return assemble_overhead_single_thread(name, description, mechanisms,
+                                           pairs, results)
+
+
+def plan_overhead_smt(mechanisms: "Sequence[Tuple[str, str]]",
+                      pairs: Sequence[BenchmarkPair],
+                      config: CoreConfig,
+                      scale: ExperimentScale) -> List[CaseSpec]:
+    """Enumerate the cases behind an SMT overhead figure (same order contract
+    as :func:`plan_overhead_single_thread`)."""
+    specs = [CaseSpec("smt", pair, config, "baseline", scale,
+                      label="baseline") for pair in pairs]
+    for label, preset in mechanisms:
+        specs.extend(CaseSpec("smt", pair, config, preset, scale, label=label)
+                     for pair in pairs)
+    return specs
+
+
+def assemble_overhead_smt(name: str, description: str,
+                          mechanisms: "Sequence[Tuple[str, str]]",
+                          pairs: Sequence[BenchmarkPair],
+                          results: Sequence[RunResult]):
+    """Build the SMT overhead figure from plan-ordered results."""
+    from ..analysis.figures import FigureSeries
+
     figure = FigureSeries(name=name, description=description,
                           categories=[pair.case for pair in pairs])
-    specs = [CaseSpec("single", pair, config, "baseline", scale,
-                      label="baseline") for pair in pairs]
-    for label, preset, interval in mechanisms:
-        specs.extend(CaseSpec("single", pair, config, preset, scale,
-                              switch_interval=interval, label=label)
-                     for pair in pairs)
-    results = executor.run_specs(specs)
     baselines: Dict[str, RunResult] = {
         pair.case: result for pair, result in zip(pairs, results[:len(pairs)])}
     position = len(pairs)
-    for label, preset, interval in mechanisms:
+    for label, _preset in mechanisms:
         values = []
         for pair in pairs:
             result = results[position]
             position += 1
-            values.append(result.overhead_vs(baselines[pair.case],
-                                             workload=pair.target))
+            values.append(result.overhead_vs(baselines[pair.case]))
         figure.add_series(label, values)
     return figure, baselines
 
@@ -225,27 +295,9 @@ def overhead_figure_smt(name: str, description: str,
         ``(figure, baselines)`` as for :func:`overhead_figure_single_thread`,
         with overheads computed on total elapsed cycles.
     """
-    from ..analysis.figures import FigureSeries
-
     scale = scale or default_scale()
     config = config or sunny_cove_smt()
     executor = executor or default_executor()
-    figure = FigureSeries(name=name, description=description,
-                          categories=[pair.case for pair in pairs])
-    specs = [CaseSpec("smt", pair, config, "baseline", scale,
-                      label="baseline") for pair in pairs]
-    for label, preset in mechanisms:
-        specs.extend(CaseSpec("smt", pair, config, preset, scale, label=label)
-                     for pair in pairs)
+    specs = plan_overhead_smt(mechanisms, pairs, config, scale)
     results = executor.run_specs(specs)
-    baselines: Dict[str, RunResult] = {
-        pair.case: result for pair, result in zip(pairs, results[:len(pairs)])}
-    position = len(pairs)
-    for label, preset in mechanisms:
-        values = []
-        for pair in pairs:
-            result = results[position]
-            position += 1
-            values.append(result.overhead_vs(baselines[pair.case]))
-        figure.add_series(label, values)
-    return figure, baselines
+    return assemble_overhead_smt(name, description, mechanisms, pairs, results)

@@ -20,30 +20,61 @@ is registered in :data:`repro.experiments.EXPERIMENTS`.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..analysis.figures import FigureSeries
 from ..analysis.metrics import arithmetic_mean, percent
 from ..cpu.config import fpga_prototype, sunny_cove_smt
 from ..workloads.pairs import case_names, get_pair
 from .base import ExperimentResult
-from .runner import run_single_thread_case, run_smt_case
+from .executor import CaseSpec, SweepExecutor, default_executor
 from .scaling import ExperimentScale, default_scale
 
 __all__ = [
     "switch_interval_sensitivity",
+    "plan_switch_interval_sensitivity",
     "mispredict_penalty_sensitivity",
+    "plan_mispredict_penalty_sensitivity",
     "smt4_noisy_xor",
+    "plan_smt4_noisy_xor",
 ]
 
 _MILLION = 1_000_000
+
+
+def plan_switch_interval_sensitivity(
+        scale: Optional[ExperimentScale] = None, *,
+        preset: str = "noisy_xor_bp",
+        cases: Sequence[str] = ("case1", "case6", "case7"),
+        intervals_m: Sequence[int] = (2, 4, 8, 12, 24),
+        predictor: str = "tage") -> List[CaseSpec]:
+    """Cases for :func:`switch_interval_sensitivity` (same knobs).
+
+    Order contract: per case, per interval, baseline then protected.
+    """
+    scale = scale or default_scale()
+    config = fpga_prototype(predictor)
+    specs: List[CaseSpec] = []
+    for case in cases:
+        pair = get_pair(case, "single")
+        for m in intervals_m:
+            interval = m * _MILLION
+            specs.append(CaseSpec("single", pair, config, "baseline", scale,
+                                  switch_interval=interval,
+                                  label=f"baseline-{m}M"))
+            specs.append(CaseSpec("single", pair, config, preset, scale,
+                                  switch_interval=interval,
+                                  label=f"{preset}-{m}M"))
+    return specs
 
 
 def switch_interval_sensitivity(scale: Optional[ExperimentScale] = None, *,
                                 preset: str = "noisy_xor_bp",
                                 cases: Sequence[str] = ("case1", "case6", "case7"),
                                 intervals_m: Sequence[int] = (2, 4, 8, 12, 24),
-                                predictor: str = "tage") -> ExperimentResult:
+                                predictor: str = "tage",
+                                executor: Optional[SweepExecutor] = None
+                                ) -> ExperimentResult:
     """Noisy-XOR-BP overhead versus context-switch interval (single-thread).
 
     For every case and interval, both the baseline and the protected core run
@@ -56,28 +87,30 @@ def switch_interval_sensitivity(scale: Optional[ExperimentScale] = None, *,
         cases: Table 3 single-thread cases to include.
         intervals_m: timer periods in millions of cycles.
         predictor: direction predictor of the core.
+        executor: sweep executor (the shared default when omitted).
 
     Returns:
         An :class:`ExperimentResult` whose figure has one series per case
         (plus the per-interval mean row in the table).
     """
     scale = scale or default_scale()
-    config = fpga_prototype(predictor)
+    executor = executor or default_executor()
+    results = executor.run_specs(plan_switch_interval_sensitivity(
+        scale, preset=preset, cases=cases, intervals_m=intervals_m,
+        predictor=predictor))
     categories = [f"{m}M" for m in intervals_m]
     figure = FigureSeries(
         name="Ablation: switch-interval sensitivity",
         description=f"{preset} overhead vs context-switch interval",
         categories=categories)
     rows = []
+    position = 0
     for case in cases:
         pair = get_pair(case, "single")
         overheads = []
-        for m in intervals_m:
-            interval = m * _MILLION
-            baseline = run_single_thread_case(pair, config, "baseline", scale,
-                                              switch_interval=interval)
-            protected = run_single_thread_case(pair, config, preset, scale,
-                                               switch_interval=interval)
+        for _m in intervals_m:
+            baseline, protected = results[position], results[position + 1]
+            position += 2
             overheads.append(protected.overhead_vs(baseline, pair.target))
         figure.add_series(case, overheads)
         rows.append([case] + [percent(value) for value in overheads])
@@ -98,11 +131,37 @@ def switch_interval_sensitivity(scale: Optional[ExperimentScale] = None, *,
               "a 2M-cycle period (1 kHz timer).")
 
 
+def plan_mispredict_penalty_sensitivity(
+        scale: Optional[ExperimentScale] = None, *,
+        preset: str = "noisy_xor_bp",
+        case: str = "case1",
+        penalties: Sequence[int] = (8, 11, 17, 24),
+        predictor: str = "tage") -> List[CaseSpec]:
+    """Cases for :func:`mispredict_penalty_sensitivity` (same knobs).
+
+    Order contract: per penalty, baseline then protected.
+    """
+    scale = scale or default_scale()
+    base_config = fpga_prototype(predictor)
+    pair = get_pair(case, "single")
+    specs: List[CaseSpec] = []
+    for penalty in penalties:
+        config = replace(base_config, mispredict_penalty=penalty,
+                         name=f"fpga_prototype_p{penalty}")
+        specs.append(CaseSpec("single", pair, config, "baseline", scale,
+                              label=f"baseline-p{penalty}"))
+        specs.append(CaseSpec("single", pair, config, preset, scale,
+                              label=f"{preset}-p{penalty}"))
+    return specs
+
+
 def mispredict_penalty_sensitivity(scale: Optional[ExperimentScale] = None, *,
                                    preset: str = "noisy_xor_bp",
                                    case: str = "case1",
                                    penalties: Sequence[int] = (8, 11, 17, 24),
-                                   predictor: str = "tage") -> ExperimentResult:
+                                   predictor: str = "tage",
+                                   executor: Optional[SweepExecutor] = None
+                                   ) -> ExperimentResult:
     """Isolation overhead versus the core's misprediction penalty.
 
     The paper's two platforms differ mainly in pipeline depth (10 versus 19
@@ -117,17 +176,18 @@ def mispredict_penalty_sensitivity(scale: Optional[ExperimentScale] = None, *,
         case: Table 3 single-thread case to run.
         penalties: redirect penalties (cycles) to sweep.
         predictor: direction predictor of the core.
+        executor: sweep executor (the shared default when omitted).
     """
     scale = scale or default_scale()
-    base_config = fpga_prototype(predictor)
+    executor = executor or default_executor()
+    results = executor.run_specs(plan_mispredict_penalty_sensitivity(
+        scale, preset=preset, case=case, penalties=penalties,
+        predictor=predictor))
     pair = get_pair(case, "single")
     rows = []
     overheads = []
-    for penalty in penalties:
-        config = replace(base_config, mispredict_penalty=penalty,
-                         name=f"fpga_prototype_p{penalty}")
-        baseline = run_single_thread_case(pair, config, "baseline", scale)
-        protected = run_single_thread_case(pair, config, preset, scale)
+    for i, penalty in enumerate(penalties):
+        baseline, protected = results[2 * i], results[2 * i + 1]
         overhead = protected.overhead_vs(baseline, pair.target)
         overheads.append(overhead)
         rows.append([f"{penalty} cycles", percent(overhead),
@@ -149,11 +209,34 @@ def mispredict_penalty_sensitivity(scale: Optional[ExperimentScale] = None, *,
         notes="Extension beyond the paper: explicit penalty sweep on one core.")
 
 
+def plan_smt4_noisy_xor(scale: Optional[ExperimentScale] = None, *,
+                        predictor: str = "tournament",
+                        presets: Tuple[str, ...] = ("complete_flush",
+                                                    "precise_flush",
+                                                    "noisy_xor_bp"),
+                        max_quads: int = 4) -> List[CaseSpec]:
+    """Cases for :func:`smt4_noisy_xor` (same knobs).
+
+    Order contract: per quad, baseline then one case per preset.
+    """
+    scale = scale or default_scale()
+    config = sunny_cove_smt(predictor, smt_threads=4)
+    specs: List[CaseSpec] = []
+    for case in case_names("smt4")[:max_quads]:
+        pair = get_pair(case, "smt4")
+        specs.append(CaseSpec("smt", pair, config, "baseline", scale,
+                              label="baseline"))
+        specs.extend(CaseSpec("smt", pair, config, preset, scale, label=preset)
+                     for preset in presets)
+    return specs
+
+
 def smt4_noisy_xor(scale: Optional[ExperimentScale] = None, *,
                    predictor: str = "tournament",
                    presets: Tuple[str, ...] = ("complete_flush", "precise_flush",
                                                "noisy_xor_bp"),
-                   max_quads: int = 4) -> ExperimentResult:
+                   max_quads: int = 4,
+                   executor: Optional[SweepExecutor] = None) -> ExperimentResult:
     """Noisy-XOR-BP versus flush mechanisms on an SMT-4 core.
 
     Figure 2 shows that Complete Flush degrades further from SMT-2 to SMT-4
@@ -165,20 +248,23 @@ def smt4_noisy_xor(scale: Optional[ExperimentScale] = None, *,
         predictor: shared direction predictor of the SMT core.
         presets: protection presets to compare (baseline is always run).
         max_quads: number of SMT-4 quads to include.
+        executor: sweep executor (the shared default when omitted).
     """
     scale = scale or default_scale()
-    config = sunny_cove_smt(predictor, smt_threads=4)
+    executor = executor or default_executor()
+    results = executor.run_specs(plan_smt4_noisy_xor(
+        scale, predictor=predictor, presets=presets, max_quads=max_quads))
     quads = case_names("smt4")[:max_quads]
     figure = FigureSeries(
         name="Ablation: SMT-4 isolation comparison",
         description=f"overhead of {', '.join(presets)} on an SMT-4 core",
         categories=list(quads))
     per_preset = {preset: [] for preset in presets}
-    for case in quads:
-        pair = get_pair(case, "smt4")
-        baseline = run_smt_case(pair, config, "baseline", scale)
-        for preset in presets:
-            protected = run_smt_case(pair, config, preset, scale)
+    stride = 1 + len(presets)
+    for i, case in enumerate(quads):
+        baseline = results[stride * i]
+        for j, preset in enumerate(presets):
+            protected = results[stride * i + 1 + j]
             per_preset[preset].append(protected.overhead_vs(baseline))
     for preset in presets:
         figure.add_series(preset, per_preset[preset])

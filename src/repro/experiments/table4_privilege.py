@@ -9,15 +9,15 @@ timer setting.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..cpu.config import fpga_prototype
 from ..workloads.pairs import SINGLE_THREAD_PAIRS, BenchmarkPair
 from .base import ExperimentResult
-from .runner import run_single_thread_case
+from .executor import CaseSpec, SweepExecutor, default_executor
 from .scaling import ExperimentScale, default_scale
 
-__all__ = ["run", "PAPER_PRIVILEGE_SWITCH_RATES"]
+__all__ = ["run", "plan", "PAPER_PRIVILEGE_SWITCH_RATES"]
 
 #: The paper's Table 4: privilege switches per million cycles per case.
 PAPER_PRIVILEGE_SWITCH_RATES = {
@@ -27,21 +27,37 @@ PAPER_PRIVILEGE_SWITCH_RATES = {
 }
 
 
+def _setup(scale, pairs):
+    scale = scale or default_scale()
+    pairs = list(pairs) if pairs is not None else list(SINGLE_THREAD_PAIRS)
+    return scale, pairs
+
+
+def plan(scale: Optional[ExperimentScale] = None,
+         pairs: Optional[Sequence[BenchmarkPair]] = None) -> List[CaseSpec]:
+    """Enumerate every simulation case Table 4 needs (same knobs as ``run``)."""
+    scale, pairs = _setup(scale, pairs)
+    config = fpga_prototype()
+    return [CaseSpec("single", pair, config, "noisy_xor_bp", scale,
+                     switch_interval=12_000_000, label="noisy_xor_bp-12M")
+            for pair in pairs]
+
+
 def run(scale: Optional[ExperimentScale] = None,
-        pairs: Optional[Sequence[BenchmarkPair]] = None) -> ExperimentResult:
+        pairs: Optional[Sequence[BenchmarkPair]] = None,
+        executor: Optional[SweepExecutor] = None) -> ExperimentResult:
     """Reproduce Table 4.
 
     Args:
         scale: experiment scale.
         pairs: subset of the single-thread pairs (all 12 by default).
+        executor: sweep executor (the shared default when omitted).
     """
-    scale = scale or default_scale()
-    pairs = list(pairs) if pairs is not None else list(SINGLE_THREAD_PAIRS)
-    config = fpga_prototype()
+    scale, pairs = _setup(scale, pairs)
+    executor = executor or default_executor()
+    results = executor.run_specs(plan(scale, pairs))
     rows = []
-    for pair in pairs:
-        result = run_single_thread_case(pair, config, "noisy_xor_bp", scale,
-                                        switch_interval=12_000_000)
+    for pair, result in zip(pairs, results):
         # The syscall schedule is scaled by ``syscall_time_scale``; convert the
         # measured count back to a per-million-*real*-cycle rate.
         rate = 1e6 * result.privilege_switches \

@@ -11,11 +11,22 @@ class TestParser:
     def test_known_subcommands(self):
         parser = build_parser()
         for command in ("list", "run", "attack", "leakage", "covert", "hwcost",
-                        "report"):
+                        "report", "merge", "plan"):
             args = parser.parse_args([command] + (
                 ["figure7"] if command == "run" else
-                ["branchscope"] if command == "attack" else []))
+                ["branchscope"] if command == "attack" else
+                ["shard.json"] if command == "merge" else []))
             assert args.command == command
+
+    def test_run_all_options(self):
+        args = build_parser().parse_args(
+            ["run", "all", "--shard", "1/4", "--jobs", "2", "--out", "out",
+             "--experiments", "figure1", "figure8"])
+        assert args.experiment == "all"
+        assert args.shard == "1/4"
+        assert args.jobs == "2"
+        assert args.out == "out"
+        assert args.experiments == ["figure1", "figure8"]
 
     def test_run_defaults(self):
         args = build_parser().parse_args(["run", "table5"])
@@ -66,6 +77,79 @@ class TestRunCommand:
     def test_run_table2_is_configuration_only(self, capsys):
         assert main(["run", "table2"]) == 0
         assert "Table 2" in capsys.readouterr().out
+
+
+class TestPlanCommand:
+    def test_plan_prints_manifest_table(self, capsys):
+        assert main(["plan", "--experiments", "figure1", "table5"]) == 0
+        output = capsys.readouterr().out
+        assert "figure1" in output
+        assert "unique after dedupe" in output
+
+    def test_plan_hash_is_engine_prefixed_and_stable(self, capsys):
+        from repro.experiments import ENGINE_VERSION
+
+        assert main(["plan", "--hash", "--experiments", "figure1"]) == 0
+        first = capsys.readouterr().out.strip()
+        assert main(["plan", "--hash", "--experiments", "figure1"]) == 0
+        assert capsys.readouterr().out.strip() == first
+        assert first.startswith(f"{ENGINE_VERSION}:")
+
+    def test_plan_json(self, capsys):
+        assert main(["plan", "--json", "--experiments", "table5"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiments"] == {"table5": 0}
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["plan", "--experiments", "figure99"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+
+class TestRunAllCommand:
+    def test_malformed_shard_rejected(self, capsys):
+        assert main(["run", "all", "--shard", "3/2"]) == 2
+        err = capsys.readouterr().err
+        assert "--shard" in err and "0-based" in err
+
+    def test_malformed_jobs_rejected(self, capsys):
+        assert main(["run", "all", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_malformed_env_shard_rejected(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD", "banana")
+        assert main(["run", "all", "--experiments", "table5"]) == 2
+        assert "REPRO_SHARD" in capsys.readouterr().err
+
+    def test_malformed_env_jobs_rejected_before_planning(self, capsys,
+                                                         monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert main(["run", "all", "--experiments", "table5"]) == 2
+        assert "REPRO_JOBS" in capsys.readouterr().err
+
+    def test_sharded_run_and_merge_round_trip(self, tmp_path, capsys):
+        # Caseless-only manifest: exercises the full CLI pipeline (two shard
+        # artifacts, then a validated merge) without any simulation cost.
+        out = str(tmp_path / "shards")
+        for index in range(2):
+            assert main(["run", "all", "--experiments", "table2", "table5",
+                         "--shard", f"{index}/2", "--out", out]) == 0
+        output = capsys.readouterr().out
+        assert "shard artifact written" in output
+        merged = str(tmp_path / "merged")
+        shards = [f"{out}/shard-0-of-2.json", f"{out}/shard-1-of-2.json"]
+        assert main(["merge", "--out", merged] + shards) == 0
+        output = capsys.readouterr().out
+        assert "executed exactly once" in output
+        with open(f"{merged}/table5.json", encoding="utf-8") as handle:
+            assert json.load(handle)["name"].startswith("Table 5")
+
+    def test_merge_rejects_incomplete_fleet(self, tmp_path, capsys):
+        out = str(tmp_path / "shards")
+        assert main(["run", "all", "--experiments", "figure1", "--scale",
+                     "0.05", "--shard", "0/64", "--out", out]) == 0
+        capsys.readouterr()
+        assert main(["merge", f"{out}/shard-0-of-64.json"]) == 2
+        assert "merge failed" in capsys.readouterr().err
 
 
 class TestAttackCommand:

@@ -147,8 +147,25 @@ class TestSweepExecutor:
         assert env_jobs() == 1
         monkeypatch.setenv("REPRO_JOBS", "4")
         assert env_jobs() == 4
-        monkeypatch.setenv("REPRO_JOBS", "banana")
-        assert env_jobs() == 1
+
+    @pytest.mark.parametrize("bad", ["banana", "0", "-2", "1.5", ""])
+    def test_env_jobs_rejects_malformed_values(self, bad, monkeypatch):
+        # A typo'd REPRO_JOBS used to silently run serially (or crash deep in
+        # the pool setup); now it fails at parse time, naming the variable.
+        monkeypatch.setenv("REPRO_JOBS", bad)
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            env_jobs()
+
+    def test_replay_only_executor_rejects_uncached_cases(self):
+        cache = RunResultCache(directory=None)
+        warm = SweepExecutor(jobs=1, cache=cache)
+        warm.run_spec(_spec())
+        replay = SweepExecutor(jobs=1, cache=cache, allow_simulation=False)
+        # The cached case replays fine; an uncached one must fail loudly.
+        assert replay.run_spec(_spec()).mechanism == "baseline"
+        assert replay.simulated == 0
+        with pytest.raises(RuntimeError, match="replay-only"):
+            replay.run_spec(_spec(preset="complete_flush"))
 
     def test_unknown_kind_rejected(self):
         executor = SweepExecutor(jobs=1, cache=RunResultCache(directory=None))
