@@ -1,0 +1,12 @@
+#!/bin/sh
+# Content digest of the CI result store (or "empty" when absent) — the shard
+# jobs compare before/after snapshots to save the actions/cache blob only
+# when a run actually changed the store.  Reads the same REPRO_STORE_DIR the
+# jobs configure, so the store location has one source of truth.
+set -eu
+store_dir="${REPRO_STORE_DIR:-.repro-store}"
+if [ ! -d "$store_dir" ]; then
+    echo "empty"
+    exit 0
+fi
+find "$store_dir" -type f -print0 | sort -z | xargs -0 sha256sum | sha256sum | cut -d' ' -f1

@@ -19,6 +19,13 @@ from .metrics import (
     percent,
     relative_overhead,
 )
+from .stats import (
+    PointStats,
+    fold_experiment_results,
+    fold_figures,
+    summarize,
+    t_critical_95,
+)
 from .report import (
     PAPER_EXPECTATIONS,
     PaperExpectation,
@@ -38,6 +45,11 @@ __all__ = [
     "load_result_json",
     "save_results_json",
     "save_figure_csv",
+    "PointStats",
+    "summarize",
+    "t_critical_95",
+    "fold_figures",
+    "fold_experiment_results",
     "PaperExpectation",
     "PAPER_EXPECTATIONS",
     "ReproductionReport",

@@ -29,14 +29,23 @@ __all__ = [
 
 
 def figure_to_dict(figure: FigureSeries) -> Dict[str, Any]:
-    """Convert a figure series into a JSON-friendly dictionary."""
-    return {
+    """Convert a figure series into a JSON-friendly dictionary.
+
+    The ``errors`` key is emitted only when the figure carries error bars, so
+    single-trajectory (``repetitions=1``) output stays byte-identical to the
+    historical format.
+    """
+    payload = {
         "name": figure.name,
         "description": figure.description,
         "categories": list(figure.categories),
         "series": {label: list(values) for label, values in figure.series.items()},
         "unit": figure.unit,
     }
+    if figure.errors:
+        payload["errors"] = {label: list(values)
+                             for label, values in figure.errors.items()}
+    return payload
 
 
 def figure_from_dict(data: Dict[str, Any]) -> FigureSeries:
@@ -44,8 +53,9 @@ def figure_from_dict(data: Dict[str, Any]) -> FigureSeries:
     figure = FigureSeries(name=data["name"], description=data["description"],
                           categories=list(data["categories"]),
                           unit=data.get("unit", "fraction"))
+    errors = data.get("errors", {})
     for label, values in data.get("series", {}).items():
-        figure.add_series(label, values)
+        figure.add_series(label, values, errors=errors.get(label))
     return figure
 
 

@@ -3,18 +3,34 @@
 Figures are reproduced as *data* (per-case series plus averages) rather than
 as rendered images; :meth:`FigureSeries.render` produces an ASCII bar chart
 good enough to eyeball the shape, and :meth:`FigureSeries.to_csv` exports the
-series for external plotting.
+series for external plotting.  Repetition-averaged figures additionally carry
+one error bar (95% CI half-width) per point; see :mod:`repro.analysis.stats`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from .metrics import arithmetic_mean
 from .tables import render_csv, render_table
 
-__all__ = ["FigureSeries"]
+__all__ = ["FigureSeries", "format_value"]
+
+
+def format_value(value: float, unit: str, *, signed: bool = True,
+                 error: Optional[float] = None) -> str:
+    """The one display rule for figure measures, shared with the
+    repetition-summary tables: percentages for ``fraction`` units, the
+    table float style otherwise, ``±error`` appended when given."""
+    if unit == "fraction":
+        lead = f"{100 * value:+.2f}" if signed else f"{100 * value:.2f}"
+        if error is None:
+            return f"{lead}%"
+        return f"{lead}±{100 * error:.2f}%"
+    if error is None:
+        return f"{value:.4g}"
+    return f"{value:.4g}±{error:.4g}"
 
 
 @dataclass
@@ -28,6 +44,9 @@ class FigureSeries:
         series: mapping from series label (e.g. ``XOR-BTB-8M``) to one value
             per category.
         unit: unit of the values (``"fraction"`` for normalised overheads).
+        errors: optional per-series error bars (95% CI half-widths), one per
+            category; populated by repetition-averaged figures and empty for
+            single-trajectory runs.
     """
 
     name: str
@@ -35,15 +54,29 @@ class FigureSeries:
     categories: List[str]
     series: Dict[str, List[float]] = field(default_factory=dict)
     unit: str = "fraction"
+    errors: Dict[str, List[float]] = field(default_factory=dict)
 
-    def add_series(self, label: str, values: Sequence[float]) -> None:
-        """Add one series; must have one value per category."""
+    def add_series(self, label: str, values: Sequence[float],
+                   errors: Optional[Sequence[float]] = None) -> None:
+        """Add one series; must have one value (and error, if given) per
+        category."""
         values = list(values)
         if len(values) != len(self.categories):
             raise ValueError(
                 f"series {label!r} has {len(values)} values for "
                 f"{len(self.categories)} categories")
         self.series[label] = values
+        if errors is not None:
+            errors = list(errors)
+            if len(errors) != len(self.categories):
+                raise ValueError(
+                    f"series {label!r} has {len(errors)} error bars for "
+                    f"{len(self.categories)} categories")
+            self.errors[label] = errors
+        else:
+            # Replacing a series without errors must not leave the old
+            # series' error bars attached to the new values.
+            self.errors.pop(label, None)
 
     def average(self, label: str) -> float:
         """Arithmetic mean of one series across categories."""
@@ -63,17 +96,59 @@ class FigureSeries:
         rows.append(["average"] + [self.average(label) for label in labels])
         return rows
 
+    def _cell(self, value: float, error: Optional[float]):
+        if self.unit != "fraction" and error is None:
+            return value  # render_table applies its own float formatting
+        return format_value(value, self.unit, error=error)
+
     def render(self) -> str:
-        """Render the figure data as an aligned table."""
+        """Render the figure data as an aligned table (``±`` when error bars
+        are present).
+
+        The ``average`` row carries no error bar: a mean of per-category CI
+        half-widths is not a confidence interval of the average (the
+        repetition-summary table computes the real one from the per-seed
+        series averages).
+        """
         labels = list(self.series)
         headers = ["case"] + labels
-        rows = self.to_rows()
-        if self.unit == "fraction":
-            rows = [[row[0]] + [f"{100 * v:+.2f}%" for v in row[1:]] for row in rows]
+        rows: List[List] = []
+        for i, category in enumerate(self.categories):
+            rows.append([category] + [
+                self._cell(self.series[label][i],
+                           self.errors[label][i] if label in self.errors
+                           else None)
+                for label in labels])
+        rows.append(["average"] + [self._cell(self.average(label), None)
+                                   for label in labels])
         return render_table(headers, rows,
                             title=f"{self.name}: {self.description}")
 
     def to_csv(self) -> str:
-        """Export the figure data as CSV."""
-        headers = ["case"] + list(self.series)
-        return render_csv(headers, self.to_rows())
+        """Export the figure data as CSV (one extra ``<label> ci95`` column
+        per series that carries error bars; blank on the ``average`` row —
+        see :meth:`render`)."""
+        labels = list(self.series)
+        if not self.errors:
+            headers = ["case"] + labels
+            return render_csv(headers, self.to_rows())
+        headers = ["case"]
+        for label in labels:
+            headers.append(label)
+            if label in self.errors:
+                headers.append(f"{label} ci95")
+        rows: List[List] = []
+        for i, category in enumerate(self.categories):
+            row: List = [category]
+            for label in labels:
+                row.append(self.series[label][i])
+                if label in self.errors:
+                    row.append(self.errors[label][i])
+            rows.append(row)
+        average: List = ["average"]
+        for label in labels:
+            average.append(self.average(label))
+            if label in self.errors:
+                average.append("")
+        rows.append(average)
+        return render_csv(headers, rows)

@@ -1,0 +1,183 @@
+"""Repetition statistics: folding repeated measurements into mean ± CI.
+
+The paper's figures are single-trajectory point estimates.  A repetition run
+simulates every case N times under shifted seeds (``seed_offset`` 0..N-1)
+and this module folds the N per-seed results into statistically defensible
+series: per-point mean, sample standard deviation and two-sided 95%
+confidence half-width (Student t, exact critical values up to 30 degrees of
+freedom).
+
+The fold is a pure, order-sensitive function of the repetition-indexed
+inputs: repetition r is always produced by ``seed_offset + r``, so two runs
+that executed the same repetitions — serially, sharded, or replayed from a
+result store in any artifact order — fold to bit-identical output.  Folding
+a single result returns it unchanged, which is what keeps ``repetitions=1``
+pipelines byte-for-byte compatible with the committed golden traces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .figures import FigureSeries, format_value
+
+__all__ = [
+    "T_CRITICAL_95",
+    "t_critical_95",
+    "PointStats",
+    "summarize",
+    "fold_figures",
+    "fold_experiment_results",
+]
+
+#: Two-sided 95% Student-t critical values for 1..30 degrees of freedom.
+T_CRITICAL_95 = (
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+)
+
+
+def t_critical_95(df: int) -> float:
+    """Two-sided 95% t critical value for ``df`` degrees of freedom.
+
+    Exact (tabulated) up to 30 degrees of freedom, the normal-approximation
+    1.96 beyond — repetition counts in this repo are single digits, so the
+    small-sample regime is the one that matters.
+    """
+    if df < 1:
+        raise ValueError(f"degrees of freedom must be >= 1, got {df}")
+    if df <= len(T_CRITICAL_95):
+        return T_CRITICAL_95[df - 1]
+    return 1.96
+
+
+@dataclass(frozen=True)
+class PointStats:
+    """Summary of one measured quantity over N repetitions.
+
+    Attributes:
+        mean: arithmetic mean over repetitions.
+        std: sample standard deviation (ddof=1); ``0.0`` for a single sample.
+        ci95: half-width of the two-sided 95% confidence interval of the
+            mean (Student t); ``0.0`` for a single sample.
+        n: number of repetitions summarised.
+    """
+
+    mean: float
+    std: float
+    ci95: float
+    n: int
+
+
+def summarize(values: Sequence[float]) -> PointStats:
+    """Fold one quantity's repetition values into :class:`PointStats`.
+
+    The accumulation order is the caller's sequence order (repetition index),
+    so the float result is reproducible for a given repetition family.
+    """
+    values = [float(value) for value in values]
+    n = len(values)
+    if n == 0:
+        raise ValueError("cannot summarise zero repetitions")
+    mean = math.fsum(values) / n
+    if n == 1:
+        return PointStats(mean=values[0], std=0.0, ci95=0.0, n=1)
+    variance = math.fsum((value - mean) ** 2 for value in values) / (n - 1)
+    std = math.sqrt(variance)
+    ci95 = t_critical_95(n - 1) * std / math.sqrt(n)
+    return PointStats(mean=mean, std=std, ci95=ci95, n=n)
+
+
+def _check_foldable(figures: Sequence[FigureSeries]) -> None:
+    base = figures[0]
+    for index, figure in enumerate(figures[1:], start=1):
+        if figure.categories != base.categories:
+            raise ValueError(
+                f"repetition {index} of {base.name!r} has categories "
+                f"{figure.categories} but repetition 0 has {base.categories}")
+        if list(figure.series) != list(base.series):
+            raise ValueError(
+                f"repetition {index} of {base.name!r} has series "
+                f"{list(figure.series)} but repetition 0 has "
+                f"{list(base.series)}")
+
+
+def fold_figures(figures: Sequence[FigureSeries]) -> FigureSeries:
+    """Fold N per-repetition figures into one mean figure with error bars.
+
+    Every input must share categories and series labels (they are the same
+    driver's output under shifted seeds).  Each point of the folded figure is
+    the repetition mean; its error bar is the 95% CI half-width.  A single
+    input is returned unchanged (no error bars), preserving bit-identity for
+    ``repetitions=1`` runs.
+    """
+    figures = list(figures)
+    if not figures:
+        raise ValueError("cannot fold zero figures")
+    if len(figures) == 1:
+        return figures[0]
+    _check_foldable(figures)
+    base = figures[0]
+    folded = FigureSeries(name=base.name, description=base.description,
+                          categories=list(base.categories), unit=base.unit)
+    for label in base.series:
+        means: List[float] = []
+        errors: List[float] = []
+        for position in range(len(base.categories)):
+            stats = summarize([figure.series[label][position]
+                               for figure in figures])
+            means.append(stats.mean)
+            errors.append(stats.ci95)
+        folded.add_series(label, means, errors=errors)
+    return folded
+
+
+def fold_experiment_results(results: Sequence) -> "ExperimentResult":
+    """Fold N per-repetition experiment results into one aggregated result.
+
+    For figure experiments the folded figure carries mean series with 95%-CI
+    error bars, and the tabular rows become a per-series summary (mean, std,
+    CI of the series average across repetitions).  Figure-less experiments
+    keep repetition 0's table, annotated.  Folding one result returns it
+    unchanged — the ``repetitions=1`` bit-identity guarantee.
+    """
+    from ..experiments.base import ExperimentResult
+
+    results = list(results)
+    if not results:
+        raise ValueError("cannot fold zero experiment results")
+    if len(results) == 1:
+        return results[0]
+    base = results[0]
+    n = len(results)
+    note = (f"Repetition statistics over {n} seeds (seed offsets 0..{n - 1}): "
+            "values are repetition means, ± is the 95% CI half-width "
+            "(Student t).")
+
+    figures = [result.figure for result in results]
+    figure: Optional[FigureSeries]
+    if all(fig is not None for fig in figures):
+        figure = fold_figures(figures)
+        headers = ["series", "mean", "std", "95% CI"]
+        rows = []
+        for label in figure.series:
+            stats = summarize([fig.average(label) for fig in figures])
+            rows.append([
+                label,
+                format_value(stats.mean, figure.unit),
+                format_value(stats.std, figure.unit, signed=False),
+                f"±{format_value(stats.ci95, figure.unit, signed=False)}",
+            ])
+    else:
+        figure = base.figure
+        headers = list(base.headers)
+        rows = [list(row) for row in base.rows]
+        note += " Tabular values are from seed offset 0."
+
+    notes = f"{base.notes} {note}".strip() if base.notes else note
+    return ExperimentResult(name=base.name, description=base.description,
+                            headers=headers, rows=rows, figure=figure,
+                            paper_claim=base.paper_claim, notes=notes)

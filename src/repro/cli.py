@@ -5,9 +5,12 @@ Exposes the package's main entry points without writing any Python::
     python -m repro list                         # what can be reproduced
     python -m repro run figure7 --json out.json  # regenerate one artefact
     python -m repro run all --jobs 4 --out out/  # the whole paper, one pipeline
+    python -m repro run all --repetitions 3 --out out/  # mean ± CI over 3 seeds
     python -m repro run all --shard 0/4 --out out/   # one shard of a fleet
     python -m repro merge --out merged out/shard-*.json  # assemble the fleet
     python -m repro plan --hash                  # manifest digest (CI cache key)
+    python -m repro store export --out store.json    # publish cached results
+    python -m repro store ingest shard-*.json        # reuse another machine's
     python -m repro attack branchscope --mechanism noisy_xor_bp
     python -m repro leakage --mechanisms baseline noisy_xor_bp
     python -m repro hwcost --btb 256 --ways 2 --pht 4096
@@ -56,6 +59,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "REPRO_SHARD) and write a shard artifact")
     run.add_argument("--jobs", default=None, metavar="N",
                      help="worker processes (default from REPRO_JOBS)")
+    run.add_argument("--repetitions", default=None, metavar="N",
+                     help="with 'all': run every planned case N times under "
+                          "shifted seeds and fold figures into mean ± 95%% CI "
+                          "(default 1: single-trajectory, bit-identical to "
+                          "the historical pipeline)")
     run.add_argument("--out", default=None, metavar="DIR",
                      help="with 'all': output directory (shard artifact, or "
                           "merged figures/tables for unsharded runs)")
@@ -75,10 +83,43 @@ def build_parser() -> argparse.ArgumentParser:
                       help="subset of experiment keys to plan")
     plan.add_argument("--scale", type=float, default=None,
                       help="trace-length scale factor")
+    plan.add_argument("--repetitions", default=None, metavar="N",
+                      help="seed repetitions per case (part of the manifest "
+                           "hash: a repetition run can never collide with a "
+                           "single-trajectory cache)")
     plan.add_argument("--hash", action="store_true",
                       help="print only '<engine>:<manifest hash>' (CI cache key)")
     plan.add_argument("--json", action="store_true",
                       help="print the full manifest summary as JSON")
+
+    store = subparsers.add_parser(
+        "store", help="content-addressed result store: exchange finished "
+                      "simulation results between machines and CI shards")
+    store_sub = store.add_subparsers(dest="store_command", metavar="operation")
+    store_dir_help = ("store directory (default from REPRO_STORE_DIR)")
+    ingest = store_sub.add_parser(
+        "ingest", help="import case results from shard artifacts or store "
+                       "exports (same-engine only, digest-checked)")
+    ingest.add_argument("artifacts", nargs="+", metavar="ARTIFACT_JSON",
+                        help="files written by 'run all --shard' or "
+                             "'store export'")
+    ingest.add_argument("--dir", default=None, metavar="DIR",
+                        help=store_dir_help)
+    export = store_sub.add_parser(
+        "export", help="write every current-engine entry as one exchange "
+                       "artifact (ingestable anywhere)")
+    export.add_argument("--out", required=True, metavar="PATH",
+                        help="output artifact path")
+    export.add_argument("--dir", default=None, metavar="DIR",
+                        help=store_dir_help)
+    gc = store_sub.add_parser(
+        "gc", help="delete entries from stale engine revisions")
+    gc.add_argument("--dir", default=None, metavar="DIR", help=store_dir_help)
+    verify = store_sub.add_parser(
+        "verify", help="audit every entry (schema, key/engine filing, "
+                       "content digest)")
+    verify.add_argument("--dir", default=None, metavar="DIR",
+                        help=store_dir_help)
 
     attack = subparsers.add_parser("attack", help="run one attack against one "
                                                   "protection preset")
@@ -171,6 +212,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     if args.experiment == "all":
         return _cmd_run_all(args)
+    # 'all'-only flags must never be silently dropped: a user asking for a
+    # 3-seed mean must not publish a single-trajectory estimate, and a user
+    # asking for a shard/fan-out must not get a serial full run.
+    all_only = [name for name, value in (
+        ("--repetitions", args.repetitions), ("--shard", args.shard),
+        ("--jobs", args.jobs), ("--out", args.out),
+        ("--experiments", args.experiments)) if value is not None]
+    if all_only:
+        print(f"{', '.join(all_only)} appl"
+              f"{'y' if len(all_only) > 1 else 'ies'} to 'run all' only "
+              "(single-experiment runs are serial and single-trajectory; "
+              "REPRO_JOBS still controls their worker pool)",
+              file=sys.stderr)
+        return 2
     if _env_jobs_error():
         return 2
     if args.experiment not in EXPERIMENTS:
@@ -218,8 +273,26 @@ def _resolve_jobs(raw) -> int:
     return parse_jobs(raw, source="--jobs")
 
 
+def _stats_line(manifest, executor) -> str:
+    """One assertable line of executor statistics for a ``run all``.
+
+    CI's store-replay job greps this to prove a 100% store hit rate: every
+    unique case served from the store, nothing simulated.
+    """
+    cache = executor.cache
+    return (f"cases: {len(manifest.unique_cases())} unique, "
+            f"{executor.simulated} simulated, "
+            f"{cache.store_hits} store hit(s)")
+
+
 def _cmd_run_all(args: argparse.Namespace) -> int:
-    from .experiments.manifest import build_manifest, env_shard, parse_shard
+    from .experiments.executor import RunResultCache, SweepExecutor
+    from .experiments.manifest import (
+        build_manifest,
+        env_shard,
+        parse_repetitions,
+        parse_shard,
+    )
     from .experiments.pipeline import execute_shard, run_serial
 
     if args.json or args.csv:
@@ -230,8 +303,11 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         jobs = _resolve_jobs(args.jobs)
         shard = (parse_shard(args.shard, source="--shard")
                  if args.shard is not None else env_shard())
+        repetitions = (parse_repetitions(args.repetitions)
+                       if args.repetitions is not None else 1)
         manifest = build_manifest(keys=args.experiments,
-                                  scale=_resolve_scale(args.scale))
+                                  scale=_resolve_scale(args.scale),
+                                  repetitions=repetitions)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -240,6 +316,7 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
           f"({summary['unique_cases']} unique cases from "
           f"{summary['planned_cases']} planned across "
           f"{len(summary['experiments'])} experiments, "
+          f"{summary['repetitions']} repetition(s), "
           f"{summary['deduped_cases']} deduped)")
 
     if shard is not None:
@@ -248,14 +325,30 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         caseless = manifest.shard_caseless(shard)
         print(f"shard {shard}: {len(owned)} case(s), "
               f"{len(caseless)} caseless experiment(s)")
-        path = execute_shard(manifest, shard, out_dir, jobs=jobs)
+        cache = RunResultCache()
+        try:
+            path = execute_shard(manifest, shard, out_dir, jobs=jobs,
+                                 cache=cache)
+        except (OSError, ValueError) as exc:
+            # e.g. a store digest conflict (results changed without an
+            # ENGINE_VERSION bump) — a designed tripwire, not a crash.
+            print(f"run failed: {exc}", file=sys.stderr)
+            return 2
+        print(f"shard cache: {cache.hits} hit(s), "
+              f"{cache.store_hits} from result store")
         print(f"shard artifact written to {path}")
         return 0
 
-    results = run_serial(manifest, jobs=jobs, out_dir=args.out)
+    executor = SweepExecutor(jobs=jobs, cache=RunResultCache())
+    try:
+        results = run_serial(manifest, out_dir=args.out, executor=executor)
+    except (OSError, ValueError) as exc:
+        print(f"run failed: {exc}", file=sys.stderr)
+        return 2
     for key in manifest.keys:
         print(results[key].render())
         print()
+    print(_stats_line(manifest, executor))
     if args.out:
         print(f"figures/tables written to {args.out}")
     return 0
@@ -269,7 +362,8 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     try:
         first = load_artifact(args.artifacts[0])
         manifest = build_manifest(keys=first["experiments"],
-                                  scale=ExperimentScale(**first["scale"]))
+                                  scale=ExperimentScale(**first["scale"]),
+                                  repetitions=first.get("repetitions", 1))
         results = merge_artifacts(args.artifacts, manifest, out_dir=args.out)
     except (OSError, ValueError, KeyError, TypeError) as exc:
         print(f"merge failed: {exc}", file=sys.stderr)
@@ -289,11 +383,14 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     import json as _json
 
     from .analysis import render_table
-    from .experiments.manifest import build_manifest
+    from .experiments.manifest import build_manifest, parse_repetitions
 
     try:
+        repetitions = (parse_repetitions(args.repetitions)
+                       if args.repetitions is not None else 1)
         manifest = build_manifest(keys=args.experiments,
-                                  scale=_resolve_scale(args.scale))
+                                  scale=_resolve_scale(args.scale),
+                                  repetitions=repetitions)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -306,12 +403,84 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         return 0
     rows = [[key, count if count else "(runs whole at shard time)"]
             for key, count in summary["experiments"].items()]
+    rows.append(["repetitions", summary["repetitions"]])
     rows.append(["total planned", summary["planned_cases"]])
     rows.append(["unique after dedupe", summary["unique_cases"]])
     print(render_table(["experiment", "cases"], rows,
                        title=f"Manifest {summary['manifest_hash'][:12]}… "
                              f"(engine {summary['engine']})"))
     return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .experiments.executor import ENGINE_VERSION
+    from .experiments.store import ResultStore
+
+    if args.store_command is None:
+        print("store requires an operation: ingest, export, gc or verify",
+              file=sys.stderr)
+        return 2
+    try:
+        store = ResultStore(args.dir)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    if args.store_command == "ingest":
+        total_added = 0
+        total_skipped = 0
+        for path in args.artifacts:
+            try:
+                added, skipped = store.ingest(path)
+            except (OSError, ValueError) as exc:
+                print(f"ingest failed: {exc}", file=sys.stderr)
+                return 2
+            total_added += added
+            total_skipped += skipped
+            print(f"{path}: {added} ingested, {skipped} already present")
+        print(f"store {store.directory}: {total_added} entr(ies) added, "
+              f"{total_skipped} already present, {len(store)} total for "
+              f"engine {ENGINE_VERSION}")
+        return 0
+
+    if args.store_command == "export":
+        try:
+            path, count = store.export(args.out)
+        except (OSError, ValueError) as exc:
+            print(f"export failed: {exc}", file=sys.stderr)
+            return 2
+        print(f"exported {count} entr(ies) for engine {ENGINE_VERSION} "
+              f"to {path}")
+        return 0
+
+    if args.store_command == "gc":
+        try:
+            removed = store.gc()
+        except (OSError, ValueError) as exc:
+            print(f"gc failed: {exc}", file=sys.stderr)
+            return 2
+        print(f"gc removed {removed} entr(ies) from stale engine revisions; "
+              f"{len(store)} kept for engine {ENGINE_VERSION}")
+        return 0
+
+    if args.store_command == "verify":
+        report = store.verify()
+        engines = ", ".join(f"{engine}: {count}"
+                            for engine, count in report["engines"].items()) \
+            or "(empty)"
+        print(f"store {report['directory']}: {report['entries']} entr(ies) "
+              f"[{engines}]")
+        for path, problem in report["corrupt"]:
+            print(f"CORRUPT {path}: {problem}", file=sys.stderr)
+        if report["corrupt"]:
+            print(f"verify failed: {len(report['corrupt'])} corrupt "
+                  "entr(ies)", file=sys.stderr)
+            return 2
+        print("verify ok: every entry matches its content digest")
+        return 0
+
+    print(f"unknown store operation {args.store_command!r}", file=sys.stderr)
+    return 2
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
@@ -443,6 +612,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_merge(args)
     if args.command == "plan":
         return _cmd_plan(args)
+    if args.command == "store":
+        return _cmd_store(args)
     if args.command == "attack":
         return _cmd_attack(args)
     if args.command == "leakage":

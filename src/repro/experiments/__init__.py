@@ -27,6 +27,7 @@ from .base import ExperimentResult
 from .executor import (
     ENGINE_VERSION,
     CaseSpec,
+    RepetitionExecutor,
     RunResultCache,
     SweepExecutor,
     default_executor,
@@ -40,9 +41,16 @@ from .manifest import (
     build_manifest,
     env_shard,
     experiment_registry,
+    parse_repetitions,
     parse_shard,
 )
-from .pipeline import execute_shard, merge_artifacts, run_serial
+from .pipeline import (
+    assemble_experiment,
+    execute_shard,
+    merge_artifacts,
+    run_serial,
+)
+from .store import ResultStore, env_store
 from .runner import (
     build_bpu,
     overhead_figure_single_thread,
@@ -93,11 +101,16 @@ __all__ = [
     "parse_jobs",
     "ExperimentDef",
     "ExperimentManifest",
+    "RepetitionExecutor",
+    "ResultStore",
     "ShardSpec",
     "build_manifest",
     "env_shard",
+    "env_store",
     "experiment_registry",
+    "parse_repetitions",
     "parse_shard",
+    "assemble_experiment",
     "execute_shard",
     "merge_artifacts",
     "run_serial",

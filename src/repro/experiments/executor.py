@@ -7,9 +7,11 @@ results.  This module provides the shared machinery:
 * :class:`CaseSpec` — a self-contained, picklable description of one case
   (single-thread or SMT), with a deterministic cache key;
 * :class:`RunResultCache` — a memoisation layer for finished
-  :class:`repro.cpu.stats.RunResult` objects, in-memory by default and
+  :class:`repro.cpu.stats.RunResult` objects, in-memory by default,
   persisted to disk when a cache directory is configured (``REPRO_CACHE_DIR``
-  or an explicit path), keyed by
+  or an explicit path), and backed by a cross-machine
+  :class:`repro.experiments.store.ResultStore` when one is configured
+  (``REPRO_STORE_DIR`` or an explicit instance), keyed by
   ``(kind, pair, core config, preset, scale, switch interval, seed offset,
   engine version)``;
 * :class:`SweepExecutor` — runs a list of case specs, deduplicating
@@ -31,7 +33,7 @@ import hashlib
 import json
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
 from ..cpu.config import CoreConfig
@@ -42,6 +44,8 @@ from .scaling import ExperimentScale
 __all__ = [
     "ENGINE_VERSION",
     "CaseSpec",
+    "atomic_write_json",
+    "RepetitionExecutor",
     "RunResultCache",
     "SweepExecutor",
     "default_executor",
@@ -75,6 +79,22 @@ def parse_jobs(raw: str, *, source: str = "REPRO_JOBS") -> int:
     if jobs < 1:
         raise ValueError(f"{source} must be >= 1, got {jobs}")
     return jobs
+
+
+def atomic_write_json(path: str, payload, *,
+                      trailing_newline: bool = False) -> None:
+    """Write canonical (sorted-keys) JSON via tmp-file + atomic replace.
+
+    Shared by the disk cache, the result store and the shard-artifact
+    writer: a killed process can leave a stray ``*.tmp.<pid>`` file but
+    never a torn JSON document under the real name.
+    """
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True)
+        if trailing_newline:
+            handle.write("\n")
+    os.replace(tmp, path)
 
 
 def env_jobs() -> int:
@@ -124,7 +144,19 @@ class CaseSpec:
     label: Optional[str] = None
 
     def cache_key(self) -> str:
-        """Deterministic key identifying this case's simulation output."""
+        """Deterministic key identifying this case's simulation output.
+
+        Memoised per instance (invalidated on an engine-version change, for
+        tests that monkeypatch it): a `run all` recomputes the expanded
+        case set several times — describe, shard split, execution — and the
+        JSON canonicalisation + SHA-256 per case dominates that planning
+        cost.  Specs are treated as immutable once planned;
+        :func:`dataclasses.replace` creates a fresh instance, so repetition
+        expansion never sees a stale memo.
+        """
+        memo = self.__dict__.get("_cache_key")
+        if memo is not None and memo[0] == ENGINE_VERSION:
+            return memo[1]
         payload = {
             "engine": ENGINE_VERSION,
             "kind": self.kind,
@@ -139,7 +171,9 @@ class CaseSpec:
             "bpu_overrides": self.bpu_overrides or None,
         }
         canonical = json.dumps(payload, sort_keys=True, default=str)
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        self._cache_key = (ENGINE_VERSION, digest)
+        return digest
 
 
 def _execute_spec(spec: CaseSpec) -> RunResult:
@@ -162,25 +196,61 @@ def _execute_spec(spec: CaseSpec) -> RunResult:
 
 
 class RunResultCache:
-    """Two-level (memory + optional disk) cache of finished run results.
+    """Three-level (memory → disk → store) cache of finished run results.
 
     Args:
-        directory: on-disk cache directory.  When omitted, the
+        directory: on-disk cache directory.  When omitted (``None``), the
             ``REPRO_CACHE_DIR`` environment variable is consulted; when that
             is unset too, the cache is memory-only (still deduplicating
-            within a process).
+            within a process).  Pass ``False`` to force a memory-only cache
+            regardless of the environment.
+        store: optional :class:`~repro.experiments.store.ResultStore` used as
+            the third cache level.  When omitted (``None``), ``REPRO_STORE_DIR``
+            is consulted (no store when unset); pass ``False`` to force a
+            store-less cache regardless of the environment (the replay-only
+            merge path needs this so its completeness guarantee cannot be
+            voided by a configured store).  Store hits are promoted into
+            the faster levels, and every :meth:`put` writes through to the
+            store — so any shard or machine sharing a store publishes its
+            results for all others.
     """
 
-    def __init__(self, directory: Optional[str] = None) -> None:
+    def __init__(self, directory: "Optional[object]" = None,
+                 store: "Optional[object]" = None) -> None:
         if directory is None:
             directory = os.environ.get("REPRO_CACHE_DIR") or None
+        elif directory is False:
+            directory = None
         self.directory = directory
+        if store is None:
+            # Imported lazily: the store module imports ENGINE_VERSION from
+            # this one.
+            from .store import env_store
+
+            store = env_store()
+        elif store is False:
+            store = None
+        self.store = store
         self._memory: Dict[str, RunResult] = {}
         self.hits = 0
         self.misses = 0
+        #: Hits served by the result store (a subset of ``hits``).
+        self.store_hits = 0
 
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.json")
+
+    def _write_disk(self, key: str, result: RunResult) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        atomic_write_json(self._path(key), run_result_to_dict(result))
+
+    def _best_effort_disk(self, key: str, result: RunResult) -> None:
+        """Disk promotion from the read path: never fail a lookup over a
+        read-only cache directory."""
+        try:
+            self._write_disk(key, result)
+        except OSError:
+            pass
 
     def get(self, key: str) -> Optional[RunResult]:
         """Return the cached result for a key, or ``None``."""
@@ -196,22 +266,61 @@ class RunResultCache:
             except (OSError, ValueError, KeyError, TypeError):
                 result = None
             if result is not None:
+                # Publish disk-cached results too: "every finished
+                # simulation reaches the store" must hold for warm-cache
+                # runs, or a machine with a warm REPRO_CACHE_DIR would
+                # export an empty store.
+                if self.store is not None:
+                    try:
+                        self.store.put(key, result)
+                    except ValueError:
+                        # The disk entry conflicts with the digest-verified
+                        # store entry.  Disk entries carry no integrity
+                        # information, so trust the store: serve its result
+                        # and heal the disk copy instead of crashing the
+                        # read path.
+                        verified = self.store.get(key)
+                        if verified is not None:
+                            result = verified
+                            self._best_effort_disk(key, result)
+                    except OSError:
+                        # Read-only store mount: publication from the read
+                        # path is best-effort — the result is already in
+                        # hand, a lookup must not fail on it.
+                        pass
                 self._memory[key] = result
                 self.hits += 1
+                return result
+        if self.store is not None:
+            result = self.store.get(key)
+            if result is not None:
+                # Promote into the faster levels so later lookups (and other
+                # processes sharing the cache directory) stay local.
+                self._memory[key] = result
+                if self.directory:
+                    self._best_effort_disk(key, result)
+                self.hits += 1
+                self.store_hits += 1
                 return result
         self.misses += 1
         return None
 
     def put(self, key: str, result: RunResult) -> None:
-        """Store a finished result under a key (memory and, if set, disk)."""
+        """Store a finished result under a key (memory, disk and store).
+
+        Store publication is best-effort on filesystem errors (a read-only
+        shared store must not abort a run whose simulation already
+        finished); a digest conflict still raises — that is the
+        determinism tripwire, not an IO problem.
+        """
         self._memory[key] = result
         if self.directory:
-            os.makedirs(self.directory, exist_ok=True)
-            path = self._path(key)
-            tmp = f"{path}.tmp.{os.getpid()}"
-            with open(tmp, "w", encoding="utf-8") as handle:
-                json.dump(run_result_to_dict(result), handle, sort_keys=True)
-            os.replace(tmp, path)
+            self._write_disk(key, result)
+        if self.store is not None:
+            try:
+                self.store.put(key, result)
+            except OSError:
+                pass
 
     def clear_memory(self) -> None:
         """Drop the in-memory layer (disk entries, if any, survive)."""
@@ -298,6 +407,35 @@ class SweepExecutor:
 
     def run_spec(self, spec: CaseSpec) -> RunResult:
         """Run (or fetch from cache) a single case."""
+        return self.run_specs([spec])[0]
+
+
+class RepetitionExecutor:
+    """Executor view that shifts every submitted case to one repetition.
+
+    Repetition-averaged runs execute each planned case N times under seed
+    offsets ``base..base+N-1``.  The figure/table drivers stay
+    repetition-blind: at assembly time each repetition r re-runs the driver's
+    ``assemble()`` against this view, which rewrites ``seed_offset`` before
+    delegating to the real executor — so the plan-order contract between a
+    driver's ``plan()`` and its assembly is untouched, and repetition 0 is
+    exactly the historical single-trajectory case family.
+    """
+
+    def __init__(self, base: SweepExecutor, repetition: int) -> None:
+        if repetition < 0:
+            raise ValueError(f"repetition must be >= 0, got {repetition}")
+        self.base = base
+        self.repetition = repetition
+
+    def run_specs(self, specs: Sequence[CaseSpec]) -> List[RunResult]:
+        """Run the given cases at this view's repetition."""
+        shifted = [replace(spec, seed_offset=spec.seed_offset + self.repetition)
+                   for spec in specs]
+        return self.base.run_specs(shifted)
+
+    def run_spec(self, spec: CaseSpec) -> RunResult:
+        """Run (or fetch from cache) a single case at this repetition."""
         return self.run_specs([spec])[0]
 
 

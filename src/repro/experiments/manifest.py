@@ -32,17 +32,18 @@ import hashlib
 import json
 import os
 import re
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from .base import ExperimentResult
-from .executor import ENGINE_VERSION, CaseSpec, SweepExecutor
+from .executor import ENGINE_VERSION, CaseSpec, SweepExecutor, parse_jobs
 from .scaling import ExperimentScale, default_scale
 
 __all__ = [
     "ShardSpec",
     "parse_shard",
     "env_shard",
+    "parse_repetitions",
     "ExperimentDef",
     "ExperimentManifest",
     "experiment_registry",
@@ -50,6 +51,17 @@ __all__ = [
 ]
 
 _SHARD_RE = re.compile(r"^(\d+)/(\d+)$")
+
+
+def parse_repetitions(raw, *, source: str = "--repetitions") -> int:
+    """Parse a repetition count, rejecting malformed values with a clear error.
+
+    Same positive-integer contract as
+    :func:`repro.experiments.executor.parse_jobs` (which it delegates to):
+    fail at parse time naming the offending setting, never deep inside
+    planning.
+    """
+    return parse_jobs(raw, source=source)
 
 
 @dataclass(frozen=True)
@@ -118,18 +130,27 @@ class ExperimentDef:
             producing the final figure/table.  Case-based experiments fetch
             every case through ``executor`` — at merge time that executor is
             replay-only, which *proves* the plan covered the assembly.
+        repeatable: whether the experiment's result can carry repetition
+            statistics (figure experiments fold N seeds into mean ± CI
+            series).  Figure-less tabular experiments set this ``False``:
+            their output cannot express error bars, so an N-seed expansion
+            would simulate repetitions whose results the fold must discard —
+            they stay single-trajectory at any repetition count.
     """
 
     key: str
     plan: Callable[[ExperimentScale], List[CaseSpec]]
     assemble: Callable[[ExperimentScale, SweepExecutor], ExperimentResult]
+    repeatable: bool = True
 
 
-def _case_based(key: str, plan_fn, run_fn) -> ExperimentDef:
+def _case_based(key: str, plan_fn, run_fn, *,
+                repeatable: bool = True) -> ExperimentDef:
     return ExperimentDef(
         key=key,
         plan=lambda scale: plan_fn(scale),
-        assemble=lambda scale, executor: run_fn(scale, executor=executor))
+        assemble=lambda scale, executor: run_fn(scale, executor=executor),
+        repeatable=repeatable)
 
 
 def _caseless(key: str, run_fn) -> ExperimentDef:
@@ -171,13 +192,16 @@ def _registry() -> "Dict[str, ExperimentDef]":
         _caseless("table1", table1_security.run),
         _caseless("table2", table2_configs.run),
         _caseless("table3", table3_benchmarks.run),
-        _case_based("table4", table4_privilege.plan, table4_privilege.run),
+        # Figure-less tabular experiments: their rows cannot carry error
+        # bars, so they stay single-trajectory under --repetitions N.
+        _case_based("table4", table4_privilege.plan, table4_privilege.run,
+                    repeatable=False),
         _caseless("table5", table5_hwcost.run),
         _caseless("poc_attacks", poc_attacks.run),
         _case_based("ablation_encoder", ablations.plan_encoder_ablation,
-                    ablations.encoder_ablation),
+                    ablations.encoder_ablation, repeatable=False),
         _case_based("ablation_key_refresh", ablations.plan_key_refresh_ablation,
-                    ablations.key_refresh_ablation),
+                    ablations.key_refresh_ablation, repeatable=False),
         _caseless("ablation_pht_granularity",
                   ablations.pht_granularity_ablation),
         _case_based("ablation_switch_interval",
@@ -210,13 +234,20 @@ class ExperimentManifest:
     Attributes:
         scale: the experiment scale every plan was enumerated at.
         definitions: the planned experiments, in selection order.
-        plans: per-experiment case lists (``plans[key][i]`` is the i-th case
-            the experiment's assembly will read).
+        plans: per-experiment *base* case lists (``plans[key][i]`` is the
+            i-th case the experiment's assembly will read at repetition 0).
+        repetitions: how many times each planned case runs, under seed
+            offsets ``base..base+N-1``; the global case list
+            (:meth:`unique_cases`) is the N-seed expansion of the plans, and
+            assembly folds the repetitions into mean ± CI figures.
+            ``repetitions=1`` is exactly the historical single-trajectory
+            manifest.
     """
 
     scale: ExperimentScale
     definitions: List[ExperimentDef]
     plans: Dict[str, List[CaseSpec]] = field(default_factory=dict)
+    repetitions: int = 1
 
     @property
     def keys(self) -> List[str]:
@@ -229,38 +260,69 @@ class ExperimentManifest:
         raise KeyError(key)
 
     def unique_cases(self) -> "Dict[str, CaseSpec]":
-        """Global case list, deduplicated by cache key across experiments.
+        """Global case list: the N-seed expansion of every plan,
+        deduplicated by cache key across experiments and repetitions.
+
+        Each base case expands into ``repetitions`` variants whose seed
+        offsets are shifted by the repetition index — repetition 0 *is* the
+        base case, so a ``repetitions=1`` manifest and the cases a
+        ``repetitions=N`` manifest shares with it carry identical cache keys
+        (an N-seed run reuses a single-seed run's stored results).
+        Non-``repeatable`` experiments (figure-less tables, whose output
+        cannot carry error bars) contribute their base cases only.
 
         Insertion order is the first-appearance order, so iteration is
         deterministic for a given experiment selection; the *shard assignment*
         (:meth:`shard_cases`) does not depend on this order at all.
+
+        Memoised per manifest (a ``run all`` reads this several times —
+        describe, hash, shard split, execution — and each expansion would
+        otherwise rebuild and re-hash every repetition variant); the memo is
+        keyed on the engine version and repetition count, and callers get a
+        shallow copy so the cached mapping cannot be mutated from outside.
         """
+        token = (ENGINE_VERSION, self.repetitions)
+        memo = self.__dict__.get("_unique_memo")
+        if memo is not None and memo[0] == token:
+            return dict(memo[1])
         unique: Dict[str, CaseSpec] = {}
-        for key in self.keys:
-            for spec in self.plans[key]:
-                unique.setdefault(spec.cache_key(), spec)
-        return unique
+        for definition in self.definitions:
+            repetitions = self.repetitions if definition.repeatable else 1
+            for spec in self.plans[definition.key]:
+                for repetition in range(repetitions):
+                    expanded = spec if repetition == 0 else replace(
+                        spec, seed_offset=spec.seed_offset + repetition)
+                    unique.setdefault(expanded.cache_key(), expanded)
+        self._unique_memo = (token, unique)
+        return dict(unique)
 
     def caseless_keys(self) -> List[str]:
         """Experiments whose plan is empty (they run whole at shard time)."""
         return [key for key in self.keys if not self.plans[key]]
 
     def total_planned(self) -> int:
-        """Total case references before cross-experiment dedupe."""
-        return sum(len(self.plans[key]) for key in self.keys)
+        """Total case references (plans × repetitions) before dedupe."""
+        return sum(
+            len(self.plans[definition.key])
+            * (self.repetitions if definition.repeatable else 1)
+            for definition in self.definitions)
 
     def manifest_hash(self) -> str:
         """Deterministic digest of the planned work.
 
         Covers the engine version (via every cache key), the scale, the
-        experiment selection and the deduplicated case set — and is invariant
-        to the order experiments were selected in.  CI keys the persistent
-        result cache on this.
+        experiment selection, the repetition count and the deduplicated
+        expanded case set — and is invariant to the order experiments were
+        selected in.  CI keys the persistent result cache on this.  The
+        repetition count is hashed explicitly (not only through the expanded
+        case list) so a ``repetitions=1`` and a ``repetitions=N`` manifest
+        can never collide, whatever the case set degenerates to.
         """
         payload = {
             "engine": ENGINE_VERSION,
             "scale": asdict(self.scale),
             "experiments": sorted(self.keys),
+            "repetitions": self.repetitions,
             "cases": sorted(self.unique_cases()),
         }
         canonical = json.dumps(payload, sort_keys=True)
@@ -297,6 +359,7 @@ class ExperimentManifest:
             "scale": asdict(self.scale),
             "experiments": {key: len(self.plans[key]) for key in self.keys},
             "caseless_experiments": self.caseless_keys(),
+            "repetitions": self.repetitions,
             "planned_cases": self.total_planned(),
             "unique_cases": len(unique),
             "deduped_cases": self.total_planned() - len(unique),
@@ -305,8 +368,8 @@ class ExperimentManifest:
 
 def build_manifest(keys: Optional[Sequence[str]] = None,
                    scale: Optional[ExperimentScale] = None,
-                   experiments: "Optional[Dict[str, ExperimentDef]]" = None
-                   ) -> ExperimentManifest:
+                   experiments: "Optional[Dict[str, ExperimentDef]]" = None,
+                   repetitions: int = 1) -> ExperimentManifest:
     """Plan a set of experiments into one manifest.
 
     Args:
@@ -315,17 +378,26 @@ def build_manifest(keys: Optional[Sequence[str]] = None,
         scale: experiment scale (default honours ``REPRO_SCALE``).
         experiments: alternative experiment registry (tests use this to plan
             reduced-size variants against the golden fixtures).
+        repetitions: seed repetitions per planned case (``N`` expands every
+            figure/table plan into an N-seed case family whose assembly is
+            folded into mean ± 95%-CI series; ``1`` reproduces the
+            historical single-trajectory pipeline bit-for-bit).
     """
     registry = experiments if experiments is not None else experiment_registry()
     if keys is None:
         keys = list(registry)
+    # First-appearance dedupe: `--experiments figure1 figure1` must plan,
+    # render and hash exactly like the single selection.
+    keys = list(dict.fromkeys(keys))
     unknown = [key for key in keys if key not in registry]
     if unknown:
         raise ValueError(
             f"unknown experiments: {', '.join(unknown)}; "
             f"known: {', '.join(sorted(registry))}")
+    repetitions = parse_repetitions(repetitions, source="repetitions")
     scale = scale or default_scale()
     definitions = [registry[key] for key in keys]
     plans = {definition.key: list(definition.plan(scale))
              for definition in definitions}
-    return ExperimentManifest(scale=scale, definitions=definitions, plans=plans)
+    return ExperimentManifest(scale=scale, definitions=definitions,
+                              plans=plans, repetitions=repetitions)

@@ -32,14 +32,22 @@ from dataclasses import asdict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..analysis.export import result_from_dict, result_to_dict
+from ..analysis.stats import fold_experiment_results
 from ..cpu.stats import run_result_from_dict, run_result_to_dict
 from .base import ExperimentResult
-from .executor import ENGINE_VERSION, RunResultCache, SweepExecutor
-from .manifest import ExperimentManifest, ShardSpec
+from .executor import (
+    ENGINE_VERSION,
+    RepetitionExecutor,
+    RunResultCache,
+    SweepExecutor,
+    atomic_write_json,
+)
+from .manifest import ExperimentDef, ExperimentManifest, ShardSpec
 
 __all__ = [
     "ARTIFACT_SCHEMA",
     "shard_artifact_path",
+    "assemble_experiment",
     "execute_shard",
     "load_artifact",
     "merge_artifacts",
@@ -48,7 +56,9 @@ __all__ = [
 ]
 
 #: Shard-artifact schema revision (bumped on incompatible layout changes).
-ARTIFACT_SCHEMA = 1
+#: 2: artifacts carry the manifest's ``repetitions`` so a merge re-plans the
+#: exact repetition family the shards executed.
+ARTIFACT_SCHEMA = 2
 
 
 def shard_artifact_path(out_dir: str, shard: Optional[ShardSpec]) -> str:
@@ -98,20 +108,18 @@ def execute_shard(manifest: ExperimentManifest, shard: Optional[ShardSpec],
         "manifest_hash": manifest.manifest_hash(),
         "scale": asdict(manifest.scale),
         "experiments": manifest.keys,
+        "repetitions": manifest.repetitions,
         "shard": {"index": shard.index if shard else 0,
                   "count": shard.count if shard else 1},
         "stats": {"simulated": executor.simulated,
-                  "cache_hits": executor.cache.hits},
+                  "cache_hits": executor.cache.hits,
+                  "store_hits": executor.cache.store_hits},
         "cases": cases,
         "experiment_results": experiment_results,
     }
     os.makedirs(out_dir, exist_ok=True)
     path = shard_artifact_path(out_dir, shard)
-    tmp = f"{path}.tmp.{os.getpid()}"
-    with open(tmp, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, sort_keys=True)
-        handle.write("\n")
-    os.replace(tmp, path)
+    atomic_write_json(path, payload, trailing_newline=True)
     return path
 
 
@@ -140,6 +148,11 @@ def _validate_artifacts(manifest: ExperimentManifest,
             raise ValueError(
                 f"{path}: artifact was produced by engine "
                 f"{payload['engine']!r}, this build is {ENGINE_VERSION!r}")
+        if payload.get("repetitions", 1) != manifest.repetitions:
+            raise ValueError(
+                f"{path}: artifact was executed with "
+                f"--repetitions {payload.get('repetitions', 1)}, the merge "
+                f"is planning {manifest.repetitions}")
         if payload["manifest_hash"] != expected_hash:
             raise ValueError(
                 f"{path}: manifest hash {payload['manifest_hash'][:12]}… does "
@@ -205,6 +218,35 @@ def _validate_artifacts(manifest: ExperimentManifest,
             f"{', '.join(missing_caseless)}; are all shard artifacts present?")
 
 
+def assemble_experiment(definition: ExperimentDef,
+                        manifest: ExperimentManifest,
+                        executor: SweepExecutor) -> ExperimentResult:
+    """Assemble one experiment, folding repetitions when the manifest has any.
+
+    Case-based experiments assemble once per repetition — each pass sees a
+    :class:`~repro.experiments.executor.RepetitionExecutor` view that shifts
+    every case to that repetition's seed offset — and the per-seed results
+    fold into one mean ± 95%-CI result
+    (:func:`repro.analysis.stats.fold_experiment_results`).  The fold indexes
+    by repetition, never by shard or artifact order, so serial, sharded and
+    store-replayed runs of the same manifest aggregate bit-identically.
+    Caseless experiments (attack studies, configuration tables) run their own
+    seeded harnesses outside the executor, and non-``repeatable`` experiments
+    (figure-less tables) cannot express error bars; both assemble exactly
+    once.  With ``repetitions=1`` this is a plain pass-through — byte-for-byte
+    the historical single-trajectory assembly.
+    """
+    repeatable = definition.repeatable and bool(manifest.plans[definition.key])
+    repetitions = manifest.repetitions if repeatable else 1
+    if repetitions == 1:
+        return definition.assemble(manifest.scale, executor)
+    per_seed = [
+        definition.assemble(manifest.scale,
+                            RepetitionExecutor(executor, repetition))
+        for repetition in range(repetitions)]
+    return fold_experiment_results(per_seed)
+
+
 def merge_artifacts(paths: Iterable[str], manifest: ExperimentManifest,
                     *, out_dir: Optional[str] = None
                     ) -> Dict[str, ExperimentResult]:
@@ -231,7 +273,12 @@ def merge_artifacts(paths: Iterable[str], manifest: ExperimentManifest,
         raise ValueError("no shard artifacts to merge")
     _validate_artifacts(manifest, artifacts)
 
-    cache = RunResultCache(directory=None)
+    # directory=False / store=False: the replay must be a pure function of
+    # the artifacts — a configured REPRO_CACHE_DIR or REPRO_STORE_DIR could
+    # otherwise serve cases no shard executed (voiding the exactly-once
+    # proof), and the artifact loading would silently write through into the
+    # user's cache/store.
+    cache = RunResultCache(directory=False, store=False)
     for _path, payload in artifacts:
         for key, data in payload["cases"].items():
             cache.put(key, run_result_from_dict(data))
@@ -247,8 +294,8 @@ def merge_artifacts(paths: Iterable[str], manifest: ExperimentManifest,
         if definition.key in caseless:
             results[definition.key] = caseless[definition.key]
         else:
-            results[definition.key] = definition.assemble(manifest.scale,
-                                                          replay)
+            results[definition.key] = assemble_experiment(definition,
+                                                          manifest, replay)
     if out_dir:
         write_outputs(results, manifest, out_dir)
     return results
@@ -256,18 +303,30 @@ def merge_artifacts(paths: Iterable[str], manifest: ExperimentManifest,
 
 def run_serial(manifest: ExperimentManifest, *, jobs: Optional[int] = None,
                cache: Optional[RunResultCache] = None,
-               out_dir: Optional[str] = None) -> Dict[str, ExperimentResult]:
+               out_dir: Optional[str] = None,
+               executor: Optional[SweepExecutor] = None
+               ) -> Dict[str, ExperimentResult]:
     """Execute and assemble a whole manifest in-process (no shard artifacts).
 
-    The global case list still runs through one
+    The global (repetition-expanded) case list still runs through one
     :class:`~repro.experiments.executor.SweepExecutor` batch first — fanning
     out over worker processes and deduplicating across experiments — before
     the per-experiment assembly replays it from the warm cache.
+
+    Args:
+        manifest: the planned manifest.
+        jobs: process-pool width (ignored when ``executor`` is given).
+        cache: result cache (ignored when ``executor`` is given).
+        out_dir: when given, final results are written there.
+        executor: pre-built executor; callers pass one to read its
+            simulation/cache-hit counters afterwards (the CLI reports them).
     """
-    executor = SweepExecutor(jobs=jobs, cache=cache)
+    if executor is None:
+        executor = SweepExecutor(jobs=jobs, cache=cache)
     executor.run_specs(list(manifest.unique_cases().values()))
-    results = {definition.key: definition.assemble(manifest.scale, executor)
-               for definition in manifest.definitions}
+    results = {
+        definition.key: assemble_experiment(definition, manifest, executor)
+        for definition in manifest.definitions}
     if out_dir:
         write_outputs(results, manifest, out_dir)
     return results

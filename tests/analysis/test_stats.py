@@ -1,0 +1,185 @@
+"""Tests for the repetition-statistics layer.
+
+The fold is the piece every repetition-averaged figure rests on, so it is
+pinned from three sides: the scalar summaries against hand-computed values,
+the figure fold against per-point expectations (including the single-input
+identity that keeps ``repetitions=1`` bit-identical), and the error-bar
+plumbing through render/CSV/JSON round trips.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.analysis.export import figure_from_dict, figure_to_dict
+from repro.analysis.figures import FigureSeries
+from repro.analysis.stats import (
+    PointStats,
+    fold_experiment_results,
+    fold_figures,
+    summarize,
+    t_critical_95,
+)
+from repro.experiments.base import ExperimentResult
+
+
+class TestTCritical:
+    def test_tabulated_small_sample_values(self):
+        assert t_critical_95(1) == 12.706
+        assert t_critical_95(2) == 4.303
+        assert t_critical_95(30) == 2.042
+
+    def test_large_samples_fall_back_to_normal(self):
+        assert t_critical_95(31) == 1.96
+        assert t_critical_95(1000) == 1.96
+
+    def test_invalid_df_rejected(self):
+        with pytest.raises(ValueError):
+            t_critical_95(0)
+
+
+class TestSummarize:
+    def test_single_sample_has_no_spread(self):
+        stats = summarize([0.25])
+        assert stats == PointStats(mean=0.25, std=0.0, ci95=0.0, n=1)
+
+    def test_known_three_sample_statistics(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        assert stats.mean == 2.0
+        assert stats.std == pytest.approx(1.0)
+        # Student t, df=2: 4.303 * 1 / sqrt(3)
+        assert stats.ci95 == pytest.approx(4.303 / math.sqrt(3.0))
+        assert stats.n == 3
+
+    def test_zero_samples_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+def _figure(values_by_series, errors_by_series=None, categories=("c1", "c2")):
+    figure = FigureSeries(name="Fig", description="test",
+                          categories=list(categories))
+    errors_by_series = errors_by_series or {}
+    for label, values in values_by_series.items():
+        figure.add_series(label, values, errors=errors_by_series.get(label))
+    return figure
+
+
+class TestFoldFigures:
+    def test_single_figure_returned_unchanged(self):
+        figure = _figure({"a": [0.1, 0.2]})
+        assert fold_figures([figure]) is figure
+        assert figure.errors == {}
+
+    def test_fold_means_and_ci(self):
+        reps = [_figure({"a": [1.0, 0.0]}), _figure({"a": [3.0, 0.0]})]
+        folded = fold_figures(reps)
+        assert folded.series["a"] == [2.0, 0.0]
+        # df=1, std=sqrt(2): 12.706 * sqrt(2) / sqrt(2) = 12.706
+        assert folded.errors["a"][0] == pytest.approx(12.706)
+        assert folded.errors["a"][1] == 0.0
+
+    def test_mismatched_categories_rejected(self):
+        with pytest.raises(ValueError, match="categories"):
+            fold_figures([_figure({"a": [1.0, 2.0]}),
+                          _figure({"a": [1.0, 2.0]},
+                                  categories=("c1", "other"))])
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(ValueError, match="series"):
+            fold_figures([_figure({"a": [1.0, 2.0]}),
+                          _figure({"b": [1.0, 2.0]})])
+
+    def test_zero_figures_rejected(self):
+        with pytest.raises(ValueError):
+            fold_figures([])
+
+
+def _result(figure=None, rows=(), notes="base note"):
+    return ExperimentResult(name="Exp", description="test",
+                            headers=["k", "v"],
+                            rows=[list(row) for row in rows],
+                            figure=figure, paper_claim="claim", notes=notes)
+
+
+class TestFoldExperimentResults:
+    def test_single_result_is_identity(self):
+        result = _result(figure=_figure({"a": [0.1, 0.2]}))
+        assert fold_experiment_results([result]) is result
+
+    def test_figure_results_get_summary_rows(self):
+        reps = [_result(figure=_figure({"a": [0.1, 0.3]})),
+                _result(figure=_figure({"a": [0.3, 0.5]}))]
+        folded = fold_experiment_results(reps)
+        assert folded.headers == ["series", "mean", "std", "95% CI"]
+        assert folded.rows[0][0] == "a"
+        assert folded.rows[0][1] == "+30.00%"  # mean of averages 0.2, 0.4
+        assert folded.figure.series["a"] == [pytest.approx(0.2),
+                                             pytest.approx(0.4)]
+        assert "95% CI" in folded.notes
+        assert folded.paper_claim == "claim"
+
+    def test_figureless_results_keep_first_repetition_rows(self):
+        reps = [_result(rows=[["x", 1]]), _result(rows=[["x", 2]])]
+        folded = fold_experiment_results(reps)
+        assert folded.rows == [["x", 1]]
+        assert "seed offset 0" in folded.notes
+
+    def test_zero_results_rejected(self):
+        with pytest.raises(ValueError):
+            fold_experiment_results([])
+
+
+class TestErrorBarPlumbing:
+    def test_replacing_a_series_drops_stale_errors(self):
+        figure = _figure({"a": [0.01, 0.02]}, {"a": [0.001, 0.002]})
+        figure.add_series("a", [0.03, 0.04])
+        assert "a" not in figure.errors
+        assert "±" not in figure.render()
+
+    def test_add_series_validates_error_length(self):
+        figure = FigureSeries(name="f", description="d", categories=["a", "b"])
+        with pytest.raises(ValueError, match="error bars"):
+            figure.add_series("s", [1.0, 2.0], errors=[0.1])
+
+    def test_render_shows_plus_minus(self):
+        figure = _figure({"a": [0.01, 0.02]}, {"a": [0.001, 0.002]})
+        rendered = figure.render()
+        assert "+1.00±0.10%" in rendered
+        assert "average" in rendered
+
+    def test_render_without_errors_is_unchanged(self):
+        figure = _figure({"a": [0.01, 0.02]})
+        assert "±" not in figure.render()
+
+    def test_csv_gains_ci_column_only_with_errors(self):
+        plain = _figure({"a": [0.01, 0.02]})
+        assert "ci95" not in plain.to_csv()
+        with_errors = _figure({"a": [0.01, 0.02]}, {"a": [0.001, 0.002]})
+        lines = with_errors.to_csv().splitlines()
+        assert lines[0] == "case,a,a ci95"
+        assert lines[1].startswith("c1,0.01,0.001")
+
+    def test_average_row_carries_no_error_bar(self):
+        # A mean of per-category CI half-widths is not a confidence interval
+        # of the average; the average row must not present one.
+        figure = _figure({"a": [0.01, 0.02]}, {"a": [0.001, 0.002]})
+        average_csv = figure.to_csv().splitlines()[-1]
+        assert average_csv.endswith(",")  # blank ci95 cell
+        average_rendered = figure.render().splitlines()[-1]
+        assert average_rendered.startswith("average")
+        assert "±" not in average_rendered
+
+    def test_json_round_trip_preserves_errors(self):
+        figure = _figure({"a": [0.01, 0.02]}, {"a": [0.001, 0.002]})
+        payload = json.loads(json.dumps(figure_to_dict(figure)))
+        restored = figure_from_dict(payload)
+        assert restored.series == figure.series
+        assert restored.errors == figure.errors
+
+    def test_json_omits_errors_key_for_single_trajectory_figures(self):
+        # repetitions=1 output must stay byte-identical to the historical
+        # format: no vestigial "errors" key.
+        payload = figure_to_dict(_figure({"a": [0.01, 0.02]}))
+        assert "errors" not in payload

@@ -152,6 +152,131 @@ class TestRunAllCommand:
         assert "merge failed" in capsys.readouterr().err
 
 
+class TestRepetitionsOption:
+    def test_malformed_repetitions_rejected(self, capsys):
+        assert main(["run", "all", "--repetitions", "0",
+                     "--experiments", "table5"]) == 2
+        assert "--repetitions" in capsys.readouterr().err
+
+    def test_repetitions_rejected_for_single_experiments(self, capsys):
+        # Never silently dropped: a user asking for a 3-seed mean must not
+        # get (and publish) a single-trajectory estimate.
+        assert main(["run", "table5", "--repetitions", "3"]) == 2
+        assert "--repetitions" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flags", [["--jobs", "8"], ["--shard", "0/4"],
+                                       ["--out", "x"],
+                                       ["--experiments", "figure1"]])
+    def test_all_only_flags_rejected_for_single_experiments(self, flags,
+                                                            capsys):
+        # Same rule for every 'all'-only flag: `run figure1 --jobs 8` must
+        # not silently run serially, `--shard 0/4` must not silently run
+        # every case.
+        assert main(["run", "table5"] + flags) == 2
+        assert flags[0] in capsys.readouterr().err
+
+    def test_plan_hash_is_repetition_aware(self, capsys):
+        assert main(["plan", "--hash", "--experiments", "figure1"]) == 0
+        single = capsys.readouterr().out.strip()
+        assert main(["plan", "--hash", "--experiments", "figure1",
+                     "--repetitions", "3"]) == 0
+        assert capsys.readouterr().out.strip() != single
+
+    def test_plan_table_reports_repetitions(self, capsys):
+        assert main(["plan", "--experiments", "figure1",
+                     "--repetitions", "2"]) == 0
+        assert "repetitions" in capsys.readouterr().out
+
+    def test_run_all_prints_assertable_store_stats(self, capsys):
+        # Caseless-only manifest: zero executor cases, so the stats line is
+        # exact without simulating anything.
+        assert main(["run", "all", "--experiments", "table5"]) == 0
+        assert "cases: 0 unique, 0 simulated, 0 store hit(s)" \
+            in capsys.readouterr().out
+
+
+class TestStoreCommand:
+    def _populate(self, store_dir):
+        from repro.experiments.executor import (
+            CaseSpec,
+            RunResultCache,
+            SweepExecutor,
+        )
+        from repro.experiments.scaling import ExperimentScale
+        from repro.experiments.store import ResultStore
+        from repro.cpu.config import fpga_prototype
+        from repro.workloads.pairs import SINGLE_THREAD_PAIRS
+
+        tiny = ExperimentScale(
+            time_scale=800.0, smt_time_scale=800.0, syscall_time_scale=100.0,
+            st_target_branches=1_200, st_warmup_branches=300,
+            smt_instructions=10_000, smt_warmup_instructions=2_000, seed=7)
+        spec = CaseSpec("single", SINGLE_THREAD_PAIRS[0],
+                        fpga_prototype("gshare", n_entries=2048),
+                        "baseline", tiny)
+        store = ResultStore(str(store_dir))
+        executor = SweepExecutor(
+            jobs=1, cache=RunResultCache(directory=False, store=store))
+        executor.run_spec(spec)
+        return store
+
+    def test_missing_operation_and_directory_rejected(self, capsys,
+                                                      monkeypatch):
+        monkeypatch.delenv("REPRO_STORE_DIR", raising=False)
+        assert main(["store"]) == 2
+        assert "operation" in capsys.readouterr().err
+        assert main(["store", "verify"]) == 2
+        assert "REPRO_STORE_DIR" in capsys.readouterr().err
+
+    def test_export_ingest_verify_gc_round_trip(self, tmp_path, capsys):
+        self._populate(tmp_path / "a")
+        export_path = str(tmp_path / "export.json")
+        assert main(["store", "export", "--dir", str(tmp_path / "a"),
+                     "--out", export_path]) == 0
+        assert "exported 1 entr(ies)" in capsys.readouterr().out
+
+        assert main(["store", "ingest", "--dir", str(tmp_path / "b"),
+                     export_path]) == 0
+        assert "1 ingested" in capsys.readouterr().out
+
+        assert main(["store", "verify", "--dir", str(tmp_path / "b")]) == 0
+        assert "verify ok" in capsys.readouterr().out
+
+        assert main(["store", "gc", "--dir", str(tmp_path / "b")]) == 0
+        assert "0 entr(ies)" in capsys.readouterr().out
+
+    def test_env_store_dir_is_honoured(self, tmp_path, capsys, monkeypatch):
+        store = self._populate(tmp_path / "a")
+        assert len(store) == 1
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "a"))
+        assert main(["store", "verify"]) == 0
+        assert "1 entr(ies)" in capsys.readouterr().out
+
+    def test_verify_reports_corruption(self, tmp_path, capsys):
+        store = self._populate(tmp_path / "a")
+        key = store.keys()[0]
+        with open(store.entry_path(key), "a", encoding="utf-8") as handle:
+            handle.write("garbage")
+        assert main(["store", "verify", "--dir", str(tmp_path / "a")]) == 2
+        assert "CORRUPT" in capsys.readouterr().err
+
+    def test_gc_refuses_non_store_directories(self, tmp_path, capsys):
+        (tmp_path / "precious").mkdir()
+        assert main(["store", "gc", "--dir", str(tmp_path)]) == 2
+        assert "gc failed" in capsys.readouterr().err
+        assert (tmp_path / "precious").exists()
+
+    def test_ingest_rejects_foreign_engine(self, tmp_path, capsys):
+        import json as _json
+
+        bogus = tmp_path / "foreign.json"
+        bogus.write_text(_json.dumps(
+            {"engine": "0000.0-other", "cases": {}}))
+        assert main(["store", "ingest", "--dir", str(tmp_path / "store"),
+                     str(bogus)]) == 2
+        assert "ingest failed" in capsys.readouterr().err
+
+
 class TestAttackCommand:
     def test_unknown_attack_fails(self, capsys):
         assert main(["attack", "not_an_attack"]) == 2

@@ -1,0 +1,492 @@
+"""Tests for the content-addressed result store.
+
+Covers the entry round trip (put → get, export → ingest → verify),
+corruption and cross-engine rejection, gc of stale engine revisions, and the
+cache wiring: the store as the third level of
+:class:`~repro.experiments.executor.RunResultCache` (memory →
+``REPRO_CACHE_DIR`` → ``REPRO_STORE_DIR``) with write-through publication.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cpu.config import fpga_prototype
+from repro.experiments.executor import (
+    CaseSpec,
+    RunResultCache,
+    SweepExecutor,
+)
+from repro.experiments.manifest import ExperimentDef, build_manifest
+from repro.experiments.pipeline import execute_shard, shard_artifact_path
+from repro.experiments.scaling import ExperimentScale
+from repro.experiments.store import STORE_SCHEMA, ResultStore, env_store
+from repro.workloads.pairs import SINGLE_THREAD_PAIRS
+
+#: Deliberately tiny budgets: these tests exercise plumbing, not physics.
+TINY = ExperimentScale(
+    time_scale=800.0, smt_time_scale=800.0, syscall_time_scale=100.0,
+    st_target_branches=1_200, st_warmup_branches=300,
+    smt_instructions=10_000, smt_warmup_instructions=2_000, seed=7)
+
+CONFIG = fpga_prototype("gshare", n_entries=2048)
+
+
+def _spec(preset="baseline", **overrides):
+    defaults = dict(kind="single", pair=SINGLE_THREAD_PAIRS[0], config=CONFIG,
+                    preset=preset, scale=TINY)
+    defaults.update(overrides)
+    return CaseSpec(**defaults)
+
+
+@pytest.fixture(scope="module")
+def simulated():
+    """One real (key, RunResult) pair, simulated once for the module."""
+    executor = SweepExecutor(jobs=1, cache=RunResultCache(directory=False,
+                                                          store=False))
+    spec = _spec()
+    return spec.cache_key(), executor.run_spec(spec)
+
+
+class TestEntryRoundTrip:
+    def test_put_get(self, tmp_path, simulated):
+        key, result = simulated
+        store = ResultStore(str(tmp_path))
+        store.put(key, result)
+        restored = store.get(key)
+        assert restored is not None
+        assert restored.cycles == result.cycles
+        assert store.keys() == [key]
+        assert len(store) == 1
+
+    def test_put_skips_identical_and_rejects_conflicting(self, tmp_path,
+                                                         simulated):
+        import dataclasses
+
+        key, result = simulated
+        store = ResultStore(str(tmp_path))
+        store.put(key, result)
+        before = os.path.getmtime(store.entry_path(key))
+        store.put(key, result)  # identical: no rewrite
+        assert os.path.getmtime(store.entry_path(key)) == before
+        divergent = dataclasses.replace(result, cycles=result.cycles + 1)
+        with pytest.raises(ValueError, match="different result digest"):
+            store.put(key, divergent)
+        assert store.get(key).cycles == result.cycles  # original intact
+
+    def test_missing_key_is_none(self, tmp_path):
+        assert ResultStore(str(tmp_path)).get("0" * 64) is None
+
+    def test_needs_a_directory(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE_DIR", raising=False)
+        with pytest.raises(ValueError, match="REPRO_STORE_DIR"):
+            ResultStore()
+        assert env_store() is None
+
+    def test_env_directory(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
+        assert ResultStore().directory == str(tmp_path)
+        assert env_store().directory == str(tmp_path)
+
+    def test_entry_layout_is_engine_and_bucket_sharded(self, tmp_path,
+                                                       simulated):
+        from repro.experiments.executor import ENGINE_VERSION
+
+        key, result = simulated
+        store = ResultStore(str(tmp_path))
+        store.put(key, result)
+        expected = tmp_path / ENGINE_VERSION / key[:2] / f"{key}.json"
+        assert expected.exists()
+        assert store.engines() == [ENGINE_VERSION]
+
+
+class TestCorruption:
+    def _corrupt_entry(self, store, key):
+        path = store.entry_path(key)
+        payload = json.loads(open(path, encoding="utf-8").read())
+        payload["result"]["cycles"] = payload["result"]["cycles"] + 1
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        return path
+
+    def test_tampered_entry_is_a_miss_and_verify_names_it(self, tmp_path,
+                                                          simulated):
+        key, result = simulated
+        store = ResultStore(str(tmp_path))
+        store.put(key, result)
+        self._corrupt_entry(store, key)
+        assert store.get(key) is None
+        report = store.verify()
+        assert report["entries"] == 1
+        assert len(report["corrupt"]) == 1
+        assert "digest" in report["corrupt"][0][1]
+
+    def test_truncated_entry_is_a_miss(self, tmp_path, simulated):
+        key, result = simulated
+        store = ResultStore(str(tmp_path))
+        store.put(key, result)
+        with open(store.entry_path(key), "w", encoding="utf-8") as handle:
+            handle.write('{"schema":')
+        assert store.get(key) is None
+        assert store.verify()["corrupt"][0][1] == "not valid JSON"
+
+    def test_misfiled_key_detected(self, tmp_path, simulated):
+        key, result = simulated
+        store = ResultStore(str(tmp_path))
+        store.put(key, result)
+        wrong = "f" * 64
+        target = store.entry_path(wrong)
+        os.makedirs(os.path.dirname(target), exist_ok=True)
+        os.rename(store.entry_path(key), target)
+        assert store.get(wrong) is None
+        report = store.verify()
+        assert "filed under key" in report["corrupt"][0][1]
+
+    def test_export_refuses_misfiled_entries(self, tmp_path, simulated):
+        # An internally-consistent entry copied under another key's path
+        # must not be exported (and later replayed) as that key's result.
+        key, result = simulated
+        store = ResultStore(str(tmp_path))
+        store.put(key, result)
+        wrong = "e" * 64
+        target = store.entry_path(wrong)
+        os.makedirs(os.path.dirname(target), exist_ok=True)
+        import shutil
+
+        shutil.copyfile(store.entry_path(key), target)
+        with pytest.raises(ValueError, match="mis-filed"):
+            store.export(str(tmp_path / "export.json"))
+
+    def test_export_refuses_corrupt_entries(self, tmp_path, simulated):
+        key, result = simulated
+        store = ResultStore(str(tmp_path))
+        store.put(key, result)
+        self._corrupt_entry(store, key)
+        with pytest.raises(ValueError, match="verify"):
+            store.export(str(tmp_path / "export.json"))
+
+    def test_clean_store_verifies(self, tmp_path, simulated):
+        key, result = simulated
+        store = ResultStore(str(tmp_path))
+        store.put(key, result)
+        report = store.verify()
+        assert report["corrupt"] == []
+        assert report["entries"] == 1
+
+
+class TestExchange:
+    def test_export_ingest_round_trip(self, tmp_path, simulated):
+        key, result = simulated
+        source = ResultStore(str(tmp_path / "a"))
+        source.put(key, result)
+        path, count = source.export(str(tmp_path / "export.json"))
+        assert count == 1
+        payload = json.loads(open(path, encoding="utf-8").read())
+        assert payload["schema"] == STORE_SCHEMA
+        assert payload["kind"] == "store-export"
+        assert list(payload["cases"]) == [key]
+
+        target = ResultStore(str(tmp_path / "b"))
+        assert target.ingest(path) == (1, 0)
+        assert target.get(key).cycles == result.cycles
+        # Re-ingesting identical content is a clean no-op.
+        assert target.ingest(path) == (0, 1)
+        assert target.verify()["corrupt"] == []
+
+    def test_ingests_shard_artifacts_directly(self, tmp_path, simulated):
+        # The `run all --shard` artifact and the store export share the
+        # `cases` exchange shape; one ingest path covers both.
+        registry = {"probe": ExperimentDef(
+            "probe",
+            plan=lambda scale: [_spec()],
+            assemble=lambda scale, executor: None)}
+        manifest = build_manifest(scale=TINY, experiments=registry)
+        execute_shard(manifest, None, str(tmp_path / "shards"), jobs=1,
+                      cache=RunResultCache(directory=False, store=False))
+        artifact = shard_artifact_path(str(tmp_path / "shards"), None)
+        store = ResultStore(str(tmp_path / "store"))
+        added, skipped = store.ingest(artifact)
+        assert (added, skipped) == (1, 0)
+        assert store.keys() == [_spec().cache_key()]
+
+    def test_cross_engine_ingest_rejected(self, tmp_path, simulated):
+        key, result = simulated
+        source = ResultStore(str(tmp_path / "a"))
+        source.put(key, result)
+        path, _ = source.export(str(tmp_path / "export.json"))
+        payload = json.loads(open(path, encoding="utf-8").read())
+        payload["engine"] = "0000.0-other-engine"
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        target = ResultStore(str(tmp_path / "b"))
+        with pytest.raises(ValueError, match="engine"):
+            target.ingest(path)
+        assert len(target) == 0
+
+    def test_corrupt_case_payload_rejected(self, tmp_path, simulated):
+        key, result = simulated
+        source = ResultStore(str(tmp_path / "a"))
+        source.put(key, result)
+        path, _ = source.export(str(tmp_path / "export.json"))
+        payload = json.loads(open(path, encoding="utf-8").read())
+        payload["cases"][key] = {"not": "a run result"}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        with pytest.raises(ValueError, match="RunResult"):
+            ResultStore(str(tmp_path / "b")).ingest(path)
+
+    def test_conflicting_digest_rejected(self, tmp_path, simulated):
+        key, result = simulated
+        store = ResultStore(str(tmp_path / "store"))
+        store.put(key, result)
+        source = ResultStore(str(tmp_path / "a"))
+        source.put(key, result)
+        path, _ = source.export(str(tmp_path / "export.json"))
+        payload = json.loads(open(path, encoding="utf-8").read())
+        payload["cases"][key]["cycles"] = payload["cases"][key]["cycles"] + 1
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        with pytest.raises(ValueError, match="different result digest"):
+            store.ingest(path)
+
+    def test_traversal_keys_rejected(self, tmp_path):
+        # Artifacts cross machine boundaries; a crafted key must never
+        # become a filesystem path outside the store.
+        evil = tmp_path / "evil.json"
+        from repro.experiments.executor import ENGINE_VERSION
+
+        from repro.experiments.pipeline import ARTIFACT_SCHEMA
+
+        store = ResultStore(str(tmp_path / "store"))
+        for bad_key in ("../../../escape", "a" * 64 + "\n", "A" * 64, "42"):
+            evil.write_text(json.dumps({
+                "schema": ARTIFACT_SCHEMA,
+                "engine": ENGINE_VERSION,
+                "cases": {bad_key: {"cycles": 1}}}))
+            with pytest.raises(ValueError, match="SHA-256 cache key"):
+                store.ingest(str(evil))
+        assert not (tmp_path / "escape.json").exists()
+        assert len(store) == 0
+
+    def test_unknown_schema_rejected(self, tmp_path, simulated):
+        key, result = simulated
+        source = ResultStore(str(tmp_path / "a"))
+        source.put(key, result)
+        path, _ = source.export(str(tmp_path / "export.json"))
+        payload = json.loads(open(path, encoding="utf-8").read())
+        payload["schema"] = 999
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        with pytest.raises(ValueError, match="schema"):
+            ResultStore(str(tmp_path / "b")).ingest(path)
+
+    def test_non_artifact_file_rejected(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(ValueError, match="shard artifact or store export"):
+            ResultStore(str(tmp_path / "store")).ingest(str(bogus))
+        broken = tmp_path / "broken.json"
+        broken.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            ResultStore(str(tmp_path / "store")).ingest(str(broken))
+
+
+class TestGc:
+    def test_gc_drops_stale_engines_only(self, tmp_path, simulated):
+        from repro.cpu.stats import run_result_to_dict
+
+        key, result = simulated
+        store = ResultStore(str(tmp_path))
+        store.put(key, result)
+        store._write(key, run_result_to_dict(result),
+                     engine="0000.0-superseded")
+        store._write("ab" * 32, run_result_to_dict(result),
+                     engine="0000.0-superseded")
+        assert len(store.keys("0000.0-superseded")) == 2
+        assert store.gc() == 2
+        assert store.keys("0000.0-superseded") == []
+        assert store.get(key) is not None
+        assert store.gc() == 0  # idempotent
+
+    def test_gc_leaves_foreign_directories_in_a_shared_root(self, tmp_path,
+                                                            simulated):
+        # A store rooted next to the user's own folders (REPRO_STORE_DIR
+        # pointing at a shared results directory) must gc only directories
+        # with the store's bucket layout, never siblings.
+        key, result = simulated
+        store = ResultStore(str(tmp_path))
+        store.put(key, result)  # writes the marker + one engine dir
+        (tmp_path / "notes").mkdir()
+        (tmp_path / "notes" / "todo.txt").write_text("keep me")
+        (tmp_path / "drafts").mkdir()  # empty foreign dir in a marked root
+        assert store.gc() == 0
+        assert (tmp_path / "notes" / "todo.txt").exists()
+        assert (tmp_path / "drafts").exists()
+        # Foreign content is invisible to every operation, not just gc: a
+        # healthy store in a shared root verifies clean and exports fine.
+        from repro.experiments.executor import ENGINE_VERSION
+
+        report = store.verify()
+        assert report["corrupt"] == []
+        assert list(report["engines"]) == [ENGINE_VERSION]
+        _path, count = store.export(str(tmp_path / "notes" / "export.json"))
+        assert count == 1
+
+    def test_stray_file_in_engine_dir_does_not_hide_entries(self, tmp_path,
+                                                            simulated):
+        # A stray file at the engine root must not blind verify/gc to the
+        # engine's real entries (get() would still serve them, so hiding
+        # them from the audits would let corruption live forever).
+        key, result = simulated
+        store = ResultStore(str(tmp_path))
+        store.put(key, result)
+        from repro.experiments.executor import ENGINE_VERSION
+
+        (tmp_path / ENGINE_VERSION / "stray.txt").write_text("oops")
+        assert store.engines() == [ENGINE_VERSION]
+        assert store.verify()["entries"] == 1
+
+    def test_gc_refuses_directories_that_are_not_stores(self, tmp_path):
+        # A mistyped --dir/REPRO_STORE_DIR must never turn gc into recursive
+        # deletion of arbitrary user data: without the marker written by the
+        # store itself, every subdirectory would look like a "stale engine".
+        victim = tmp_path / "not-a-store"
+        (victim / "src").mkdir(parents=True)
+        (victim / "docs").mkdir()
+        with pytest.raises(ValueError, match="missing"):
+            ResultStore(str(victim)).gc()
+        assert (victim / "src").exists() and (victim / "docs").exists()
+        # An empty/nonexistent directory is a clean no-op, not an error.
+        assert ResultStore(str(tmp_path / "absent")).gc() == 0
+
+
+class TestCacheWiring:
+    def test_put_writes_through_and_get_promotes(self, tmp_path, simulated):
+        key, result = simulated
+        store = ResultStore(str(tmp_path / "store"))
+        publisher = RunResultCache(directory=False, store=store)
+        publisher.put(key, result)
+        assert store.get(key) is not None  # write-through publication
+
+        disk_dir = tmp_path / "cache"
+        consumer = RunResultCache(directory=str(disk_dir), store=store)
+        restored = consumer.get(key)
+        assert restored is not None
+        assert consumer.store_hits == 1
+        assert consumer.hits == 1
+        # The hit was promoted to the local disk level.
+        assert (disk_dir / f"{key}.json").exists()
+        # And to memory: a second get is served without touching the store.
+        store_dir_entry = store.entry_path(key)
+        os.remove(store_dir_entry)
+        assert consumer.get(key) is not None
+        assert consumer.store_hits == 1
+
+    def test_conflicting_disk_entry_heals_from_the_store(self, tmp_path,
+                                                         simulated):
+        import dataclasses
+
+        # A bit-rotted (but parseable) disk-cache entry conflicting with the
+        # digest-verified store entry must not crash the read path: the
+        # store's result is served and the disk copy rewritten.
+        key, result = simulated
+        store = ResultStore(str(tmp_path / "store"))
+        store.put(key, result)
+        disk_dir = tmp_path / "cache"
+        rotted = dataclasses.replace(result, cycles=result.cycles + 7)
+        RunResultCache(directory=str(disk_dir), store=False).put(key, rotted)
+
+        cache = RunResultCache(directory=str(disk_dir), store=store)
+        served = cache.get(key)
+        assert served.cycles == result.cycles  # store's verified value
+        healed = RunResultCache(directory=str(disk_dir), store=False)
+        assert healed.get(key).cycles == result.cycles  # disk rewritten
+
+    def test_disk_hit_publishes_to_store(self, tmp_path, simulated):
+        # "Every finished simulation reaches the store" must hold on a
+        # warm-cache machine too: a disk hit is still a publication.
+        key, result = simulated
+        disk_only = RunResultCache(directory=str(tmp_path / "cache"),
+                                   store=False)
+        disk_only.put(key, result)
+        store = ResultStore(str(tmp_path / "store"))
+        warm = RunResultCache(directory=str(tmp_path / "cache"), store=store)
+        assert warm.get(key) is not None
+        assert warm.store_hits == 0  # it was a disk hit...
+        assert store.get(key) is not None  # ...but the store got published
+
+    def test_executor_replays_across_machines_via_store(self, tmp_path):
+        store_a = ResultStore(str(tmp_path / "shared"))
+        machine_a = SweepExecutor(
+            jobs=1, cache=RunResultCache(directory=False, store=store_a))
+        machine_a.run_spec(_spec(preset="complete_flush"))
+        assert machine_a.simulated == 1
+
+        # A different "machine": fresh memory, no disk cache, same store.
+        store_b = ResultStore(str(tmp_path / "shared"))
+        machine_b = SweepExecutor(
+            jobs=1, cache=RunResultCache(directory=False, store=store_b))
+        result = machine_b.run_spec(_spec(preset="complete_flush"))
+        assert machine_b.simulated == 0
+        assert machine_b.cache.store_hits == 1
+        assert result.mechanism == "complete_flush"
+
+    def test_cache_picks_up_env_store(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
+        cache = RunResultCache(directory=None)
+        assert cache.store is not None
+        assert cache.store.directory == str(tmp_path)
+        monkeypatch.delenv("REPRO_STORE_DIR")
+        assert RunResultCache(directory=None).store is None
+
+    def test_store_false_opts_out_of_the_env_store(self, tmp_path,
+                                                   monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
+        assert RunResultCache(directory=False, store=False).store is None
+
+    def test_directory_false_opts_out_of_the_env_cache_dir(self, tmp_path,
+                                                           monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert RunResultCache(directory=False, store=False).directory is None
+
+    def test_merge_replay_ignores_the_env_store_and_cache(self, tmp_path,
+                                                          simulated,
+                                                          monkeypatch):
+        # The merge's replay-only executor must be a pure function of the
+        # artifacts: a configured REPRO_STORE_DIR or REPRO_CACHE_DIR holding
+        # a case that no shard executed must NOT rescue an incomplete
+        # plan()/assemble() pair, and the artifact cases must not leak into
+        # the user's store or cache directory.
+        from repro.experiments.pipeline import merge_artifacts
+
+        key, result = simulated
+        env_store_dir = tmp_path / "env-store"
+        hidden = _spec(preset="complete_flush")
+        executor = SweepExecutor(
+            jobs=1, cache=RunResultCache(
+                directory=False, store=ResultStore(str(env_store_dir))))
+        executor.run_spec(hidden)
+
+        # plan() misses the complete_flush case its assemble() reads.
+        registry = {"broken": ExperimentDef(
+            "broken",
+            plan=lambda scale: [_spec()],
+            assemble=lambda scale, ex: ex.run_specs([_spec(), hidden]))}
+        manifest = build_manifest(scale=TINY, experiments=registry)
+        execute_shard(manifest, None, str(tmp_path / "shards"), jobs=1,
+                      cache=RunResultCache(directory=False, store=False))
+        artifact = shard_artifact_path(str(tmp_path / "shards"), None)
+
+        env_cache_dir = tmp_path / "env-cache"
+        RunResultCache(directory=str(env_cache_dir),
+                       store=False).put(hidden.cache_key(), result)
+        monkeypatch.setenv("REPRO_STORE_DIR", str(env_store_dir))
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(env_cache_dir))
+        with pytest.raises(RuntimeError, match="replay-only"):
+            merge_artifacts([artifact], manifest)
+        # And nothing from the artifacts was written through to the store
+        # or the cache directory.
+        assert ResultStore(str(env_store_dir)).get(key) is None
+        assert RunResultCache(directory=str(env_cache_dir),
+                              store=False).get(key) is None

@@ -1,18 +1,28 @@
 """Coverage-floor gate over a Cobertura ``coverage.xml``.
 
 CI runs the tier-1 suite under ``pytest-cov`` and then invokes this script
-twice: once to render a per-package markdown summary (appended to the job
-summary) and once as a hard gate on ``src/repro/predictors/`` — the packed
-kernels have both a specialised arm and a generic fallback per structure,
-and the floor guarantees the suite demonstrably exercises them.
+to render per-package markdown summaries (appended to the job summary) and
+as a hard gate on the correctness-critical packages:
+
+* ``src/repro/predictors/`` — the packed kernels have both a specialised
+  arm and a generic fallback per structure, and the floor guarantees the
+  suite demonstrably exercises them;
+* ``src/repro/experiments/`` — the manifest/pipeline/store machinery decides
+  which results reach the paper's figures and how they are exchanged
+  between machines; silent coverage rot here is silent correctness rot.
 
 Usage::
 
     python tools/coverage_floor.py --xml coverage.xml \
         --prefix repro/predictors/ --min-percent 85
 
-Exits 1 when the selected files' aggregate line coverage is below the floor
-(or when no files match, which would silently disable the gate).
+    # Several floors in one pass (prefix:percent, repeatable):
+    python tools/coverage_floor.py --xml coverage.xml \
+        --gate repro/predictors/:85 --gate repro/experiments/:85
+
+Exits 1 when any selected file set's aggregate line coverage is below its
+floor (or when no files match a selection, which would silently disable the
+gate).
 """
 
 from __future__ import annotations
@@ -36,31 +46,34 @@ def file_coverage(xml_path: str):
     return counts
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--xml", default="coverage.xml",
-                        help="Cobertura XML report (default: coverage.xml)")
-    parser.add_argument("--prefix", default="",
-                        help="only count files whose path contains this")
-    parser.add_argument("--min-percent", type=float, default=0.0,
-                        help="fail when aggregate coverage is below this")
-    parser.add_argument("--markdown", action="store_true",
-                        help="emit a markdown table of the selected files")
-    args = parser.parse_args(argv)
+def parse_gate(raw: str):
+    """Parse one ``prefix:percent`` gate designator."""
+    prefix, sep, percent = raw.rpartition(":")
+    if not sep:
+        raise argparse.ArgumentTypeError(
+            f"--gate must look like 'prefix:percent', got {raw!r}")
+    try:
+        floor = float(percent)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--gate percent must be a number, got {percent!r}") from None
+    return prefix, floor
 
-    counts = file_coverage(args.xml)
+
+def check_gate(counts, prefix: str, floor: float, markdown: bool) -> int:
+    """Report one file selection and gate it; returns a process exit code."""
     selected = {name: cv for name, cv in sorted(counts.items())
-                if args.prefix in name}
+                if prefix in name}
     if not selected:
-        print(f"coverage_floor: no files match prefix {args.prefix!r}",
+        print(f"coverage_floor: no files match prefix {prefix!r}",
               file=sys.stderr)
         return 1
     covered = sum(cv[0] for cv in selected.values())
     valid = sum(cv[1] for cv in selected.values())
     percent = 100.0 * covered / valid if valid else 0.0
 
-    if args.markdown:
-        title = args.prefix or "all files"
+    if markdown:
+        title = prefix or "all files"
         print(f"### Coverage — `{title}`\n")
         print("| file | lines | covered | % |")
         print("|---|---:|---:|---:|")
@@ -70,15 +83,45 @@ def main(argv=None) -> int:
         print(f"| **total** | **{valid}** | **{covered}** | "
               f"**{percent:.1f}%** |")
     else:
-        print(f"{args.prefix or 'all'}: {covered}/{valid} lines "
-              f"= {percent:.1f}% (floor {args.min_percent:.1f}%)")
+        print(f"{prefix or 'all'}: {covered}/{valid} lines "
+              f"= {percent:.1f}% (floor {floor:.1f}%)")
 
-    if percent < args.min_percent:
+    if percent < floor:
         print(f"coverage_floor: {percent:.1f}% is below the "
-              f"{args.min_percent:.1f}% floor for {args.prefix!r}",
+              f"{floor:.1f}% floor for {prefix!r}",
               file=sys.stderr)
         return 1
     return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--xml", default="coverage.xml",
+                        help="Cobertura XML report (default: coverage.xml)")
+    parser.add_argument("--prefix", default="",
+                        help="only count files whose path contains this")
+    parser.add_argument("--min-percent", type=float, default=0.0,
+                        help="fail when aggregate coverage is below this")
+    parser.add_argument("--gate", action="append", type=parse_gate,
+                        default=[], metavar="PREFIX:PERCENT",
+                        help="repeatable prefix:floor pair; all gates are "
+                             "checked, all failures reported")
+    parser.add_argument("--markdown", action="store_true",
+                        help="emit a markdown table of the selected files")
+    args = parser.parse_args(argv)
+
+    counts = file_coverage(args.xml)
+    gates = list(args.gate)
+    if args.prefix or args.min_percent:
+        # An explicit --prefix/--min-percent pair is a gate too, never
+        # silently dropped because --gate was also given.
+        gates.append((args.prefix, args.min_percent))
+    if not gates:
+        gates = [("", 0.0)]
+    status = 0
+    for prefix, floor in gates:
+        status |= check_gate(counts, prefix, floor, args.markdown)
+    return status
 
 
 if __name__ == "__main__":
