@@ -37,7 +37,9 @@ def _isolate_repro_env():
     """
     patcher = pytest.MonkeyPatch()
     for name in ("REPRO_SCALE", "REPRO_JOBS", "REPRO_SHARD",
-                 "REPRO_CACHE_DIR", "REPRO_STORE_DIR"):
+                 "REPRO_CACHE_DIR", "REPRO_STORE_DIR",
+                 "REPRO_CASE_TIMEOUT", "REPRO_RETRIES",
+                 "REPRO_RETRY_BACKOFF", "REPRO_FAULT_SPEC"):
         patcher.delenv(name, raising=False)
     yield
     patcher.undo()

@@ -67,6 +67,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--out", default=None, metavar="DIR",
                      help="with 'all': output directory (shard artifact, or "
                           "merged figures/tables for unsharded runs)")
+    run.add_argument("--keep-going", action="store_true",
+                     help="with 'all': when cases fail permanently, finish "
+                          "every healthy case and write a machine-readable "
+                          "failure manifest (exit 3) instead of aborting")
+    run.add_argument("--resume", default=None, metavar="DIR",
+                     help="with 'all --shard': resume a killed shard from "
+                          "DIR's journal, re-simulating only unfinished "
+                          "cases (merged output stays bit-identical to an "
+                          "uninterrupted run)")
 
     merge = subparsers.add_parser(
         "merge", help="merge 'run all --shard' artifacts into final "
@@ -198,11 +207,11 @@ def _cmd_list() -> int:
 
 
 def _resolve_scale(factor: Optional[float]):
-    from .experiments import default_scale
+    from .experiments import default_scale, parse_scale_factor
 
-    scale = default_scale()
+    scale = default_scale()  # raises on a malformed REPRO_SCALE, by name
     if factor is not None:
-        scale = scale.scaled_by(factor)
+        scale = scale.scaled_by(parse_scale_factor(factor, source="--scale"))
     return scale
 
 
@@ -218,7 +227,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     all_only = [name for name, value in (
         ("--repetitions", args.repetitions), ("--shard", args.shard),
         ("--jobs", args.jobs), ("--out", args.out),
-        ("--experiments", args.experiments)) if value is not None]
+        ("--experiments", args.experiments),
+        ("--keep-going", args.keep_going or None),
+        ("--resume", args.resume)) if value is not None]
     if all_only:
         print(f"{', '.join(all_only)} appl"
               f"{'y' if len(all_only) > 1 else 'ies'} to 'run all' only "
@@ -226,13 +237,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
               "REPRO_JOBS still controls their worker pool)",
               file=sys.stderr)
         return 2
-    if _env_jobs_error():
+    if _env_exec_error():
         return 2
     if args.experiment not in EXPERIMENTS:
         print(f"unknown experiment {args.experiment!r}; "
               f"try: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
         return 2
-    scale = _resolve_scale(args.scale)
+    try:
+        scale = _resolve_scale(args.scale)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     result = EXPERIMENTS[args.experiment](scale)
     print(result.render())
     if args.json:
@@ -247,19 +262,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _env_jobs_error() -> bool:
-    """Surface a malformed ``REPRO_JOBS`` as a clean CLI error.
+def _env_exec_error() -> bool:
+    """Surface a malformed execution-layer environment knob as a clean error.
 
     Any command that ends up in :func:`default_executor` would otherwise die
-    with an uncaught traceback from deep inside the executor setup.
+    with an uncaught traceback from deep inside the executor (or worker)
+    setup.  Covers ``REPRO_JOBS``, ``REPRO_SCALE``, ``REPRO_CASE_TIMEOUT``,
+    ``REPRO_RETRIES``, ``REPRO_RETRY_BACKOFF`` and ``REPRO_FAULT_SPEC``.
     """
-    from .experiments.executor import env_jobs
+    from .experiments.executor import (
+        env_case_timeout,
+        env_jobs,
+        env_retries,
+        env_retry_backoff,
+    )
+    from .experiments.scaling import env_scale_factor
+    from .testing.faults import active_clauses
 
-    try:
-        env_jobs()
-    except ValueError as exc:
-        print(str(exc), file=sys.stderr)
-        return True
+    for check in (env_jobs, env_scale_factor, env_case_timeout, env_retries,
+                  env_retry_backoff, active_clauses):
+        try:
+            check()
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return True
     return False
 
 
@@ -285,19 +311,41 @@ def _stats_line(manifest, executor) -> str:
             f"{cache.store_hits} store hit(s)")
 
 
+def _print_failures(failures) -> None:
+    for failure in failures:
+        kind = "timed out" if failure.get("timed_out") else "failed"
+        print(f"FAILED {failure['case']} [{failure['key'][:12]}…] {kind} "
+              f"after {failure['attempts']} attempt(s): {failure['error']}: "
+              f"{failure['message']}", file=sys.stderr)
+
+
 def _cmd_run_all(args: argparse.Namespace) -> int:
-    from .experiments.executor import RunResultCache, SweepExecutor
+    import json as _json
+    import os
+
+    from .experiments.executor import (
+        ExecutionError,
+        RunResultCache,
+        SweepExecutor,
+    )
     from .experiments.manifest import (
         build_manifest,
         env_shard,
         parse_repetitions,
         parse_shard,
     )
-    from .experiments.pipeline import execute_shard, run_serial
+    from .experiments.pipeline import (
+        execute_shard,
+        failure_manifest_path,
+        run_serial,
+        write_failure_manifest,
+    )
 
     if args.json or args.csv:
         print("--json/--csv apply to single experiments; 'run all' writes "
               "per-experiment JSON and text under --out DIR", file=sys.stderr)
+        return 2
+    if _env_exec_error():
         return 2
     try:
         jobs = _resolve_jobs(args.jobs)
@@ -311,6 +359,11 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if args.resume is not None and shard is None:
+        print("--resume applies to sharded runs (--shard I/N): only shard "
+              "executions are journaled; unsharded runs resume implicitly "
+              "through REPRO_CACHE_DIR/REPRO_STORE_DIR", file=sys.stderr)
+        return 2
     summary = manifest.describe()
     print(f"manifest {summary['manifest_hash'][:12]}… "
           f"({summary['unique_cases']} unique cases from "
@@ -320,7 +373,13 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
           f"{summary['deduped_cases']} deduped)")
 
     if shard is not None:
-        out_dir = args.out or "repro-out"
+        if args.resume is not None and args.out is not None \
+                and os.path.abspath(args.resume) != os.path.abspath(args.out):
+            print("--resume DIR and --out DIR disagree; the journal lives in "
+                  "the run's output directory, so pass just --resume DIR",
+                  file=sys.stderr)
+            return 2
+        out_dir = args.out or args.resume or "repro-out"
         owned = manifest.shard_cases(shard)
         caseless = manifest.shard_caseless(shard)
         print(f"shard {shard}: {len(owned)} case(s), "
@@ -328,7 +387,13 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         cache = RunResultCache()
         try:
             path = execute_shard(manifest, shard, out_dir, jobs=jobs,
-                                 cache=cache)
+                                 cache=cache, keep_going=args.keep_going,
+                                 resume=args.resume is not None)
+        except ExecutionError as exc:
+            print(f"run failed: {exc}", file=sys.stderr)
+            print(f"every completed case is journaled; rerun with "
+                  f"--resume {out_dir} to continue from it", file=sys.stderr)
+            return 1
         except (OSError, ValueError) as exc:
             # e.g. a store digest conflict (results changed without an
             # ENGINE_VERSION bump) — a designed tripwire, not a crash.
@@ -337,14 +402,41 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         print(f"shard cache: {cache.hits} hit(s), "
               f"{cache.store_hits} from result store")
         print(f"shard artifact written to {path}")
+        failures_path = failure_manifest_path(out_dir, shard)
+        if os.path.exists(failures_path):
+            with open(failures_path, "r", encoding="utf-8") as handle:
+                report = _json.load(handle)
+            _print_failures(report.get("failures", []))
+            for key, error in sorted(
+                    report.get("failed_experiments", {}).items()):
+                print(f"FAILED experiment {key}: {error}", file=sys.stderr)
+            print(f"completed with failures; failure manifest written to "
+                  f"{failures_path}", file=sys.stderr)
+            return 3
         return 0
 
-    executor = SweepExecutor(jobs=jobs, cache=RunResultCache())
+    executor = SweepExecutor(jobs=jobs, cache=RunResultCache(),
+                             keep_going=args.keep_going)
     try:
         results = run_serial(manifest, out_dir=args.out, executor=executor)
+    except ExecutionError as exc:
+        print(f"run failed: {exc}", file=sys.stderr)
+        return 1
     except (OSError, ValueError) as exc:
         print(f"run failed: {exc}", file=sys.stderr)
         return 2
+    if executor.failures:
+        # keep-going: every healthy case finished (and is cached for a
+        # rerun), but figures cannot assemble around the holes.
+        print(_stats_line(manifest, executor))
+        _print_failures([failure.to_dict() for failure in executor.failures])
+        if args.out:
+            path = write_failure_manifest(args.out, None, executor.failures)
+            print(f"completed with failures; failure manifest written to "
+                  f"{path}", file=sys.stderr)
+        print(f"{len(executor.failures)} case(s) failed permanently; "
+              "figures/tables were not assembled", file=sys.stderr)
+        return 3
     for key in manifest.keys:
         print(results[key].render())
         print()
@@ -454,12 +546,23 @@ def _cmd_store(args: argparse.Namespace) -> int:
         return 0
 
     if args.store_command == "gc":
+        import os
+
+        from .experiments.executor import sweep_tmp_files
+
         try:
             removed = store.gc()
         except (OSError, ValueError) as exc:
             print(f"gc failed: {exc}", file=sys.stderr)
             return 2
-        print(f"gc removed {removed} entr(ies) from stale engine revisions; "
+        swept = store.sweep_tmp()
+        cache_dir = os.environ.get("REPRO_CACHE_DIR")
+        if cache_dir and os.path.isdir(cache_dir):
+            # Killed writers leak the same *.tmp.<pid> staging files into
+            # the disk cache; gc is the natural place to reclaim both.
+            swept += sweep_tmp_files(cache_dir)
+        print(f"gc removed {removed} entr(ies) from stale engine revisions "
+              f"and {len(swept)} orphaned tmp file(s); "
               f"{len(store)} kept for engine {ENGINE_VERSION}")
         return 0
 
@@ -470,6 +573,9 @@ def _cmd_store(args: argparse.Namespace) -> int:
             or "(empty)"
         print(f"store {report['directory']}: {report['entries']} entr(ies) "
               f"[{engines}]")
+        if report["quarantined"]:
+            print(f"quarantine holds {report['quarantined']} damaged "
+                  f"entr(ies) under {store.quarantine_dir}", file=sys.stderr)
         for path, problem in report["corrupt"]:
             print(f"CORRUPT {path}: {problem}", file=sys.stderr)
         if report["corrupt"]:
@@ -574,7 +680,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from .analysis.report import PAPER_EXPECTATIONS, ReproductionReport
     from .experiments import EXPERIMENTS
 
-    if _env_jobs_error():
+    if _env_exec_error():
         return 2
     keys = args.experiments if args.experiments else list(_DEFAULT_REPORT_EXPERIMENTS)
     unknown = [key for key in keys if key not in EXPERIMENTS]
@@ -597,32 +703,48 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Exit code for an interrupted run (the conventional 128 + SIGINT).
+EXIT_INTERRUPTED = 130
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point for ``python -m repro`` and the ``repro`` console script."""
+    """Entry point for ``python -m repro`` and the ``repro`` console script.
+
+    Exit codes: ``0`` success; ``1`` cases failed permanently (fail-fast);
+    ``2`` usage or validation error; ``3`` ``--keep-going`` run completed
+    with failures; ``130`` interrupted (Ctrl-C).
+    """
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
     if args.command is None:
         parser.print_help()
         return 1
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "merge":
-        return _cmd_merge(args)
-    if args.command == "plan":
-        return _cmd_plan(args)
-    if args.command == "store":
-        return _cmd_store(args)
-    if args.command == "attack":
-        return _cmd_attack(args)
-    if args.command == "leakage":
-        return _cmd_leakage(args)
-    if args.command == "covert":
-        return _cmd_covert(args)
-    if args.command == "hwcost":
-        return _cmd_hwcost(args)
-    if args.command == "report":
-        return _cmd_report(args)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "merge":
+            return _cmd_merge(args)
+        if args.command == "plan":
+            return _cmd_plan(args)
+        if args.command == "store":
+            return _cmd_store(args)
+        if args.command == "attack":
+            return _cmd_attack(args)
+        if args.command == "leakage":
+            return _cmd_leakage(args)
+        if args.command == "covert":
+            return _cmd_covert(args)
+        if args.command == "hwcost":
+            return _cmd_hwcost(args)
+        if args.command == "report":
+            return _cmd_report(args)
+    except KeyboardInterrupt:
+        # The executor has already cancelled pending futures and shut its
+        # pool down; exit with the conventional code instead of a traceback
+        # cascade from every worker.
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
     parser.error(f"unhandled command {args.command!r}")
     return 2

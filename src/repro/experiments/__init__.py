@@ -60,7 +60,8 @@ from .runner import (
     sweep_single_thread,
     sweep_smt,
 )
-from .scaling import ExperimentScale, default_scale, env_scale_factor, quick_scale
+from .scaling import (ExperimentScale, default_scale, env_scale_factor,
+                      parse_scale_factor, quick_scale)
 
 #: Registry of experiments keyed by the paper artefact they reproduce.
 EXPERIMENTS = {
@@ -91,6 +92,7 @@ __all__ = [
     "default_scale",
     "quick_scale",
     "env_scale_factor",
+    "parse_scale_factor",
     "EXPERIMENTS",
     "ENGINE_VERSION",
     "CaseSpec",

@@ -15,20 +15,45 @@ runs).
 
 from __future__ import annotations
 
+import math
 import os
 from dataclasses import dataclass, replace
 
-__all__ = ["ExperimentScale", "default_scale", "quick_scale", "env_scale_factor"]
+__all__ = ["ExperimentScale", "default_scale", "quick_scale",
+           "env_scale_factor", "parse_scale_factor"]
+
+
+def parse_scale_factor(raw, *, source: str = "REPRO_SCALE") -> float:
+    """Parse a trace-length scale factor, naming the offending setting.
+
+    A typo'd ``REPRO_SCALE`` (or ``--scale``) used to fall back to ``1.0``
+    silently — a full-fidelity run the user thought was a smoke run — or, for
+    a zero/negative value, surface as an empty-trace crash deep inside trace
+    generation.  Valid positive values are clamped to ``[0.05, 100.0]``, the
+    range the scaled-model calibration covers.
+    """
+    try:
+        value = float(raw)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{source} must be a number, got {raw!r}") from None
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(
+            f"{source} must be a positive, finite number, got {raw!r}")
+    return max(0.05, min(value, 100.0))
 
 
 def env_scale_factor() -> float:
-    """Trace-length multiplier taken from the ``REPRO_SCALE`` environment variable."""
-    raw = os.environ.get("REPRO_SCALE", "1.0")
-    try:
-        value = float(raw)
-    except ValueError:
+    """Trace-length multiplier from ``REPRO_SCALE`` (default ``1.0``).
+
+    Raises:
+        ValueError: if ``REPRO_SCALE`` is set to a non-numeric, zero,
+            negative or non-finite value.
+    """
+    raw = os.environ.get("REPRO_SCALE")
+    if raw is None or raw == "":
         return 1.0
-    return max(0.05, min(value, 100.0))
+    return parse_scale_factor(raw)
 
 
 @dataclass(frozen=True)

@@ -30,15 +30,25 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import re
 import shutil
 from typing import Dict, List, Optional, Tuple
 
 from ..cpu.stats import RunResult, run_result_from_dict, run_result_to_dict
-from .executor import ENGINE_VERSION, atomic_write_json
+from .executor import ENGINE_VERSION, atomic_write_json, sweep_tmp_files
 
-__all__ = ["STORE_SCHEMA", "ResultStore", "env_store", "result_digest"]
+__all__ = ["QUARANTINE_DIR", "STORE_SCHEMA", "ResultStore", "env_store",
+           "result_digest"]
+
+logger = logging.getLogger(__name__)
+
+#: Name of the store subdirectory corrupt entries are moved into.  Keeping
+#: the damaged bytes (instead of just treating them as a miss) preserves the
+#: evidence — bit-rot, a torn sync, a nondeterministic build — while
+#: guaranteeing the entry can never be served again.
+QUARANTINE_DIR = "quarantine"
 
 #: Store entry schema revision (bumped on incompatible entry-layout changes).
 STORE_SCHEMA = 1
@@ -112,7 +122,8 @@ class ResultStore:
         except OSError:
             return []
         return sorted(entry for entry in children
-                      if os.path.isdir(os.path.join(self.directory, entry))
+                      if entry != QUARANTINE_DIR
+                      and os.path.isdir(os.path.join(self.directory, entry))
                       and self._looks_like_engine_dir(entry))
 
     def _looks_like_engine_dir(self, engine: str) -> bool:
@@ -157,10 +168,17 @@ class ResultStore:
 
     # -- get / put --------------------------------------------------------------
     def _load_entry(self, path: str) -> Tuple[Optional[dict], Optional[str]]:
-        """Read one entry file; returns ``(payload, problem)``."""
+        """Read one entry file; returns ``(payload, problem)``.
+
+        ``problem`` is ``"absent"`` for a missing file — an ordinary cache
+        miss, which must never be quarantined — and a descriptive string for
+        every way an existing file can be bad.
+        """
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
+        except FileNotFoundError:
+            return None, "absent"
         except OSError:
             return None, "unreadable"
         except ValueError:
@@ -176,18 +194,63 @@ class ResultStore:
             return None, "digest mismatch (corrupt or hand-edited entry)"
         return payload, None
 
+    @property
+    def quarantine_dir(self) -> str:
+        """Directory corrupt entries are moved into (``<store>/quarantine``)."""
+        return os.path.join(self.directory, QUARANTINE_DIR)
+
+    def _quarantine(self, path: str, problem: str) -> Optional[str]:
+        """Move one bad entry into quarantine (best-effort; never raises).
+
+        The entry keeps its engine/bucket layout under the quarantine root,
+        so a post-mortem knows exactly which key and revision it was filed
+        under.  On a read-only store the move fails silently and the entry
+        simply stays a miss.
+        """
+        relative = os.path.relpath(path, self.directory)
+        target = os.path.join(self.quarantine_dir, relative)
+        try:
+            os.makedirs(os.path.dirname(target), exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            logger.warning("store entry %s is %s (and could not be "
+                           "quarantined); treating it as a miss",
+                           relative, problem)
+            return None
+        logger.warning("quarantined store entry %s (%s); it will be "
+                       "re-simulated", relative, problem)
+        return target
+
+    def quarantined(self) -> List[str]:
+        """Relative paths of everything currently in quarantine (sorted)."""
+        found: List[str] = []
+        for root, _dirs, files in os.walk(self.quarantine_dir):
+            for name in files:
+                found.append(os.path.relpath(os.path.join(root, name),
+                                             self.quarantine_dir))
+        return sorted(found)
+
     def get(self, key: str, engine: str = ENGINE_VERSION) -> Optional[RunResult]:
         """Fetch one result, or ``None`` when absent *or* failing
-        verification — a corrupt entry is treated as a miss by consumers
-        (and reported by :meth:`verify`), never replayed into figures."""
-        payload, problem = self._load_entry(self.entry_path(key, engine))
+        verification — a corrupt entry is quarantined and treated as a miss
+        by consumers (so the case re-simulates), never replayed into
+        figures."""
+        path = self.entry_path(key, engine)
+        payload, problem = self._load_entry(path)
         if payload is None or problem is not None:
+            if problem != "absent":
+                self._quarantine(path, problem or "unreadable")
             return None
         if payload.get("key") != key or payload.get("engine") != engine:
+            self._quarantine(
+                path, f"mis-filed (claims key "
+                      f"{str(payload.get('key'))[:12]}…, engine "
+                      f"{payload.get('engine')!r})")
             return None
         try:
             return run_result_from_dict(payload["result"])
         except (KeyError, TypeError, ValueError):
+            self._quarantine(path, "result does not parse as a RunResult")
             return None
 
     def _write_marker(self) -> None:
@@ -217,24 +280,31 @@ class ResultStore:
 
         A valid identical entry already present under the key is left
         untouched (warm-cache runs re-publish every disk hit; skipping the
-        rewrite turns those into one read each), an absent or corrupt entry
-        is (re)written so publication also heals bit-rot — and a valid entry
-        with a *different* digest raises: the key is content-addressed, so
-        two results under one key is the determinism violation
-        :meth:`ingest` also refuses, caught here at publication time instead
-        of on some other machine later.
+        rewrite turns those into one read each), an absent entry is written,
+        a corrupt or mis-filed one is quarantined and replaced (publication
+        heals bit-rot while preserving the damaged bytes) — and a valid
+        entry with a *different* digest raises: the key is
+        content-addressed, so two results under one key is the determinism
+        violation :meth:`ingest` also refuses, caught here at publication
+        time instead of on some other machine later.
         """
         data = run_result_to_dict(result)
         digest = result_digest(data)
-        existing, problem = self._load_entry(self.entry_path(key))
-        if existing is not None and problem is None and \
-                existing.get("key") == key:
-            if existing.get("sha256") == digest:
-                return
-            raise ValueError(
-                f"case {key[:12]}… is already stored with a different "
-                "result digest; the engine version should have changed, or "
-                "one side is a nondeterministic build")
+        path = self.entry_path(key)
+        existing, problem = self._load_entry(path)
+        if existing is not None and problem is None:
+            if existing.get("key") == key:
+                if existing.get("sha256") == digest:
+                    return
+                raise ValueError(
+                    f"case {key[:12]}… is already stored with a different "
+                    "result digest; the engine version should have changed, "
+                    "or one side is a nondeterministic build")
+            self._quarantine(
+                path, f"mis-filed (claims key "
+                      f"{str(existing.get('key'))[:12]}…)")
+        elif problem not in (None, "absent"):
+            self._quarantine(path, problem)
         self._write(key, data, digest=digest)
 
     # -- exchange ---------------------------------------------------------------
@@ -305,7 +375,8 @@ class ResultStore:
                     "RunResult; refusing to ingest a corrupt artifact"
                 ) from None
             digest = result_digest(data)
-            existing, problem = self._load_entry(self.entry_path(key))
+            entry_path = self.entry_path(key)
+            existing, problem = self._load_entry(entry_path)
             if existing is not None and problem is None:
                 if existing.get("sha256") == digest:
                     skipped += 1
@@ -314,6 +385,8 @@ class ResultStore:
                     f"{path}: case {key[:12]}… conflicts with the stored "
                     "entry (same key, different result digest); the engine "
                     "version should have changed, or one side is corrupt")
+            if problem not in (None, "absent"):
+                self._quarantine(entry_path, problem)
             self._write(key, data, digest=digest)
             added += 1
         return added, skipped
@@ -391,15 +464,30 @@ class ResultStore:
             shutil.rmtree(os.path.join(self.directory, engine))
         return removed
 
+    def sweep_tmp(self) -> List[str]:
+        """Remove orphaned ``*.tmp.<pid>`` files left by killed writers.
+
+        Every atomic write stages through such a file; a process killed
+        between staging and rename leaks one.  Only files whose writer pid
+        is gone are removed, so a concurrently-running shard's in-flight
+        writes are safe.  Returns the removed paths.
+        """
+        if not os.path.isdir(self.directory):
+            return []
+        return sweep_tmp_files(self.directory)
+
     def verify(self) -> dict:
         """Audit every entry in the store (all engine revisions).
 
         Returns:
             A report dictionary: ``entries`` (total scanned), ``engines``
-            (per-revision entry counts), and ``corrupt`` — a list of
+            (per-revision entry counts), ``corrupt`` — a list of
             ``(relative path, problem)`` pairs for entries that are
             unreadable, fail their digest, or are filed under the wrong
-            key/engine.
+            key/engine — and ``quarantined``, the number of previously
+            quarantined files awaiting a post-mortem.  Verify is a read-only
+            audit: it reports corrupt entries but moves nothing (the serving
+            paths — ``get``/``put``/``ingest`` — quarantine on contact).
         """
         engines: Dict[str, int] = {}
         corrupt: List[Tuple[str, str]] = []
@@ -424,4 +512,5 @@ class ResultStore:
                                     f"filed under engine {engine} but claims "
                                     f"{payload.get('engine')!r}"))
         return {"directory": self.directory, "entries": total,
-                "engines": engines, "corrupt": corrupt}
+                "engines": engines, "corrupt": corrupt,
+                "quarantined": len(self.quarantined())}

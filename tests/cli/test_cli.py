@@ -143,6 +143,81 @@ class TestRunAllCommand:
         with open(f"{merged}/table5.json", encoding="utf-8") as handle:
             assert json.load(handle)["name"].startswith("Table 5")
 
+    def test_malformed_env_timeout_rejected(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CASE_TIMEOUT", "-5")
+        assert main(["run", "all", "--experiments", "table5"]) == 2
+        assert "REPRO_CASE_TIMEOUT" in capsys.readouterr().err
+
+    def test_malformed_fault_spec_rejected_before_planning(self, capsys,
+                                                           monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_SPEC", "explode:case_idx=0")
+        assert main(["run", "all", "--experiments", "table5"]) == 2
+        assert "REPRO_FAULT_SPEC" in capsys.readouterr().err
+
+    def test_resume_requires_a_shard(self, capsys):
+        assert main(["run", "all", "--experiments", "table5",
+                     "--resume", "out"]) == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_resume_and_out_must_agree(self, capsys):
+        assert main(["run", "all", "--experiments", "table5",
+                     "--shard", "0/2", "--resume", "a", "--out", "b"]) == 2
+        assert "disagree" in capsys.readouterr().err
+
+    @staticmethod
+    def _one_case_shard():
+        # Shard ownership is key-hash based; find a 1-of-64 shard that owns
+        # exactly one figure1 case at --scale 0.05 instead of hard-coding an
+        # index that would drift on an engine bump.
+        from repro.experiments.manifest import (
+            ShardSpec,
+            build_manifest,
+            experiment_registry,
+        )
+        from repro.experiments.scaling import ExperimentScale
+
+        manifest = build_manifest(
+            scale=ExperimentScale().scaled_by(0.05),
+            experiments={"figure1": experiment_registry()["figure1"]})
+        return next(i for i in range(64)
+                    if len(manifest.shard_cases(ShardSpec(i, 64))) == 1)
+
+    def test_interrupt_maps_to_exit_130(self, tmp_path, capsys, monkeypatch):
+        # The injected Ctrl-C fires at the top of the first case attempt,
+        # before any simulation work.
+        shard = self._one_case_shard()
+        monkeypatch.setenv("REPRO_FAULT_SPEC", "interrupt:case_idx=0")
+        assert main(["run", "all", "--experiments", "figure1",
+                     "--scale", "0.05", "--shard", f"{shard}/64",
+                     "--out", str(tmp_path / "out")]) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_keep_going_exits_3_and_resume_heals(self, tmp_path, capsys,
+                                                 monkeypatch):
+        # One-case shard whose only case fails permanently: the run still
+        # completes (exit 3) and writes a machine-readable failure manifest;
+        # a fault-free --resume re-simulates the hole and clears it.
+        shard = self._one_case_shard()
+        out = str(tmp_path / "chaos")
+        monkeypatch.setenv("REPRO_FAULT_SPEC", "crash:attempts=99")
+        monkeypatch.setenv("REPRO_RETRIES", "0")
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0")
+        assert main(["run", "all", "--experiments", "figure1", "--scale",
+                     "0.05", "--shard", f"{shard}/64", "--out", out,
+                     "--keep-going"]) == 3
+        err = capsys.readouterr().err
+        assert "FAILED" in err and "InjectedCrash" in err
+        assert f"failures-{shard}-of-64.json" in err
+
+        monkeypatch.delenv("REPRO_FAULT_SPEC")
+        assert main(["run", "all", "--experiments", "figure1", "--scale",
+                     "0.05", "--shard", f"{shard}/64", "--resume", out,
+                     "--keep-going"]) == 0
+        assert not (tmp_path / "chaos" /
+                    f"failures-{shard}-of-64.json").exists()
+        assert (tmp_path / "chaos" /
+                f"shard-{shard}-of-64.json").exists()
+
     def test_merge_rejects_incomplete_fleet(self, tmp_path, capsys):
         out = str(tmp_path / "shards")
         assert main(["run", "all", "--experiments", "figure1", "--scale",
@@ -166,7 +241,8 @@ class TestRepetitionsOption:
 
     @pytest.mark.parametrize("flags", [["--jobs", "8"], ["--shard", "0/4"],
                                        ["--out", "x"],
-                                       ["--experiments", "figure1"]])
+                                       ["--experiments", "figure1"],
+                                       ["--keep-going"], ["--resume", "x"]])
     def test_all_only_flags_rejected_for_single_experiments(self, flags,
                                                             capsys):
         # Same rule for every 'all'-only flag: `run figure1 --jobs 8` must

@@ -7,6 +7,7 @@ import pytest
 from repro.cpu.config import fpga_prototype, sunny_cove_smt
 from repro.experiments.executor import (
     CaseSpec,
+    ExecutionError,
     RunResultCache,
     SweepExecutor,
     env_jobs,
@@ -169,8 +170,13 @@ class TestSweepExecutor:
 
     def test_unknown_kind_rejected(self):
         executor = SweepExecutor(jobs=1, cache=RunResultCache(directory=None))
-        with pytest.raises(ValueError):
+        # A deterministic misconfiguration is not retried (no backoff burn)
+        # and surfaces as a structured ExecutionError after one attempt.
+        with pytest.raises(ExecutionError, match="unknown case kind"):
             executor.run_spec(_spec(kind="gpu"))
+        assert len(executor.failures) == 1
+        assert executor.failures[0].attempts == 1
+        assert executor.failures[0].error == "ValueError"
 
 
 class TestSweepIntegration:

@@ -43,9 +43,13 @@ class TestScaling:
         scale = default_scale()
         assert scale.st_target_branches == ExperimentScale().st_target_branches // 2
 
-    def test_invalid_env_value_falls_back_to_one(self, monkeypatch):
-        monkeypatch.setenv("REPRO_SCALE", "banana")
-        assert env_scale_factor() == 1.0
+    @pytest.mark.parametrize("bad", ["banana", "0", "-1", "inf", "nan"])
+    def test_invalid_env_value_is_rejected_by_name(self, bad, monkeypatch):
+        # A typo'd REPRO_SCALE used to silently run at full fidelity; now it
+        # fails at parse time, naming the variable.
+        monkeypatch.setenv("REPRO_SCALE", bad)
+        with pytest.raises(ValueError, match="REPRO_SCALE"):
+            env_scale_factor()
 
     def test_env_value_is_clamped(self, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "1e9")

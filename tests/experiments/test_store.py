@@ -14,6 +14,7 @@ import pytest
 
 from repro.cpu.config import fpga_prototype
 from repro.experiments.executor import (
+    ENGINE_VERSION,
     CaseSpec,
     RunResultCache,
     SweepExecutor,
@@ -116,11 +117,19 @@ class TestCorruption:
         store = ResultStore(str(tmp_path))
         store.put(key, result)
         self._corrupt_entry(store, key)
-        assert store.get(key) is None
+        # verify is a read-only audit: it names the problem in place.
         report = store.verify()
         assert report["entries"] == 1
         assert len(report["corrupt"]) == 1
         assert "digest" in report["corrupt"][0][1]
+        assert report["quarantined"] == 0
+        # A read quarantines the entry (preserving the bytes) and misses.
+        assert store.get(key) is None
+        report = store.verify()
+        assert report["corrupt"] == []
+        assert report["quarantined"] == 1
+        assert store.quarantined() == [
+            os.path.join(ENGINE_VERSION, key[:2], f"{key}.json")]
 
     def test_truncated_entry_is_a_miss(self, tmp_path, simulated):
         key, result = simulated
@@ -128,8 +137,10 @@ class TestCorruption:
         store.put(key, result)
         with open(store.entry_path(key), "w", encoding="utf-8") as handle:
             handle.write('{"schema":')
-        assert store.get(key) is None
         assert store.verify()["corrupt"][0][1] == "not valid JSON"
+        assert store.get(key) is None
+        assert not os.path.exists(store.entry_path(key))  # quarantined
+        assert store.verify()["quarantined"] == 1
 
     def test_misfiled_key_detected(self, tmp_path, simulated):
         key, result = simulated
@@ -139,9 +150,36 @@ class TestCorruption:
         target = store.entry_path(wrong)
         os.makedirs(os.path.dirname(target), exist_ok=True)
         os.rename(store.entry_path(key), target)
-        assert store.get(wrong) is None
         report = store.verify()
         assert "filed under key" in report["corrupt"][0][1]
+        assert store.get(wrong) is None
+        assert store.verify()["quarantined"] == 1
+
+    def test_put_quarantines_and_replaces_corrupt_entry(self, tmp_path,
+                                                        simulated):
+        # Publication self-heals: the damaged bytes go to quarantine, the
+        # fresh result takes the slot, and the store serves it again.
+        key, result = simulated
+        store = ResultStore(str(tmp_path))
+        store.put(key, result)
+        with open(store.entry_path(key), "w", encoding="utf-8") as handle:
+            handle.write("{torn")
+        store.put(key, result)
+        assert store.get(key) is not None
+        assert store.verify()["corrupt"] == []
+        assert store.verify()["quarantined"] == 1
+
+    def test_quarantine_is_invisible_to_engines_and_gc(self, tmp_path,
+                                                       simulated):
+        key, result = simulated
+        store = ResultStore(str(tmp_path))
+        store.put(key, result)
+        self._corrupt_entry(store, key)
+        assert store.get(key) is None  # quarantines
+        assert store.keys() == []  # nothing servable left
+        assert "quarantine" not in store.engines()
+        assert store.gc() == 0
+        assert store.verify()["quarantined"] == 1  # gc left the evidence
 
     def test_export_refuses_misfiled_entries(self, tmp_path, simulated):
         # An internally-consistent entry copied under another key's path
