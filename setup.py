@@ -1,11 +1,28 @@
-"""Legacy setup shim.
+"""Development-install configuration for the reproduction package.
 
-The canonical build configuration lives in ``pyproject.toml``; this file
-exists so that environments without the ``wheel`` package (which PEP 660
-editable installs require) can still do a development install via
-``python setup.py develop`` or ``pip install -e . --no-build-isolation``.
+Install in editable mode with ``pip install -e .`` (or, in environments
+without the ``wheel`` package that PEP 660 editable installs require,
+``pip install -e . --no-build-isolation``).
+
+The core package is dependency-free by design: the default ``python``
+execution backend and every figure pipeline run on the standard library
+alone.  The optional ``numpy`` extra enables the vectorized execution
+backend (``REPRO_BACKEND=numpy``), which is bit-identical to the default
+backend and only changes wall-clock time::
+
+    pip install -e ".[numpy]"
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-bp-isolation",
+    description="Reproduction of branch-predictor isolation experiments",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.11",
+    install_requires=[],
+    extras_require={
+        "numpy": ["numpy"],
+    },
+)

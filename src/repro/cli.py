@@ -23,6 +23,7 @@ Every subcommand prints human-readable text to stdout; ``run``, ``merge`` and
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -59,6 +60,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "REPRO_SHARD) and write a shard artifact")
     run.add_argument("--jobs", default=None, metavar="N",
                      help="worker processes (default from REPRO_JOBS)")
+    run.add_argument("--backend", default=None, metavar="NAME",
+                     help="execution backend (python|numpy; default from "
+                          "REPRO_BACKEND, falling back to the bit-exact "
+                          "python reference)")
     run.add_argument("--repetitions", default=None, metavar="N",
                      help="with 'all': run every planned case N times under "
                           "shifted seeds and fold figures into mean ± 95%% CI "
@@ -219,6 +224,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from .analysis.export import save_figure_csv, save_result_json
     from .experiments import EXPERIMENTS
 
+    if _apply_backend_flag(args.backend):
+        return 2
     if args.experiment == "all":
         return _cmd_run_all(args)
     # 'all'-only flags must never be silently dropped: a user asking for a
@@ -268,8 +275,10 @@ def _env_exec_error() -> bool:
     Any command that ends up in :func:`default_executor` would otherwise die
     with an uncaught traceback from deep inside the executor (or worker)
     setup.  Covers ``REPRO_JOBS``, ``REPRO_SCALE``, ``REPRO_CASE_TIMEOUT``,
-    ``REPRO_RETRIES``, ``REPRO_RETRY_BACKOFF`` and ``REPRO_FAULT_SPEC``.
+    ``REPRO_RETRIES``, ``REPRO_RETRY_BACKOFF``, ``REPRO_FAULT_SPEC`` and
+    ``REPRO_BACKEND``.
     """
+    from .engine import env_backend
     from .experiments.executor import (
         env_case_timeout,
         env_jobs,
@@ -280,12 +289,33 @@ def _env_exec_error() -> bool:
     from .testing.faults import active_clauses
 
     for check in (env_jobs, env_scale_factor, env_case_timeout, env_retries,
-                  env_retry_backoff, active_clauses):
+                  env_retry_backoff, active_clauses, env_backend):
         try:
             check()
         except ValueError as exc:
             print(str(exc), file=sys.stderr)
             return True
+    return False
+
+
+def _apply_backend_flag(raw) -> bool:
+    """Validate ``--backend`` and export it as ``REPRO_BACKEND``.
+
+    The flag is exported to the environment (rather than threaded through
+    the planning layer) so executor worker processes inherit the same
+    backend selection; backends never affect results, caching or store
+    keys, so this is purely an execution-strategy knob.  Returns True
+    (after printing the named error) when the value is rejected.
+    """
+    if raw is None:
+        return False
+    from .engine import BACKEND_VAR, parse_backend
+
+    try:
+        os.environ[BACKEND_VAR] = parse_backend(raw, source="--backend")
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return True
     return False
 
 

@@ -1,0 +1,33 @@
+"""Execution-backend registry for the batched simulation engines.
+
+See :mod:`repro.engine.backends` for the backend contract.  The
+``python`` backend is the bit-exact reference; the optional ``numpy``
+backend vectorizes the TAGE/gshare/BTB fast paths and the trace
+generator while staying bit-identical to it.
+"""
+
+from .backends import (
+    BACKEND_VAR,
+    DEFAULT_BACKEND,
+    ExecutionBackend,
+    PythonBackend,
+    active_backend,
+    available_backends,
+    env_backend,
+    get_backend,
+    parse_backend,
+    register_backend,
+)
+
+__all__ = [
+    "BACKEND_VAR",
+    "DEFAULT_BACKEND",
+    "ExecutionBackend",
+    "PythonBackend",
+    "active_backend",
+    "available_backends",
+    "env_backend",
+    "get_backend",
+    "parse_backend",
+    "register_backend",
+]

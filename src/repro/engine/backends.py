@@ -1,0 +1,215 @@
+"""Execution-backend registry.
+
+The batched engines (:class:`repro.cpu.core.SingleThreadCore`,
+:class:`repro.cpu.smt.SmtCore`) do not talk to predictors directly when
+they enter the hot loop — they resolve per-thread *kernels* through the
+``exec_kernel`` / ``exec_conditional_kernel`` fetch protocol and replay
+trace batches from ``record_batches``.  An *execution backend* is the
+object that performs that resolution, which is the single seam where an
+alternative implementation (today: NumPy-vectorized) can be swapped in
+without the cores knowing anything about it.
+
+Contract
+--------
+
+Every backend must preserve **bit-identity** with the ``python``
+reference backend: the same trace records, the same predictor state
+after every branch, the same :class:`~repro.cpu.stats.ThreadStats`, and
+therefore the same figures, cache keys, and store payloads.  Backends
+are a pure execution strategy — ``ENGINE_VERSION`` and
+``CaseSpec.cache_key()`` deliberately do not mention them.
+
+A backend supplies three hooks:
+
+``direction_kernel_fetch(direction)``
+    returns a ``fetch(thread_id) -> kernel`` callable (or ``None`` when
+    the predictor has no kernel protocol).  The returned kernel has the
+    reference signature ``kernel(pc, taken, thread_id=0) -> bool``.
+
+``conditional_kernel_fetch(btb)``
+    same, for the BTB conditional kernel
+    (``kernel(pc, target, taken, thread_id=0) -> (hit, target)``).
+
+``batch_stream(workload, n, seed_offset=0)``
+    returns the endless iterator of trace batches for one workload.
+
+Kernels returned by a backend may additionally expose an optional
+``feed(buf, pos)`` method.  The engines call it whenever the upcoming
+record stream changes — after loading a new trace buffer and after
+re-fetching kernels across a switch — giving vectorized kernels the
+lookahead they need to precompute.  ``feed`` is purely advisory: a
+kernel must produce bit-identical results (falling back to scalar
+evaluation) when called without it.
+
+Selection
+---------
+
+``REPRO_BACKEND`` (or ``--backend`` on the CLI) names the backend;
+:func:`parse_backend` validates the name with the same strict
+named-source convention as ``REPRO_SCALE``/``REPRO_JOBS``.  ``python``
+is the default and the bit-exact reference; ``numpy`` is optional —
+requesting it without numpy installed is a hard error, while an unset
+``REPRO_BACKEND`` always falls back to ``python``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Iterator, List, Optional
+
+__all__ = [
+    "BACKEND_VAR",
+    "DEFAULT_BACKEND",
+    "ExecutionBackend",
+    "PythonBackend",
+    "register_backend",
+    "available_backends",
+    "get_backend",
+    "parse_backend",
+    "env_backend",
+    "active_backend",
+]
+
+#: Environment variable naming the active execution backend.
+BACKEND_VAR = "REPRO_BACKEND"
+
+#: The reference backend used when nothing is requested.
+DEFAULT_BACKEND = "python"
+
+
+class ExecutionBackend:
+    """Base execution backend: the reference kernel-resolution strategy.
+
+    Subclasses override the hooks to substitute accelerated kernels;
+    the base implementations define the bit-exact reference behaviour.
+    """
+
+    #: Registry name of the backend (also reported by ``kernel.backend``).
+    name = "abstract"
+
+    def direction_kernel_fetch(self, direction) -> Optional[Callable]:
+        """Kernel fetcher for a direction predictor (``None`` if absent)."""
+        return getattr(direction, "exec_kernel", None)
+
+    def conditional_kernel_fetch(self, btb) -> Optional[Callable]:
+        """Kernel fetcher for a BTB (``None`` if absent)."""
+        return getattr(btb, "exec_conditional_kernel", None)
+
+    def batch_stream(self, workload, n: int, seed_offset: int = 0) -> Iterator[list]:
+        """Endless iterator of trace batches for one workload."""
+        from ..cpu.core import record_batch_stream
+
+        return record_batch_stream(workload, n, seed_offset=seed_offset)
+
+
+class PythonBackend(ExecutionBackend):
+    """The pure-Python reference backend (generated scalar kernels)."""
+
+    name = "python"
+
+
+_FACTORIES: Dict[str, Callable[[], ExecutionBackend]] = {}
+_INSTANCES: Dict[str, ExecutionBackend] = {}
+
+
+def register_backend(name: str, factory: Callable[[], ExecutionBackend],
+                     *, replace: bool = False) -> None:
+    """Register a backend factory under ``name``.
+
+    Raises:
+        ValueError: when ``name`` is already registered and ``replace``
+            is false.
+    """
+    key = name.strip().lower()
+    if not key:
+        raise ValueError("backend name must be non-empty")
+    if key in _FACTORIES and not replace:
+        raise ValueError(f"backend {key!r} is already registered")
+    _FACTORIES[key] = factory
+    _INSTANCES.pop(key, None)
+
+
+def available_backends() -> List[str]:
+    """Sorted names of every registered backend."""
+    return sorted(_FACTORIES)
+
+
+def get_backend(name: str) -> ExecutionBackend:
+    """Instantiate (once) and return the backend registered as ``name``.
+
+    Raises:
+        ValueError: unknown name, or the backend's dependencies are not
+            importable (e.g. ``numpy`` without numpy installed).
+    """
+    key = name.strip().lower()
+    instance = _INSTANCES.get(key)
+    if instance is not None:
+        return instance
+    if key not in _FACTORIES:
+        known = ", ".join(available_backends())
+        raise ValueError(f"unknown backend {name!r} (available: {known})")
+    instance = _FACTORIES[key]()
+    _INSTANCES[key] = instance
+    return instance
+
+
+def parse_backend(raw: str, *, source: str = BACKEND_VAR) -> str:
+    """Validate a backend name, naming ``source`` in every error.
+
+    Mirrors the strict parsing convention of ``REPRO_SCALE`` /
+    ``REPRO_JOBS``: unknown names and an unusable ``numpy`` request are
+    both hard errors attributed to the flag or variable that supplied
+    the value.
+
+    Returns:
+        the canonical (lower-case) backend name.
+
+    Raises:
+        ValueError: unknown backend name, or a backend whose
+            dependencies cannot be imported.
+    """
+    key = raw.strip().lower()
+    if key not in _FACTORIES:
+        known = ", ".join(available_backends())
+        raise ValueError(
+            f"{source} must name a registered backend ({known}); got {raw!r}")
+    try:
+        get_backend(key)
+    except ValueError:
+        raise
+    except ImportError as exc:
+        raise ValueError(f"{source}={key} is not usable: {exc}") from exc
+    return key
+
+
+def env_backend(environ=None) -> str:
+    """Backend name selected by ``REPRO_BACKEND`` (default ``python``).
+
+    Raises:
+        ValueError: the variable is set to an unknown or unusable name.
+    """
+    env = os.environ if environ is None else environ
+    raw = env.get(BACKEND_VAR)
+    if raw is None or not raw.strip():
+        return DEFAULT_BACKEND
+    return parse_backend(raw, source=BACKEND_VAR)
+
+
+def active_backend() -> ExecutionBackend:
+    """The backend instance selected by the environment."""
+    return get_backend(env_backend())
+
+
+def _numpy_factory() -> ExecutionBackend:
+    try:
+        from .numpy_backend import NumpyBackend
+    except ImportError as exc:
+        raise ImportError(
+            "the numpy execution backend requires numpy, which is not "
+            f"importable ({exc}); install numpy or use REPRO_BACKEND=python"
+        ) from exc
+    return NumpyBackend()
+
+
+register_backend("python", PythonBackend)
+register_backend("numpy", _numpy_factory)

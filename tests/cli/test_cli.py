@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+import os
 
 import pytest
 
@@ -269,6 +270,30 @@ class TestRepetitionsOption:
         assert main(["run", "all", "--experiments", "table5"]) == 0
         assert "cases: 0 unique, 0 simulated, 0 store hit(s)" \
             in capsys.readouterr().out
+
+
+class TestBackendOption:
+    def test_unknown_backend_flag_rejected(self, capsys):
+        assert main(["run", "table2", "--backend", "cuda"]) == 2
+        err = capsys.readouterr().err
+        assert "--backend" in err and "'cuda'" in err
+
+    def test_backend_flag_exported_for_workers(self, capsys):
+        # The flag reaches the environment so executor worker processes
+        # inherit the same backend selection.
+        assert main(["run", "table2", "--backend", "python"]) == 0
+        assert os.environ.get("REPRO_BACKEND") == "python"
+
+    def test_numpy_backend_flag_accepted(self, capsys):
+        pytest.importorskip("numpy")
+        assert main(["run", "table2", "--backend", "numpy"]) == 0
+        assert os.environ.get("REPRO_BACKEND") == "numpy"
+
+    def test_malformed_env_backend_rejected_before_planning(self, capsys,
+                                                            monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "gpu")
+        assert main(["run", "all", "--experiments", "table5"]) == 2
+        assert "REPRO_BACKEND" in capsys.readouterr().err
 
 
 class TestStoreCommand:

@@ -1,0 +1,152 @@
+"""Registry / selection behaviour of the execution-backend layer.
+
+Covers the contract that does **not** need numpy: registration rules,
+strict named-source parsing (the ``REPRO_SCALE`` convention), and the
+environment fallback.  Bit-identity of the numpy backend itself lives in
+``test_backend_parity.py``.
+"""
+
+import pytest
+
+from repro.engine import backends as eb
+from repro.engine import (
+    BACKEND_VAR,
+    DEFAULT_BACKEND,
+    ExecutionBackend,
+    PythonBackend,
+    active_backend,
+    available_backends,
+    env_backend,
+    get_backend,
+    parse_backend,
+    register_backend,
+)
+
+
+class _DummyBackend(ExecutionBackend):
+    name = "dummy"
+
+
+@pytest.fixture
+def scratch_registry():
+    """Let a test register throwaway backends without leaking them."""
+    before = set(eb._FACTORIES)
+    yield
+    for key in set(eb._FACTORIES) - before:
+        eb._FACTORIES.pop(key, None)
+        eb._INSTANCES.pop(key, None)
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        names = available_backends()
+        assert "python" in names
+        assert "numpy" in names
+
+    def test_python_backend_is_singleton_reference(self):
+        backend = get_backend("python")
+        assert isinstance(backend, PythonBackend)
+        assert backend.name == DEFAULT_BACKEND == "python"
+        assert get_backend("python") is backend
+        assert get_backend("  PYTHON ") is backend  # normalised lookup
+
+    def test_unknown_backend_names_available_set(self):
+        with pytest.raises(ValueError, match="unknown backend 'fortran'"):
+            get_backend("fortran")
+
+    def test_duplicate_registration_rejected(self, scratch_registry):
+        register_backend("dummy", _DummyBackend)
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("dummy", _DummyBackend)
+        # replace=True is the explicit override, and drops the old instance
+        first = get_backend("dummy")
+        register_backend("dummy", _DummyBackend, replace=True)
+        assert get_backend("dummy") is not first
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            register_backend("   ", _DummyBackend)
+
+
+class TestParseBackend:
+    def test_valid_name_canonicalised(self):
+        assert parse_backend(" Python ") == "python"
+
+    def test_unknown_name_names_the_env_var(self):
+        with pytest.raises(ValueError) as err:
+            parse_backend("cuda")
+        message = str(err.value)
+        assert BACKEND_VAR in message
+        assert "'cuda'" in message
+        assert "python" in message  # the error lists what *is* registered
+
+    def test_unknown_name_names_a_cli_source(self):
+        with pytest.raises(ValueError, match="--backend must name"):
+            parse_backend("cuda", source="--backend")
+
+    def test_unusable_backend_reports_import_failure(self, scratch_registry):
+        def broken_factory():
+            raise ImportError("no such module: not_a_real_dep")
+
+        register_backend("broken", broken_factory)
+        with pytest.raises(ValueError) as err:
+            parse_backend("broken", source="--backend")
+        message = str(err.value)
+        assert message.startswith("--backend=broken is not usable")
+        assert "not_a_real_dep" in message
+
+
+class TestEnvBackend:
+    def test_unset_falls_back_to_python(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_VAR, raising=False)
+        assert env_backend() == "python"
+        assert isinstance(active_backend(), PythonBackend)
+
+    def test_blank_falls_back_to_python(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_VAR, "   ")
+        assert env_backend() == "python"
+
+    def test_invalid_value_is_a_named_hard_error(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_VAR, "gpu")
+        with pytest.raises(ValueError, match=f"{BACKEND_VAR} must name"):
+            env_backend()
+
+    def test_explicit_mapping_overrides_environ(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_VAR, "gpu")
+        assert env_backend({}) == "python"
+        assert env_backend({BACKEND_VAR: "python"}) == "python"
+
+    def test_numpy_selection_when_available(self, monkeypatch):
+        pytest.importorskip("numpy")
+        monkeypatch.setenv(BACKEND_VAR, "numpy")
+        assert env_backend() == "numpy"
+        assert active_backend().name == "numpy"
+
+
+class TestNumpyFactoryError:
+    def test_missing_numpy_is_a_named_import_error(self, monkeypatch):
+        """Simulate numpy being absent: the error must tell users what to do."""
+        import builtins
+        import sys
+
+        real_import = builtins.__import__
+
+        def no_numpy(name, *args, **kwargs):
+            if name == "numpy" or name.startswith("numpy."):
+                raise ImportError("No module named 'numpy'")
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.delitem(sys.modules, "numpy", raising=False)
+        monkeypatch.delitem(sys.modules, "repro.engine.numpy_backend",
+                            raising=False)
+        monkeypatch.setattr(builtins, "__import__", no_numpy)
+        eb._INSTANCES.pop("numpy", None)
+        try:
+            with pytest.raises(ValueError) as err:
+                parse_backend("numpy")
+        finally:
+            monkeypatch.undo()
+            eb._INSTANCES.pop("numpy", None)
+        message = str(err.value)
+        assert f"{BACKEND_VAR}=numpy is not usable" in message
+        assert "install numpy or use REPRO_BACKEND=python" in message
