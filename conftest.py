@@ -45,7 +45,7 @@ def _isolate_repro_env():
                  "REPRO_CACHE_DIR", "REPRO_STORE_DIR",
                  "REPRO_CASE_TIMEOUT", "REPRO_RETRIES",
                  "REPRO_RETRY_BACKOFF", "REPRO_FAULT_SPEC",
-                 "REPRO_BACKEND"):
+                 "REPRO_BACKEND", "REPRO_TRACE_DIR"):
         patcher.delenv(name, raising=False)
     # REPRO_BACKEND is special: backends are bit-identical by contract, so
     # CI runs the whole suite under REPRO_BACKEND=numpy as a matrix leg.

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from .metrics import arithmetic_mean
+from .metrics import arithmetic_mean, geometric_mean
 from .tables import render_csv, render_table
 
 __all__ = ["FigureSeries", "format_value"]
@@ -85,6 +85,23 @@ class FigureSeries:
     def averages(self) -> Dict[str, float]:
         """Mean of every series."""
         return {label: self.average(label) for label in self.series}
+
+    def geomean(self, label: str) -> float:
+        """Geometric mean of one series across categories (SPEC-style).
+
+        For ``fraction`` series (normalised overheads, which may be zero or
+        negative) the geomean is taken over the ratios ``1 + overhead`` and
+        converted back, matching how SPEC harnesses summarise normalised
+        runtimes; other units take the geomean of the raw values.
+        """
+        values = self.series[label]
+        if self.unit == "fraction":
+            return geometric_mean([1.0 + value for value in values]) - 1.0
+        return geometric_mean(values)
+
+    def geomeans(self) -> Dict[str, float]:
+        """Geometric mean of every series."""
+        return {label: self.geomean(label) for label in self.series}
 
     # -- rendering ---------------------------------------------------------------
     def to_rows(self) -> List[List]:

@@ -54,6 +54,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also write the figure series as CSV")
     run.add_argument("--experiments", nargs="+", default=None, metavar="KEY",
                      help="with 'all': subset of experiment keys to plan")
+    run.add_argument("--bench-set", nargs="+", default=None, metavar="SELECTOR",
+                     help="with 'all': benchmark-set selectors (int, fp, "
+                          "large_footprint, indirect_heavy, all, traces, or "
+                          "'+'-joined unions) planned as bench:<selector> "
+                          "experiments alongside --experiments")
+    run.add_argument("--trace-dir", default=None, metavar="DIR",
+                     help="trace-corpus directory registered as trace:* "
+                          "workloads (default from REPRO_TRACE_DIR)")
     run.add_argument("--shard", default=None, metavar="I/N",
                      help="with 'all': execute only this shard of the global "
                           "case manifest (0-based, e.g. 0/4; default from "
@@ -95,6 +103,12 @@ def build_parser() -> argparse.ArgumentParser:
         "plan", help="plan the global case manifest without running anything")
     plan.add_argument("--experiments", nargs="+", default=None, metavar="KEY",
                       help="subset of experiment keys to plan")
+    plan.add_argument("--bench-set", nargs="+", default=None, metavar="SELECTOR",
+                      help="benchmark-set selectors planned as bench:<selector> "
+                           "experiments alongside --experiments")
+    plan.add_argument("--trace-dir", default=None, metavar="DIR",
+                      help="trace-corpus directory registered as trace:* "
+                           "workloads (default from REPRO_TRACE_DIR)")
     plan.add_argument("--scale", type=float, default=None,
                       help="trace-length scale factor")
     plan.add_argument("--repetitions", default=None, metavar="N",
@@ -226,6 +240,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     if _apply_backend_flag(args.backend):
         return 2
+    if _apply_trace_dir_flag(args.trace_dir):
+        return 2
     if args.experiment == "all":
         return _cmd_run_all(args)
     # 'all'-only flags must never be silently dropped: a user asking for a
@@ -235,6 +251,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ("--repetitions", args.repetitions), ("--shard", args.shard),
         ("--jobs", args.jobs), ("--out", args.out),
         ("--experiments", args.experiments),
+        ("--bench-set", args.bench_set),
         ("--keep-going", args.keep_going or None),
         ("--resume", args.resume)) if value is not None]
     if all_only:
@@ -319,6 +336,39 @@ def _apply_backend_flag(raw) -> bool:
     return False
 
 
+def _apply_trace_dir_flag(raw) -> bool:
+    """Validate ``--trace-dir`` and export it as ``REPRO_TRACE_DIR``.
+
+    Exported to the environment (like ``--backend``) so executor worker
+    processes resolve ``trace:*`` workloads against the same corpus.
+    Returns True (after printing the named error) when the directory does
+    not exist.
+    """
+    if raw is None:
+        return False
+    from .workloads.registry import TRACE_DIR_VAR
+
+    if not os.path.isdir(raw):
+        print(f"--trace-dir: {raw!r} is not a directory", file=sys.stderr)
+        return True
+    os.environ[TRACE_DIR_VAR] = raw
+    return False
+
+
+def _manifest_keys(experiments, bench_sets):
+    """Combine ``--experiments`` and ``--bench-set`` into manifest keys.
+
+    ``None`` (plan everything) only when neither flag was given; a bare
+    ``--bench-set`` plans just the requested selectors.
+    """
+    if experiments is None and bench_sets is None:
+        return None
+    keys = list(experiments) if experiments else []
+    if bench_sets:
+        keys.extend(f"bench:{selector}" for selector in bench_sets)
+    return keys
+
+
 def _resolve_jobs(raw) -> int:
     # A malformed --jobs or REPRO_JOBS must fail here, before any planning or
     # pool setup, with the offending setting named.
@@ -383,7 +433,8 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
                  if args.shard is not None else env_shard())
         repetitions = (parse_repetitions(args.repetitions)
                        if args.repetitions is not None else 1)
-        manifest = build_manifest(keys=args.experiments,
+        manifest = build_manifest(keys=_manifest_keys(args.experiments,
+                                                      args.bench_set),
                                   scale=_resolve_scale(args.scale),
                                   repetitions=repetitions)
     except ValueError as exc:
@@ -507,10 +558,13 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     from .analysis import render_table
     from .experiments.manifest import build_manifest, parse_repetitions
 
+    if _apply_trace_dir_flag(args.trace_dir):
+        return 2
     try:
         repetitions = (parse_repetitions(args.repetitions)
                        if args.repetitions is not None else 1)
-        manifest = build_manifest(keys=args.experiments,
+        manifest = build_manifest(keys=_manifest_keys(args.experiments,
+                                                      args.bench_set),
                                   scale=_resolve_scale(args.scale),
                                   repetitions=repetitions)
     except ValueError as exc:

@@ -50,7 +50,8 @@ def record_batch_stream(workload, n: int, seed_offset: int = 0):
             append = batch.append
             for record in records:
                 append((record.pc, record.taken, record.target,
-                        record.branch_type, record.instructions))
+                        record.branch_type, record.instructions,
+                        record.syscall_after))
                 if len(batch) >= n:
                     break
             if not batch:
@@ -189,6 +190,18 @@ class SingleThreadCore:
                 if outcome.btb_hit:
                     stat.btb_hits += 1
 
+            # Trace-embedded syscall marker: the recorded program performed a
+            # system call right after this branch, so the privilege round-trip
+            # happens here regardless of the periodic model's schedule.
+            if record.syscall_after:
+                self.bpu.notify_privilege_switch(self.HW_THREAD, Privilege.KERNEL)
+                self.bpu.notify_privilege_switch(self.HW_THREAD, Privilege.USER)
+                privilege_switches += 2
+                stat.syscalls += 1
+                cycles += kernel_cycles
+                stat.cycles += kernel_cycles
+                own_cycles[current] += kernel_cycles
+
             # System calls of the running workload (driven by its own cycles).
             n_syscalls = syscalls[current].due(own_cycles[current])
             for _ in range(n_syscalls):
@@ -240,7 +253,8 @@ class SingleThreadCore:
         """Chunked-trace fast engine (cycle-exact vs. :meth:`_run_scalar`).
 
         The loop consumes pre-generated ``(pc, taken, target, type,
-        instructions)`` tuples from :meth:`SyntheticWorkload.record_batches`,
+        instructions, syscall_after)`` tuples from
+        :meth:`SyntheticWorkload.record_batches`,
         drives the BPU through its allocation-light fast path, folds the
         timing model into inline arithmetic and only calls into the periodic
         OS-event machinery when an event is actually due.  Every arithmetic
@@ -345,7 +359,7 @@ class SingleThreadCore:
                     dir_feed(buf, 0)
                 if btb_feed is not None:
                     btb_feed(buf, 0)
-            pc, taken, target, branch_type, instructions = buf[pos]
+            pc, taken, target, branch_type, instructions, syscall_after = buf[pos]
             pos += 1
 
             if branch_type is conditional:
@@ -398,6 +412,28 @@ class SingleThreadCore:
                     s_lookups += 1
                     if btb_hit:
                         s_hits += 1
+
+            # Trace-embedded syscall marker (mirrors the scalar engine): the
+            # privilege round-trip happens immediately after this record, and
+            # the kernels are re-fetched because a switch may rotate keys.
+            if syscall_after:
+                notify_privilege(hw, kernel)
+                notify_privilege(hw, user)
+                privilege_switches += 2
+                s_sys += 1
+                cycles += kernel_cycles
+                s_cycles += kernel_cycles
+                own += kernel_cycles
+                if exec_kernel is not None:
+                    dir_execute = exec_kernel(hw)
+                    dir_feed = getattr(dir_execute, "feed", None)
+                    if dir_feed is not None:
+                        dir_feed(buf, pos)
+                if btb_kernel is not None:
+                    btb_conditional = btb_kernel(hw)
+                    btb_feed = getattr(btb_conditional, "feed", None)
+                    if btb_feed is not None:
+                        btb_feed(buf, pos)
 
             # System calls of the running workload (driven by its own cycles);
             # the schedule is only consulted when a call is actually due.

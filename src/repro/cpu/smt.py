@@ -167,6 +167,16 @@ class SmtCore:
                 if outcome.btb_hit:
                     stat.btb_hits += 1
 
+            # Trace-embedded syscall marker: honored even in SE mode (the
+            # marker is recorded program behavior, not the periodic OS model).
+            if record.syscall_after:
+                self.bpu.notify_privilege_switch(thread, Privilege.KERNEL)
+                self.bpu.notify_privilege_switch(thread, Privilege.USER)
+                privilege_switches += 2
+                stat.syscalls += 1
+                local_cycles[thread] += kernel_cycles
+                stat.cycles += kernel_cycles
+
             # Per-thread system calls (absent in SE mode).
             n_syscalls = 0 if self.se_mode else syscalls[thread].due(local_cycles[thread])
             for _ in range(n_syscalls):
@@ -305,7 +315,7 @@ class SmtCore:
                 feed = btb_feeds[thread]
                 if feed is not None:
                     feed(buf, 0)
-            pc, taken, target, branch_type, record_instructions = buf[pos]
+            pc, taken, target, branch_type, record_instructions, syscall_after = buf[pos]
             positions[thread] = pos + 1
 
             if branch_type is conditional:
@@ -362,6 +372,28 @@ class SmtCore:
                     stat.btb_lookups += 1
                     if btb_hit:
                         stat.btb_hits += 1
+
+            # Trace-embedded syscall marker (mirrors the scalar engine; honored
+            # even in SE mode — it is recorded program behavior).  Kernels are
+            # re-fetched because the privilege switch may rotate keys.
+            if syscall_after:
+                notify_privilege(thread, kernel)
+                notify_privilege(thread, user)
+                privilege_switches += 2
+                stat.syscalls += 1
+                local += kernel_cycles
+                stat.cycles += kernel_cycles
+                local_cycles[thread] = local
+                if exec_kernel is not None:
+                    fn = dir_kernels[thread] = exec_kernel(thread)
+                    feed = dir_feeds[thread] = getattr(fn, "feed", None)
+                    if feed is not None:
+                        feed(buf, positions[thread])
+                if btb_kernel is not None:
+                    fn = btb_kernels[thread] = btb_kernel(thread)
+                    feed = btb_feeds[thread] = getattr(fn, "feed", None)
+                    if feed is not None:
+                        feed(buf, positions[thread])
 
             # Per-thread system calls (absent in SE mode).
             if not se_mode:

@@ -290,6 +290,12 @@ class CaseSpec:
         bpu_overrides: optional isolation-config overrides applied when the
             branch prediction unit is built (ablation studies: alternative
             encoders, key-refresh policies).  Part of the cache key.
+        workload_digest: content digest of an externally supplied workload
+            (a replayed trace corpus file).  Synthetic cases are fully
+            described by benchmark name + seed, but a ``trace:`` benchmark's
+            behaviour is the file's *contents* — so the digest joins the
+            cache key, and only when set (``None`` leaves every historical
+            synthetic cache/store key byte-identical).
         label: result label for the caller's bookkeeping; not part of the
             cache key (two labels for the same case share one simulation).
     """
@@ -303,6 +309,7 @@ class CaseSpec:
     seed_offset: int = 0
     se_mode: bool = True
     bpu_overrides: Optional[Dict] = None
+    workload_digest: Optional[str] = None
     label: Optional[str] = None
 
     def cache_key(self) -> str:
@@ -332,6 +339,8 @@ class CaseSpec:
             "se_mode": self.se_mode if self.kind == "smt" else None,
             "bpu_overrides": self.bpu_overrides or None,
         }
+        if self.workload_digest is not None:
+            payload["workload_digest"] = self.workload_digest
         canonical = json.dumps(payload, sort_keys=True, default=str)
         digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
         self._cache_key = (ENGINE_VERSION, digest)

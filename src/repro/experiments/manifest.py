@@ -389,6 +389,18 @@ def build_manifest(keys: Optional[Sequence[str]] = None,
     # First-appearance dedupe: `--experiments figure1 figure1` must plan,
     # render and hash exactly like the single selection.
     keys = list(dict.fromkeys(keys))
+    # ``bench:<selector>`` keys are resolved dynamically against the workload
+    # registry (the selector space is open-ended: unions, trace corpora), so
+    # manifests written by `repro run --bench-set ...` re-plan at merge time
+    # exactly like the statically registered experiments.
+    dynamic = [key for key in keys
+               if key.startswith("bench:") and key not in registry]
+    if dynamic:
+        from . import bench_suite
+
+        registry = dict(registry)
+        for key in dynamic:
+            registry[key] = bench_suite.experiment_def(key[len("bench:"):])
     unknown = [key for key in keys if key not in registry]
     if unknown:
         raise ValueError(

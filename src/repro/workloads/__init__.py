@@ -3,10 +3,12 @@
 from .calibration import CalibrationPoint, calibrate_benchmark, calibrate_suite
 from .generator import BranchSite, SyntheticWorkload, make_workload
 from .traceio import (
+    TRACE_SUFFIXES,
     TraceFormatError,
     TraceWorkload,
     read_trace,
     record_workload,
+    trace_label,
     write_trace,
 )
 from .pairs import (
@@ -14,9 +16,19 @@ from .pairs import (
     SMT2_PAIRS,
     SMT4_QUADS,
     BenchmarkPair,
+    UnknownPairSetError,
     case_names,
     get_pair,
     make_pair_workloads,
+)
+from .registry import (
+    TRACE_DIR_VAR,
+    TRACE_PREFIX,
+    UnknownBenchSetError,
+    WorkloadEntry,
+    WorkloadRegistry,
+    env_trace_dir,
+    get_registry,
 )
 from .spec_profiles import SPEC_PROFILES, BenchmarkProfile, get_profile, profile_names
 from .trace import BranchRecord, TraceStats, collect_stats
@@ -39,12 +51,22 @@ __all__ = [
     "SPEC_PROFILES",
     "get_profile",
     "profile_names",
+    "UnknownPairSetError",
     "BranchRecord",
     "TraceStats",
     "collect_stats",
+    "TRACE_SUFFIXES",
     "TraceFormatError",
     "TraceWorkload",
     "read_trace",
+    "trace_label",
     "write_trace",
     "record_workload",
+    "TRACE_DIR_VAR",
+    "TRACE_PREFIX",
+    "UnknownBenchSetError",
+    "WorkloadEntry",
+    "WorkloadRegistry",
+    "env_trace_dir",
+    "get_registry",
 ]

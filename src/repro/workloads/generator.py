@@ -192,12 +192,16 @@ class SyntheticWorkload:
         """Endless stream of branch-record *batches* (the engine hot path).
 
         Each yielded batch is a list of at least ``n`` plain tuples
-        ``(pc, taken, target, branch_type, instructions)`` where
-        ``instructions`` is the record's committed-instruction count (the
-        branch itself plus its preceding gap, i.e.
-        :attr:`repro.workloads.trace.BranchRecord.instructions`).  Batches can
-        slightly exceed ``n`` because loop bodies and call/return pairs are
-        emitted atomically.
+        ``(pc, taken, target, branch_type, instructions, syscall_after)``
+        where ``instructions`` is the record's committed-instruction count
+        (the branch itself plus its preceding gap, i.e.
+        :attr:`repro.workloads.trace.BranchRecord.instructions`) and
+        ``syscall_after`` is the embedded privilege-switch marker — always
+        ``False`` for synthetic workloads, whose system calls are driven by
+        the profile's periodic rate instead (recorded traces carry real
+        markers through the same tuple slot).  Batches can slightly exceed
+        ``n`` because loop bodies and call/return pairs are emitted
+        atomically.
 
         The tuple stream is the *primary* generator: :meth:`records` is a thin
         wrapper around it, so both APIs produce identical traces for the same
@@ -350,15 +354,17 @@ class SyntheticWorkload:
                     gaps = gap_block(rng, trip, neg_mean_gap)
                     last = trip - 1
                     batch.extend(
-                        (pc, True, target, conditional, gaps[k])
+                        (pc, True, target, conditional, gaps[k], False)
                         for k in range(last))
-                    append((pc, False, target, conditional, gaps[last]))
+                    append((pc, False, target, conditional, gaps[last], False))
                 else:
                     for _ in range(trip - 1):
                         append((pc, True, target, conditional,
-                                int(log(1.0 - random_()) * neg_mean_gap) + 1))
+                                int(log(1.0 - random_()) * neg_mean_gap) + 1,
+                                False))
                     append((pc, False, target, conditional,
-                            int(log(1.0 - random_()) * neg_mean_gap) + 1))
+                            int(log(1.0 - random_()) * neg_mean_gap) + 1,
+                            False))
             else:
                 if kind == pattern_kind:
                     period = int(sites[site_index].aux)
@@ -371,7 +377,7 @@ class SyntheticWorkload:
                              == site_aux[site_index])
                 append((site_pc[site_index], taken, site_target[site_index],
                         conditional,
-                        int(log(1.0 - random_()) * neg_mean_gap) + 1))
+                        int(log(1.0 - random_()) * neg_mean_gap) + 1, False))
 
             # Occasionally interleave call/return pairs and indirect jumps.
             if call_skip > 0:
@@ -380,9 +386,9 @@ class SyntheticWorkload:
                 call_pc = choice(call_sites)
                 callee = call_pc + 0x1000
                 append((call_pc, True, callee, call_type,
-                        int(log(1.0 - random_()) * neg_mean_gap) + 1))
+                        int(log(1.0 - random_()) * neg_mean_gap) + 1, False))
                 append((callee + 0x40, True, call_pc + 4, return_type,
-                        int(log(1.0 - random_()) * neg_mean_gap) + 1))
+                        int(log(1.0 - random_()) * neg_mean_gap) + 1, False))
                 call_skip = skip(call_log1m)
             if indirect_skip > 0:
                 indirect_skip -= 1
@@ -394,7 +400,7 @@ class SyntheticWorkload:
                 # perfect nor hopeless on indirect branches.
                 target = targets[indirect_counters[index] % len(targets)]
                 append((pc, True, target, indirect_type,
-                        int(log(1.0 - random_()) * neg_mean_gap) + 1))
+                        int(log(1.0 - random_()) * neg_mean_gap) + 1, False))
                 indirect_skip = skip(indirect_log1m)
 
             if len(batch) >= n:
@@ -414,9 +420,9 @@ class SyntheticWorkload:
                 decorrelate the two copies of a benchmark).
         """
         for batch in self.record_batches(256, seed_offset):
-            for pc, taken, target, branch_type, instructions in batch:
+            for pc, taken, target, branch_type, instructions, syscall in batch:
                 yield BranchRecord(pc, taken, target, branch_type,
-                                   instructions - 1)
+                                   instructions - 1, syscall)
 
     def segment(self, n_branches: int, seed_offset: int = 0) -> List[BranchRecord]:
         """Materialise the first ``n_branches`` records of the stream."""

@@ -21,10 +21,29 @@ __all__ = [
     "SINGLE_THREAD_PAIRS",
     "SMT2_PAIRS",
     "SMT4_QUADS",
+    "UnknownPairSetError",
     "case_names",
     "get_pair",
     "make_pair_workloads",
 ]
+
+
+class UnknownPairSetError(KeyError):
+    """Raised for an unknown pair-set name, listing the valid sets.
+
+    Subclasses :class:`KeyError` so existing ``except KeyError`` callers
+    keep working, but renders a proper message (the repo's strict
+    named-source convention, like ``REPRO_SCALE``/``REPRO_BACKEND``).
+    """
+
+    def __init__(self, which: str, valid: Tuple[str, ...]) -> None:
+        super().__init__(which)
+        self.which = which
+        self.valid = valid
+
+    def __str__(self) -> str:
+        options = ", ".join(sorted(self.valid))
+        return f"unknown pair set {self.which!r} (valid sets: {options})"
 
 
 @dataclass(frozen=True)
@@ -101,18 +120,30 @@ _PAIR_SETS: Dict[str, List[BenchmarkPair]] = {
 }
 
 
+def _pair_set(which: str) -> List[BenchmarkPair]:
+    try:
+        return _PAIR_SETS[which]
+    except KeyError:
+        raise UnknownPairSetError(which, tuple(_PAIR_SETS)) from None
+
+
 def case_names(which: str = "single") -> List[str]:
-    """Case labels of a pair set (``single``, ``smt2`` or ``smt4``)."""
-    return [pair.case for pair in _PAIR_SETS[which]]
+    """Case labels of a pair set (``single``, ``smt2`` or ``smt4``).
+
+    Raises:
+        UnknownPairSetError: for a pair-set name outside those three.
+    """
+    return [pair.case for pair in _pair_set(which)]
 
 
 def get_pair(case: str, which: str = "single") -> BenchmarkPair:
     """Look up a case by label.
 
     Raises:
+        UnknownPairSetError: when the pair-set name is unknown.
         KeyError: when the case label is unknown.
     """
-    for pair in _PAIR_SETS[which]:
+    for pair in _pair_set(which):
         if pair.case == case:
             return pair
     raise KeyError(f"unknown case {case!r} in pair set {which!r}")
@@ -134,9 +165,20 @@ def make_pair_workloads(pair: BenchmarkPair, seed: int = 0) -> List[SyntheticWor
     :data:`_SLOT_TEXT_STRIDE`) so that co-running programs do not
     systematically alias onto the same predictor entries, mirroring the
     unrelated code layouts of real SPEC pairs.
+
+    Benchmark names carrying the ``trace:`` prefix are resolved through
+    :func:`repro.workloads.registry.get_registry` into replayed
+    :class:`~repro.workloads.traceio.TraceWorkload` instances (the trace
+    corpus under ``REPRO_TRACE_DIR``); a recorded trace has fixed
+    addresses, so the per-slot text stride does not apply to it.
     """
     workloads = []
     for i, name in enumerate(pair.benchmarks):
-        workloads.append(SyntheticWorkload(get_profile(name), seed=seed + i,
-                                           text_base=0x0040_0000 + i * _SLOT_TEXT_STRIDE))
+        if name.startswith("trace:"):
+            from .registry import get_registry
+
+            workloads.append(get_registry().make_workload(name))
+        else:
+            workloads.append(SyntheticWorkload(get_profile(name), seed=seed + i,
+                                               text_base=0x0040_0000 + i * _SLOT_TEXT_STRIDE))
     return workloads

@@ -1,0 +1,270 @@
+"""First-class workload registry with named benchmark-set selectors.
+
+Modeled on the SPEC harness shape of vusec's ``instrumentation-infra``
+(named benchmark sets like ``int``/``fp``/``all_c`` resolved from a
+registry, duplicate-pruned selections, geomean summary reporting): one
+registry unifies
+
+* the synthetic SPEC CPU2006-like profiles of
+  :mod:`repro.workloads.spec_profiles`, and
+* a **trace corpus** — recorded branch traces (see
+  :mod:`repro.workloads.traceio`) found under a directory given by the
+  ``REPRO_TRACE_DIR`` environment variable or the ``--trace-dir`` CLI
+  flag, registered as ``trace:<label>`` workloads —
+
+behind named benchmark-set selectors (``int``, ``fp``,
+``large_footprint``, ``indirect_heavy``, ``all``, ``traces``) and
+user-defined ``+``-joined unions of sets and workload names
+(``int+traces``, ``gcc+mcf+trace:mybench``).  Selections are
+duplicate-pruned while preserving first-appearance order, so
+``int+large_footprint`` lists ``gcc`` once.
+
+Trace entries carry a SHA-256 content digest: a trace workload's
+behaviour is the file's *contents*, not its name, so the digest feeds
+:attr:`repro.experiments.executor.CaseSpec.workload_digest` and keeps
+result-store addressing honest when a corpus file changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .spec_profiles import SPEC_PROFILES, profile_names
+from .traceio import TRACE_SUFFIXES, TraceWorkload, trace_label
+
+__all__ = [
+    "TRACE_DIR_VAR",
+    "TRACE_PREFIX",
+    "UnknownBenchSetError",
+    "WorkloadEntry",
+    "WorkloadRegistry",
+    "env_trace_dir",
+    "get_registry",
+]
+
+#: Environment variable naming the trace-corpus directory (set by the CLI's
+#: ``--trace-dir`` flag so worker processes inherit the corpus location).
+TRACE_DIR_VAR = "REPRO_TRACE_DIR"
+
+#: Registry-name prefix of trace-corpus workloads (``trace:<label>``).
+TRACE_PREFIX = "trace:"
+
+#: SPEC CPU2006 integer-suite benchmarks (CINT2006); every other synthetic
+#: profile belongs to the floating-point suite (CFP2006).
+_INT_BENCHMARKS = frozenset({
+    "perlbench", "bzip2_source", "gcc", "mcf", "gobmk", "hmmer", "sjeng",
+    "libquantum", "h264ref", "omnetpp", "astar",
+})
+
+#: ``large_footprint`` membership: static conditional working set at least
+#: this many sites (the benchmarks whose predictor state a flush hurts most).
+_LARGE_FOOTPRINT_SITES = 2048
+
+#: ``indirect_heavy`` membership: at least this many static indirect sites…
+_INDIRECT_SITES = 40
+#: …or at least this fraction of dynamic branches being indirect jumps.
+_INDIRECT_FRACTION = 0.04
+
+
+class UnknownBenchSetError(ValueError):
+    """Raised for a selector token that is neither a set nor a workload."""
+
+    def __init__(self, token: str, sets: Tuple[str, ...]) -> None:
+        self.token = token
+        self.sets = sets
+        super().__init__(
+            f"unknown benchmark set or workload {token!r} (sets: "
+            f"{', '.join(sorted(sets))}; workload names and "
+            f"'+'-joined unions are also accepted)")
+
+
+@dataclass(frozen=True)
+class WorkloadEntry:
+    """One registry entry.
+
+    Attributes:
+        name: registry name (``gcc`` … for synthetic profiles,
+            ``trace:<label>`` for corpus traces).
+        kind: ``"synthetic"`` or ``"trace"``.
+        description: one-line characterisation.
+        path: trace file path (``None`` for synthetic entries).
+        digest: SHA-256 of the trace file contents (``None`` for synthetic
+            entries, whose behaviour is fully described by name + seed).
+    """
+
+    name: str
+    kind: str
+    description: str
+    path: Optional[str] = None
+    digest: Optional[str] = None
+
+
+def env_trace_dir() -> Optional[str]:
+    """Trace-corpus directory from ``REPRO_TRACE_DIR`` (``None`` if unset)."""
+    raw = os.environ.get(TRACE_DIR_VAR)
+    return raw or None
+
+
+def _file_digest(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 16), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+class WorkloadRegistry:
+    """Registry of every runnable workload plus named benchmark sets.
+
+    Args:
+        trace_dir: trace-corpus directory to scan for ``trace:*`` entries;
+            ``None`` registers the synthetic profiles only.  Files are
+            recognised by the :data:`repro.workloads.traceio.TRACE_SUFFIXES`
+            extensions; two files collapsing to the same label (``gcc.trace``
+            next to ``gcc.trace.gz``) are rejected rather than silently
+            shadowed.
+    """
+
+    def __init__(self, trace_dir: Optional[str] = None) -> None:
+        self.trace_dir = trace_dir
+        self._entries: Dict[str, WorkloadEntry] = {}
+        for name in profile_names():
+            profile = SPEC_PROFILES[name]
+            self._entries[name] = WorkloadEntry(
+                name=name, kind="synthetic", description=profile.description)
+        if trace_dir is not None:
+            for entry in self._scan_traces(trace_dir):
+                self._entries[entry.name] = entry
+        self._sets = self._build_sets()
+
+    @staticmethod
+    def _scan_traces(trace_dir: str) -> List[WorkloadEntry]:
+        if not os.path.isdir(trace_dir):
+            raise FileNotFoundError(
+                f"trace corpus directory {trace_dir!r} does not exist")
+        by_label: Dict[str, str] = {}
+        for filename in sorted(os.listdir(trace_dir)):
+            path = os.path.join(trace_dir, filename)
+            if not os.path.isfile(path):
+                continue
+            if not filename.endswith(TRACE_SUFFIXES):
+                continue
+            label = trace_label(filename)
+            if label in by_label:
+                raise ValueError(
+                    f"ambiguous trace corpus: {filename!r} and "
+                    f"{os.path.basename(by_label[label])!r} both resolve to "
+                    f"workload {TRACE_PREFIX}{label}")
+            by_label[label] = path
+        return [
+            WorkloadEntry(
+                name=f"{TRACE_PREFIX}{label}", kind="trace",
+                description=f"recorded branch trace ({os.path.basename(path)})",
+                path=path, digest=_file_digest(path))
+            for label, path in by_label.items()
+        ]
+
+    def _build_sets(self) -> Dict[str, Tuple[str, ...]]:
+        synthetic = [name for name, entry in self._entries.items()
+                     if entry.kind == "synthetic"]
+        traces = [name for name, entry in self._entries.items()
+                  if entry.kind == "trace"]
+        profiles = SPEC_PROFILES
+        return {
+            "int": tuple(n for n in synthetic if n in _INT_BENCHMARKS),
+            "fp": tuple(n for n in synthetic if n not in _INT_BENCHMARKS),
+            "large_footprint": tuple(
+                n for n in synthetic
+                if profiles[n].static_conditional >= _LARGE_FOOTPRINT_SITES),
+            "indirect_heavy": tuple(
+                n for n in synthetic
+                if profiles[n].static_indirect >= _INDIRECT_SITES
+                or profiles[n].indirect_fraction >= _INDIRECT_FRACTION),
+            "all": tuple(synthetic),
+            "traces": tuple(traces),
+        }
+
+    # -- lookup -----------------------------------------------------------------
+    def names(self) -> List[str]:
+        """Every registered workload name, synthetic profiles first."""
+        return list(self._entries)
+
+    def sets(self) -> Dict[str, Tuple[str, ...]]:
+        """The named benchmark sets (name → member workload names)."""
+        return dict(self._sets)
+
+    def entry(self, name: str) -> WorkloadEntry:
+        """Look up one workload entry.
+
+        Raises:
+            UnknownBenchSetError: for an unregistered name.
+        """
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise UnknownBenchSetError(name, tuple(self._sets)) from None
+
+    def select(self, selector: str) -> List[WorkloadEntry]:
+        """Resolve a benchmark-set selector into a duplicate-pruned selection.
+
+        A selector is one or more ``+``-joined tokens; each token is a set
+        name (``int``, ``fp``, ``large_footprint``, ``indirect_heavy``,
+        ``all``, ``traces``) or an individual workload name (``gcc``,
+        ``trace:mybench``).  First appearance wins, so overlapping unions
+        like ``int+large_footprint`` keep one copy of each member in
+        selection order.
+
+        Raises:
+            UnknownBenchSetError: for a token that is neither a set nor a
+                registered workload.
+        """
+        names: List[str] = []
+        for token in selector.split("+"):
+            token = token.strip()
+            if not token:
+                continue
+            if token in self._sets:
+                names.extend(self._sets[token])
+            elif token in self._entries:
+                names.append(token)
+            else:
+                raise UnknownBenchSetError(token, tuple(self._sets))
+        if not names:
+            raise UnknownBenchSetError(selector, tuple(self._sets))
+        deduped = list(dict.fromkeys(names))
+        return [self._entries[name] for name in deduped]
+
+    def make_workload(self, name: str, seed: int = 0):
+        """Instantiate a registered workload.
+
+        Synthetic entries build a
+        :class:`~repro.workloads.generator.SyntheticWorkload` with the given
+        seed; trace entries replay their corpus file as a
+        :class:`~repro.workloads.traceio.TraceWorkload` (the recording is
+        the behaviour, so ``seed`` does not apply) named after the registry
+        entry so result labels match the selector.
+        """
+        entry = self.entry(name)
+        if entry.kind == "trace":
+            return TraceWorkload.from_file(entry.path, name=entry.name)
+        from .generator import make_workload
+
+        return make_workload(name, seed=seed)
+
+    def digest(self, name: str) -> Optional[str]:
+        """Content digest of a workload (``None`` for synthetic entries)."""
+        return self.entry(name).digest
+
+
+def get_registry(trace_dir: Optional[str] = None) -> WorkloadRegistry:
+    """Build the registry for a trace directory (``REPRO_TRACE_DIR`` default).
+
+    Constructed fresh on every call: the corpus directory is tiny to scan,
+    and a stale digest cached across a corpus edit would poison
+    store-addressed results.
+    """
+    return WorkloadRegistry(trace_dir if trace_dir is not None
+                            else env_trace_dir())

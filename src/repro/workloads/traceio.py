@@ -14,7 +14,9 @@ One record per line, comma separated::
 
     pc,taken,target,type,gap,syscall
 
-* ``pc`` and ``target`` are hexadecimal (``0x`` prefix optional);
+* ``pc`` and ``target`` are hexadecimal (``0x`` prefix optional) — **always**
+  hexadecimal: a bare ``400510`` is ``0x400510``, never decimal, and octal or
+  decimal spellings are rejected;
 * ``taken`` and ``syscall`` are ``0``/``1``;
 * ``type`` is one of ``cond``, ``direct``, ``indirect``, ``call``, ``ret``;
 * ``gap`` is the number of non-branch instructions since the previous branch.
@@ -27,6 +29,7 @@ from __future__ import annotations
 
 import gzip
 import io
+import re
 from dataclasses import dataclass
 from typing import IO, Iterable, Iterator, List, Optional, Sequence
 
@@ -34,9 +37,11 @@ from ..types import BranchType
 from .trace import BranchRecord, TraceStats, collect_stats
 
 __all__ = [
+    "TRACE_SUFFIXES",
     "TraceFormatError",
     "format_record",
     "parse_record",
+    "trace_label",
     "write_trace",
     "read_trace",
     "TraceWorkload",
@@ -57,6 +62,29 @@ class TraceFormatError(ValueError):
     """Raised when a trace line cannot be parsed."""
 
 
+_HEX_DIGITS = frozenset("0123456789abcdef")
+
+
+def _parse_address(field: str, name: str, lineno: int, line: str) -> int:
+    """Parse an address field strictly as hexadecimal.
+
+    The documented format reads ``pc``/``target`` as hex with the ``0x``
+    prefix optional, so a bare ``400510`` is ``0x400510`` — not decimal —
+    and letter-bearing addresses like ``4004f0`` are valid.  Anything that
+    is not a plain hex digit string (``0o``/``0b`` prefixes, signs,
+    underscores, empty fields) is rejected by name rather than silently
+    reinterpreted in another base.
+    """
+    digits = field.lower()
+    if digits.startswith("0x"):
+        digits = digits[2:]
+    if not digits or not _HEX_DIGITS.issuperset(digits):
+        raise TraceFormatError(
+            f"line {lineno}: {name} field {field!r} is not a hexadecimal "
+            f"address (pc/target are always hex, 0x prefix optional): {line!r}")
+    return int(digits, 16)
+
+
 def format_record(record: BranchRecord) -> str:
     """Render one :class:`BranchRecord` as a trace line."""
     return (f"0x{record.pc:x},{int(record.taken)},0x{record.target:x},"
@@ -74,12 +102,12 @@ def parse_record(line: str, lineno: int = 0) -> BranchRecord:
     if len(fields) < 4:
         raise TraceFormatError(
             f"line {lineno}: expected at least 4 fields, got {len(fields)}: {line!r}")
+    pc = _parse_address(fields[0], "pc", lineno, line)
+    target = _parse_address(fields[2], "target", lineno, line)
     try:
-        pc = int(fields[0], 16) if fields[0].lower().startswith("0x") else int(fields[0], 0)
         taken = bool(int(fields[1]))
-        target = int(fields[2], 16) if fields[2].lower().startswith("0x") else int(fields[2], 0)
     except ValueError as exc:
-        raise TraceFormatError(f"line {lineno}: bad numeric field: {line!r}") from exc
+        raise TraceFormatError(f"line {lineno}: bad taken field: {line!r}") from exc
     type_name = fields[3].lower()
     if type_name not in _TYPES_BY_NAME:
         raise TraceFormatError(
@@ -99,6 +127,31 @@ def parse_record(line: str, lineno: int = 0) -> BranchRecord:
     return BranchRecord(pc=pc, taken=taken, target=target,
                         branch_type=_TYPES_BY_NAME[type_name],
                         gap=gap, syscall_after=syscall)
+
+
+#: File suffixes recognised as trace-file extensions (label stripping and
+#: corpus-directory scans).  Order matters only in that stripping iterates
+#: until no known suffix remains (``gcc.trace.gz`` → ``gcc``).
+TRACE_SUFFIXES = (".gz", ".txt", ".trace")
+
+
+def trace_label(path: str) -> str:
+    """Workload label for a trace path: base name minus known suffixes.
+
+    Splits on both ``/`` and ``\\`` (trace corpora are routinely copied
+    from Windows machines), then strips only the suffixes in
+    :data:`TRACE_SUFFIXES` — an interior dot is part of the name, so
+    ``trace.v2.gz`` keeps its ``v2``.
+    """
+    base = re.split(r"[\\/]", path)[-1]
+    stripped = True
+    while stripped:
+        stripped = False
+        for suffix in TRACE_SUFFIXES:
+            if base.endswith(suffix) and len(base) > len(suffix):
+                base = base[: -len(suffix)]
+                stripped = True
+    return base
 
 
 def _open_for_write(path: str) -> IO[str]:
@@ -205,9 +258,15 @@ class TraceWorkload:
     def from_file(cls, path: str, name: Optional[str] = None, *,
                   limit: Optional[int] = None,
                   syscall_rate_per_million_cycles: float = 0.0) -> "TraceWorkload":
-        """Load a trace file into a replayable workload."""
+        """Load a trace file into a replayable workload.
+
+        The default label is the file's base name with only the *known*
+        trace suffixes (``.gz``, ``.txt``, ``.trace``) stripped — so
+        ``corpus/trace.v2.gz`` becomes ``trace.v2`` (not ``trace``) and a
+        Windows-style ``traces\\gcc.trace`` becomes ``gcc``.
+        """
         records = read_trace(path, limit=limit)
-        label = name if name is not None else path.rsplit("/", 1)[-1].split(".")[0]
+        label = name if name is not None else trace_label(path)
         return cls(records, label,
                    syscall_rate_per_million_cycles=syscall_rate_per_million_cycles)
 
@@ -235,14 +294,20 @@ class TraceWorkload:
 
     def record_batches(self, n: int = 1024,
                        seed_offset: int = 0) -> Iterator[List[tuple]]:
-        """Endless stream of ``(pc, taken, target, type, instructions)`` batches.
+        """Endless stream of ``(pc, taken, target, type, instructions,
+        syscall_after)`` batches.
 
         The chunked counterpart of :meth:`records` (same cyclic replay, same
         starting offset), matching
         :meth:`repro.workloads.generator.SyntheticWorkload.record_batches`
-        so recorded traces drive the batched simulation engine too.
+        so recorded traces drive the batched simulation engine too.  The
+        trailing ``syscall_after`` marker carries the trace's embedded
+        privilege switches into the batched engines — without it the
+        scalar and batched replays of a marker-bearing trace would
+        diverge.
         """
-        tuples = [(r.pc, r.taken, r.target, r.branch_type, r.instructions)
+        tuples = [(r.pc, r.taken, r.target, r.branch_type, r.instructions,
+                   r.syscall_after)
                   for r in self._records]
         n_records = len(tuples)
         position = (seed_offset * 7919) % n_records

@@ -105,6 +105,30 @@ class TestPlanCommand:
         assert main(["plan", "--experiments", "figure99"]) == 2
         assert "unknown experiments" in capsys.readouterr().err
 
+    def test_plan_bench_set_hash_is_stable(self, capsys):
+        assert main(["plan", "--hash", "--bench-set", "int"]) == 0
+        first = capsys.readouterr().out.strip()
+        assert main(["plan", "--hash", "--bench-set", "int"]) == 0
+        assert capsys.readouterr().out.strip() == first
+        # A different selection plans a different manifest.
+        assert main(["plan", "--hash", "--bench-set", "fp"]) == 0
+        assert capsys.readouterr().out.strip() != first
+
+    def test_plan_unknown_bench_set_rejected(self, capsys):
+        assert main(["plan", "--bench-set", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "nope" in err and "large_footprint" in err
+
+    def test_plan_bad_trace_dir_rejected(self, capsys, tmp_path):
+        missing = str(tmp_path / "nowhere")
+        assert main(["plan", "--bench-set", "traces",
+                     "--trace-dir", missing]) == 2
+        assert "trace" in capsys.readouterr().err.lower()
+
+    def test_run_single_experiment_rejects_bench_set(self, capsys):
+        assert main(["run", "figure1", "--bench-set", "int"]) == 2
+        assert "--bench-set" in capsys.readouterr().err
+
 
 class TestRunAllCommand:
     def test_malformed_shard_rejected(self, capsys):

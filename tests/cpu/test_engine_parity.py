@@ -167,7 +167,8 @@ class TestTraceApiParity:
                 break
         for record, row in zip(records, flat):
             assert row == (record.pc, record.taken, record.target,
-                           record.branch_type, record.instructions)
+                           record.branch_type, record.instructions,
+                           record.syscall_after)
 
     def test_batch_sizes_respect_minimum(self):
         workload = make_workload("milc", seed=1)

@@ -1,0 +1,179 @@
+"""Tests for the workload registry, benchmark-set selectors and pair errors."""
+
+import pytest
+
+from repro.workloads import (
+    SPEC_PROFILES,
+    TraceWorkload,
+    UnknownBenchSetError,
+    UnknownPairSetError,
+    WorkloadRegistry,
+    case_names,
+    get_pair,
+    get_registry,
+    make_workload,
+    record_workload,
+)
+from repro.workloads.registry import TRACE_DIR_VAR
+
+
+def _corpus(tmp_path, names=("alpha", "beta")):
+    directory = tmp_path / "corpus"
+    directory.mkdir()
+    for i, name in enumerate(names):
+        record_workload(make_workload("gcc", seed=i + 1), 60,
+                        str(directory / f"{name}.trace.gz"))
+    return str(directory)
+
+
+class TestNamedSets:
+    def test_int_fp_partition_the_synthetic_profiles(self):
+        registry = WorkloadRegistry()
+        sets = registry.sets()
+        assert set(sets["int"]) | set(sets["fp"]) == set(SPEC_PROFILES)
+        assert not set(sets["int"]) & set(sets["fp"])
+        assert "gcc" in sets["int"]
+        assert "milc" in sets["fp"]
+
+    def test_trait_sets_follow_profile_characteristics(self):
+        sets = WorkloadRegistry().sets()
+        for name in sets["large_footprint"]:
+            assert SPEC_PROFILES[name].static_conditional >= 2048
+        for name in sets["indirect_heavy"]:
+            profile = SPEC_PROFILES[name]
+            assert (profile.static_indirect >= 40
+                    or profile.indirect_fraction >= 0.04)
+        assert "gcc" in sets["large_footprint"]
+        assert "omnetpp" in sets["indirect_heavy"]
+
+    def test_all_is_every_synthetic_profile(self):
+        registry = WorkloadRegistry()
+        assert set(registry.sets()["all"]) == set(SPEC_PROFILES)
+        assert registry.sets()["traces"] == ()
+
+
+class TestSelect:
+    def test_union_is_duplicate_pruned_in_order(self):
+        registry = WorkloadRegistry()
+        union = [e.name for e in registry.select("int+large_footprint")]
+        assert len(union) == len(set(union))
+        # int members come first; large_footprint adds only its fp members.
+        assert union[:len(registry.sets()["int"])] == list(
+            registry.sets()["int"])
+        assert "povray" in union  # large_footprint, fp suite
+
+    def test_individual_workload_tokens(self):
+        registry = WorkloadRegistry()
+        assert [e.name for e in registry.select("gcc+mcf+gcc")] == [
+            "gcc", "mcf"]
+
+    def test_unknown_token_raises_named_error(self):
+        registry = WorkloadRegistry()
+        with pytest.raises(UnknownBenchSetError, match="nope"):
+            registry.select("int+nope")
+        with pytest.raises(ValueError, match="large_footprint"):
+            # the error lists the valid sets, and is a ValueError for the CLI
+            registry.select("nope")
+
+    def test_empty_selector_rejected(self):
+        with pytest.raises(UnknownBenchSetError):
+            WorkloadRegistry().select("+")
+
+
+class TestTraceCorpus:
+    def test_corpus_scan_registers_trace_entries(self, tmp_path):
+        registry = WorkloadRegistry(_corpus(tmp_path))
+        assert registry.sets()["traces"] == ("trace:alpha", "trace:beta")
+        entry = registry.entry("trace:alpha")
+        assert entry.kind == "trace"
+        assert entry.digest and len(entry.digest) == 64
+        assert registry.digest("gcc") is None
+
+    def test_make_workload_replays_trace_under_registry_name(self, tmp_path):
+        registry = WorkloadRegistry(_corpus(tmp_path))
+        workload = registry.make_workload("trace:alpha")
+        assert isinstance(workload, TraceWorkload)
+        assert workload.name == "trace:alpha"
+        assert len(workload) == 60
+
+    def test_digest_tracks_file_contents(self, tmp_path):
+        corpus = _corpus(tmp_path, names=("alpha",))
+        before = WorkloadRegistry(corpus).digest("trace:alpha")
+        record_workload(make_workload("mcf", seed=9), 60,
+                        corpus + "/alpha.trace.gz")
+        after = WorkloadRegistry(corpus).digest("trace:alpha")
+        assert before != after
+
+    def test_ambiguous_labels_rejected(self, tmp_path):
+        corpus = _corpus(tmp_path, names=("alpha",))
+        record_workload(make_workload("mcf", seed=2), 10,
+                        corpus + "/alpha.trace")
+        with pytest.raises(ValueError, match="ambiguous"):
+            WorkloadRegistry(corpus)
+
+    def test_missing_corpus_directory_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            WorkloadRegistry(str(tmp_path / "nowhere"))
+
+    def test_get_registry_honours_env(self, tmp_path, monkeypatch):
+        corpus = _corpus(tmp_path, names=("alpha",))
+        monkeypatch.setenv(TRACE_DIR_VAR, corpus)
+        assert "trace:alpha" in get_registry().names()
+        monkeypatch.delenv(TRACE_DIR_VAR)
+        assert get_registry().sets()["traces"] == ()
+
+
+class TestBenchManifestStability:
+    """Trace-backed ``bench:`` manifests hash by corpus *content*."""
+
+    def _hash(self, monkeypatch, corpus):
+        from repro.experiments.manifest import build_manifest
+        from repro.experiments.scaling import ExperimentScale
+
+        monkeypatch.setenv(TRACE_DIR_VAR, corpus)
+        manifest = build_manifest(keys=["bench:traces"],
+                                  scale=ExperimentScale().scaled_by(0.05))
+        return manifest.manifest_hash()
+
+    def test_same_corpus_same_hash(self, tmp_path, monkeypatch):
+        corpus = _corpus(tmp_path)
+        assert self._hash(monkeypatch, corpus) == \
+            self._hash(monkeypatch, corpus)
+
+    def test_changed_trace_contents_change_hash(self, tmp_path, monkeypatch):
+        corpus = _corpus(tmp_path)
+        before = self._hash(monkeypatch, corpus)
+        # Same file name, new contents: the digest (not the path/mtime)
+        # must drive the manifest identity.
+        record_workload(make_workload("mcf", seed=99), 60,
+                        corpus + "/alpha.trace.gz")
+        assert self._hash(monkeypatch, corpus) != before
+
+    def test_workload_digest_feeds_cache_key(self, tmp_path, monkeypatch):
+        import dataclasses
+
+        from repro.experiments import bench_suite
+        from repro.experiments.scaling import ExperimentScale
+
+        monkeypatch.setenv(TRACE_DIR_VAR, _corpus(tmp_path, names=("alpha",)))
+        specs = bench_suite.plan("traces", ExperimentScale().scaled_by(0.05))
+        traced = [s for s in specs if s.workload_digest is not None]
+        assert traced  # the trace-backed cases really carry digests
+        spec = traced[0]
+        undigested = dataclasses.replace(spec, workload_digest=None)
+        assert spec.cache_key() != undigested.cache_key()
+
+
+class TestUnknownPairSet:
+    def test_case_names_names_the_valid_sets(self):
+        with pytest.raises(UnknownPairSetError, match="smt2"):
+            case_names("smt3")
+
+    def test_get_pair_same_error(self):
+        with pytest.raises(UnknownPairSetError, match="valid sets"):
+            get_pair("case1", "quadx")
+        # Backward compatible with historical `except KeyError` callers.
+        assert issubclass(UnknownPairSetError, KeyError)
+
+    def test_known_sets_unaffected(self):
+        assert case_names("smt4") == [f"quad{i}" for i in range(1, 7)]

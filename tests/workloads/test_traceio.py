@@ -14,7 +14,7 @@ from repro.workloads import (
     record_workload,
     write_trace,
 )
-from repro.workloads.traceio import format_record, parse_record
+from repro.workloads.traceio import format_record, parse_record, trace_label
 
 _record_strategy = st.builds(
     BranchRecord,
@@ -26,11 +26,43 @@ _record_strategy = st.builds(
     syscall_after=st.booleans(),
 )
 
+#: Addresses whose hex spelling contains no letters — exactly the inputs the
+#: old `int(x, 0)` parser silently read as *decimal* when unprefixed.
+_letter_free_hex = st.text(alphabet="0123456789", min_size=1, max_size=12) \
+    .map(lambda digits: int(digits, 16))
+
+_letter_free_record_strategy = st.builds(
+    BranchRecord,
+    pc=_letter_free_hex,
+    taken=st.booleans(),
+    target=_letter_free_hex,
+    branch_type=st.sampled_from(list(BranchType)),
+    gap=st.integers(min_value=0, max_value=500),
+    syscall_after=st.booleans(),
+)
+
+
+def _strip_0x(line):
+    return ",".join(field[2:] if field.startswith("0x") else field
+                    for field in line.split(","))
+
 
 class TestRecordCodec:
     @given(_record_strategy)
     def test_format_parse_round_trip(self, record):
         assert parse_record(format_record(record)) == record
+
+    @given(_record_strategy)
+    def test_round_trip_without_0x_prefix(self, record):
+        # The documented format makes the 0x prefix optional; stripping it
+        # must never change what the line means.
+        assert parse_record(_strip_0x(format_record(record))) == record
+
+    @given(_letter_free_record_strategy)
+    def test_round_trip_letter_free_hex(self, record):
+        # Digit-only addresses are the regression surface: they are valid
+        # in *both* bases, and the parser must pick hex per the format doc.
+        assert parse_record(_strip_0x(format_record(record))) == record
 
     def test_minimal_line_uses_defaults(self):
         record = parse_record("0x400000,1,0x400040,cond")
@@ -38,10 +70,29 @@ class TestRecordCodec:
         assert record.syscall_after is False
         assert record.branch_type is BranchType.CONDITIONAL
 
-    def test_decimal_addresses_accepted(self):
-        record = parse_record("4194304,0,4194368,direct,3,1")
-        assert record.pc == 4194304
+    def test_bare_addresses_parse_as_hex(self):
+        # `400510` is 0x400510 (never decimal 400510).
+        record = parse_record("400510,0,400540,direct,3,1")
+        assert record.pc == 0x400510
+        assert record.target == 0x400540
         assert record.syscall_after is True
+
+    def test_letter_bearing_bare_hex_accepted(self):
+        # The old int(x, 0) parser rejected these outright.
+        record = parse_record("4004f0,1,dead40,cond")
+        assert record.pc == 0x4004F0
+        assert record.target == 0xDEAD40
+
+    @pytest.mark.parametrize("line", [
+        "0o777,1,0x400040,cond",            # octal spelling rejected
+        "0x400000,1,0o777,cond",            # octal target rejected
+        "-400,1,0x400040,cond",             # signs are not hex digits
+        "4_00,1,0x400040,cond",             # underscores are not hex digits
+        "0x,1,0x400040,cond",               # empty digits
+    ])
+    def test_non_hex_address_spellings_raise_named_error(self, line):
+        with pytest.raises(TraceFormatError, match="hexadecimal"):
+            parse_record(line)
 
     @pytest.mark.parametrize("line", [
         "0x400000,1,0x400040",              # too few fields
@@ -57,6 +108,21 @@ class TestRecordCodec:
     def test_error_message_carries_line_number(self):
         with pytest.raises(TraceFormatError, match="line 7"):
             parse_record("0x1,1", lineno=7)
+
+
+class TestTraceLabel:
+    @pytest.mark.parametrize("path,label", [
+        ("gcc.trace.gz", "gcc"),
+        ("corpus/gcc.trace.gz", "gcc"),
+        ("trace.v2.gz", "trace.v2"),        # interior dot is part of the name
+        ("a/b/run.txt", "run"),
+        ("traces\\gcc.trace", "gcc"),       # Windows separators
+        ("C:\\corpus\\milc.trace.gz", "milc"),
+        ("plain", "plain"),
+        (".gz", ".gz"),                     # never strip down to nothing
+    ])
+    def test_label_derivation(self, path, label):
+        assert trace_label(path) == label
 
 
 class TestTraceFiles:
