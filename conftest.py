@@ -45,7 +45,10 @@ def _isolate_repro_env():
                  "REPRO_CACHE_DIR", "REPRO_STORE_DIR",
                  "REPRO_CASE_TIMEOUT", "REPRO_RETRIES",
                  "REPRO_RETRY_BACKOFF", "REPRO_FAULT_SPEC",
-                 "REPRO_BACKEND", "REPRO_TRACE_DIR"):
+                 "REPRO_BACKEND", "REPRO_TRACE_DIR",
+                 "REPRO_SERVE_HOST", "REPRO_SERVE_PORT",
+                 "REPRO_SERVE_DATA_DIR", "REPRO_SERVE_WORKERS",
+                 "REPRO_SERVE_URL"):
         patcher.delenv(name, raising=False)
     # REPRO_BACKEND is special: backends are bit-identical by contract, so
     # CI runs the whole suite under REPRO_BACKEND=numpy as a matrix leg.

@@ -11,6 +11,10 @@ Exposes the package's main entry points without writing any Python::
     python -m repro plan --hash                  # manifest digest (CI cache key)
     python -m repro store export --out store.json    # publish cached results
     python -m repro store ingest shard-*.json        # reuse another machine's
+    python -m repro serve --dir store/ --port 8378   # simulation service
+    python -m repro submit --experiments figure1     # -> job id on stdout
+    python -m repro watch job-0001-ab12cd34          # stream to completion
+    python -m repro fetch job-0001-ab12cd34 --out served/
     python -m repro attack branchscope --mechanism noisy_xor_bp
     python -m repro leakage --mechanisms baseline noisy_xor_bp
     python -m repro hwcost --btb 256 --ways 2 --pht 4096
@@ -126,11 +130,13 @@ def build_parser() -> argparse.ArgumentParser:
     store_sub = store.add_subparsers(dest="store_command", metavar="operation")
     store_dir_help = ("store directory (default from REPRO_STORE_DIR)")
     ingest = store_sub.add_parser(
-        "ingest", help="import case results from shard artifacts or store "
-                       "exports (same-engine only, digest-checked)")
-    ingest.add_argument("artifacts", nargs="+", metavar="ARTIFACT_JSON",
-                        help="files written by 'run all --shard' or "
-                             "'store export'")
+        "ingest", help="import case results from shard artifacts, store "
+                       "exports, or remote store URLs (same-engine only, "
+                       "digest-checked)")
+    ingest.add_argument("artifacts", nargs="+", metavar="ARTIFACT",
+                        help="files written by 'run all --shard' / 'store "
+                             "export', or http(s) URLs of a remote "
+                             "service's /v1/store/export endpoint")
     ingest.add_argument("--dir", default=None, metavar="DIR",
                         help=store_dir_help)
     export = store_sub.add_parser(
@@ -140,14 +146,88 @@ def build_parser() -> argparse.ArgumentParser:
                         help="output artifact path")
     export.add_argument("--dir", default=None, metavar="DIR",
                         help=store_dir_help)
+    export.add_argument("--manifest", action="append", default=None,
+                        metavar="HASH",
+                        help="export only entries owned by this registered "
+                             "manifest (repeatable; unions)")
     gc = store_sub.add_parser(
-        "gc", help="delete entries from stale engine revisions")
+        "gc", help="delete entries from stale engine revisions (and, with "
+                   "--manifest-hash, from superseded manifests)")
     gc.add_argument("--dir", default=None, metavar="DIR", help=store_dir_help)
+    gc.add_argument("--manifest-hash", action="append", default=None,
+                    metavar="HASH",
+                    help="also prune current-engine entries owned by none "
+                         "of these registered manifests (repeatable; "
+                         "shared entries are retained)")
     verify = store_sub.add_parser(
         "verify", help="audit every entry (schema, key/engine filing, "
                        "content digest)")
     verify.add_argument("--dir", default=None, metavar="DIR",
                         help=store_dir_help)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the store-backed simulation service: an HTTP "
+                      "job queue scheduling manifest submissions over the "
+                      "executor with store-backed dedupe")
+    serve.add_argument("--host", default=None, metavar="ADDR",
+                       help="bind address (default from REPRO_SERVE_HOST, "
+                            "else 127.0.0.1)")
+    serve.add_argument("--port", default=None, metavar="N",
+                       help="TCP port (default from REPRO_SERVE_PORT; 0 "
+                            "picks a free port)")
+    serve.add_argument("--dir", default=None, metavar="DIR",
+                       help="result store directory every job dedupes "
+                            "against and publishes into (default from "
+                            "REPRO_STORE_DIR; required)")
+    serve.add_argument("--data-dir", default=None, metavar="DIR",
+                       help="per-job output root (default from "
+                            "REPRO_SERVE_DATA_DIR, else repro-serve-data)")
+    serve.add_argument("--workers", default=None, metavar="N",
+                       help="concurrent job worker threads (default from "
+                            "REPRO_SERVE_WORKERS, else 1)")
+    serve.add_argument("--jobs", default=None, metavar="N",
+                       help="worker processes per job (default from "
+                            "REPRO_JOBS)")
+    serve.add_argument("--backend", default=None, metavar="NAME",
+                       help="execution backend for the whole service")
+
+    url_help = ("service URL (default from REPRO_SERVE_URL, else "
+                "http://127.0.0.1:<default port>)")
+    submit = subparsers.add_parser(
+        "submit", help="submit a manifest to a running service; prints the "
+                       "job id on stdout")
+    submit.add_argument("--url", default=None, metavar="URL", help=url_help)
+    submit.add_argument("--experiments", nargs="+", default=None,
+                        metavar="KEY",
+                        help="subset of experiment keys (the full registry "
+                             "when omitted)")
+    submit.add_argument("--bench-set", nargs="+", default=None,
+                        metavar="SELECTOR",
+                        help="benchmark-set selectors submitted alongside "
+                             "--experiments")
+    submit.add_argument("--scale", type=float, default=None,
+                        help="trace-length scale factor, applied on top of "
+                             "the server's base scale")
+    submit.add_argument("--repetitions", default=None, metavar="N",
+                        help="seed repetitions per case")
+    submit.add_argument("--backend", default=None, metavar="NAME",
+                        help="assert the service executes this backend "
+                             "(results are backend-invariant; mismatches "
+                             "are rejected)")
+
+    watch = subparsers.add_parser(
+        "watch", help="stream a job's events to completion; prints the "
+                      "stats line (exit 0 done, 1 failed)")
+    watch.add_argument("job", metavar="JOB_ID", help="job id from submit")
+    watch.add_argument("--url", default=None, metavar="URL", help=url_help)
+
+    fetch = subparsers.add_parser(
+        "fetch", help="download a finished job's figures/tables (the same "
+                      "bytes a serial 'run all --out' writes)")
+    fetch.add_argument("job", metavar="JOB_ID", help="job id from submit")
+    fetch.add_argument("--out", required=True, metavar="DIR",
+                       help="output directory")
+    fetch.add_argument("--url", default=None, metavar="URL", help=url_help)
 
     attack = subparsers.add_parser("attack", help="run one attack against one "
                                                   "protection preset")
@@ -607,7 +687,13 @@ def _cmd_store(args: argparse.Namespace) -> int:
         total_skipped = 0
         for path in args.artifacts:
             try:
-                added, skipped = store.ingest(path)
+                # Anything URL-shaped goes through ingest_url, so an
+                # unsupported scheme fails with the scheme named instead of
+                # a confusing file-not-found for "ftp://...".
+                if "://" in path:
+                    added, skipped = store.ingest_url(path)
+                else:
+                    added, skipped = store.ingest(path)
             except (OSError, ValueError) as exc:
                 print(f"ingest failed: {exc}", file=sys.stderr)
                 return 2
@@ -621,12 +707,15 @@ def _cmd_store(args: argparse.Namespace) -> int:
 
     if args.store_command == "export":
         try:
-            path, count = store.export(args.out)
+            path, count = store.export(args.out,
+                                       manifest_hashes=args.manifest)
         except (OSError, ValueError) as exc:
             print(f"export failed: {exc}", file=sys.stderr)
             return 2
-        print(f"exported {count} entr(ies) for engine {ENGINE_VERSION} "
-              f"to {path}")
+        scope = (f" ({len(args.manifest)} manifest(s))"
+                 if args.manifest else "")
+        print(f"exported {count} entr(ies) for engine {ENGINE_VERSION}"
+              f"{scope} to {path}")
         return 0
 
     if args.store_command == "gc":
@@ -635,7 +724,7 @@ def _cmd_store(args: argparse.Namespace) -> int:
         from .experiments.executor import sweep_tmp_files
 
         try:
-            removed = store.gc()
+            removed = store.gc(manifest_hashes=args.manifest_hash)
         except (OSError, ValueError) as exc:
             print(f"gc failed: {exc}", file=sys.stderr)
             return 2
@@ -645,7 +734,10 @@ def _cmd_store(args: argparse.Namespace) -> int:
             # Killed writers leak the same *.tmp.<pid> staging files into
             # the disk cache; gc is the natural place to reclaim both.
             swept += sweep_tmp_files(cache_dir)
-        print(f"gc removed {removed} entr(ies) from stale engine revisions "
+        stale = "stale engine revisions"
+        if args.manifest_hash:
+            stale += " and superseded manifests"
+        print(f"gc removed {removed} entr(ies) from {stale} "
               f"and {len(swept)} orphaned tmp file(s); "
               f"{len(store)} kept for engine {ENGINE_VERSION}")
         return 0
@@ -787,6 +879,142 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_url(args: argparse.Namespace) -> str:
+    """Resolve the service URL: ``--url`` > ``REPRO_SERVE_URL`` > localhost."""
+    from .service import DEFAULT_PORT
+
+    if getattr(args, "url", None):
+        return args.url
+    return (os.environ.get("REPRO_SERVE_URL")
+            or f"http://127.0.0.1:{DEFAULT_PORT}")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .experiments.executor import parse_jobs
+    from .experiments.store import ResultStore
+    from .service import DEFAULT_PORT, SimulationService, parse_port
+
+    if _env_exec_error():
+        return 2
+    if _apply_backend_flag(args.backend):
+        return 2
+    try:
+        store = ResultStore(args.dir)
+    except ValueError as exc:
+        print(f"{exc} (the service publishes every result it simulates "
+              "into the store)", file=sys.stderr)
+        return 2
+    try:
+        if args.port is not None:
+            port = parse_port(str(args.port), source="--port")
+        elif os.environ.get("REPRO_SERVE_PORT"):
+            port = parse_port(os.environ["REPRO_SERVE_PORT"])
+        else:
+            port = DEFAULT_PORT
+        if args.workers is not None:
+            workers = parse_jobs(str(args.workers), source="--workers")
+        elif os.environ.get("REPRO_SERVE_WORKERS"):
+            workers = parse_jobs(os.environ["REPRO_SERVE_WORKERS"],
+                                 source="REPRO_SERVE_WORKERS")
+        else:
+            workers = 1
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    host = (args.host or os.environ.get("REPRO_SERVE_HOST")
+            or "127.0.0.1")
+    data_dir = (args.data_dir or os.environ.get("REPRO_SERVE_DATA_DIR")
+                or "repro-serve-data")
+    jobs = _resolve_jobs(args.jobs)
+    service = SimulationService(store, data_dir, host=host, port=port,
+                                jobs=jobs, workers=workers)
+    print(f"repro serve listening on {service.url} "
+          f"(store {store.directory}, data {data_dir}, "
+          f"{workers} worker(s) x {jobs} job(s))", flush=True)
+    service.serve_forever()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .experiments.manifest import parse_repetitions
+    from .service import ServiceClient, ServiceError
+
+    payload = {}
+    if args.experiments:
+        payload["experiments"] = list(args.experiments)
+    if args.bench_set:
+        payload["bench_sets"] = list(args.bench_set)
+    if args.scale is not None:
+        payload["scale"] = args.scale
+    if args.repetitions is not None:
+        # Parsed client-side too, for fast feedback with the flag named.
+        try:
+            payload["repetitions"] = parse_repetitions(
+                str(args.repetitions), source="--repetitions")
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    if args.backend:
+        payload["backend"] = args.backend
+    client = ServiceClient(_service_url(args))
+    try:
+        document = client.submit(payload)
+    except ServiceError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 2
+    # The job id goes to stdout ALONE so scripts can capture it:
+    #   JOB=$(repro submit --experiments figure1)
+    print(f"job {document['id']}: {document['state']}, "
+          f"manifest {document['manifest_hash'][:12]}, "
+          f"{document['stats']['unique']} case(s)", file=sys.stderr)
+    print(document["id"])
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from .service import ServiceClient, ServiceError
+
+    client = ServiceClient(_service_url(args))
+
+    def on_event(event: dict) -> None:
+        kind = event.get("event")
+        if kind == "case":
+            print(f"  case {event.get('key', '')[:12]}… done",
+                  file=sys.stderr)
+        elif kind in ("running", "queued", "done", "failed"):
+            print(f"job {event.get('job')}: {kind}", file=sys.stderr)
+
+    try:
+        document = client.watch(args.job, on_event=on_event)
+    except ServiceError as exc:
+        print(f"watch failed: {exc}", file=sys.stderr)
+        return 2
+    print(client.stats_line(document))
+    if document["state"] == "failed":
+        print(f"job {document['id']} failed: "
+              f"{document.get('error') or 'unknown error'}",
+              file=sys.stderr)
+        _print_failures(document.get("failures") or [])
+        return 1
+    return 0
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    from .service import ServiceClient, ServiceError
+
+    client = ServiceClient(_service_url(args))
+    try:
+        written = client.fetch(args.job, args.out)
+    except ServiceError as exc:
+        print(f"fetch failed: {exc}", file=sys.stderr)
+        return 2
+    print(f"fetched {len(written)} file(s) from job {args.job} "
+          f"into {args.out}")
+    return 0
+
+
 #: Exit code for an interrupted run (the conventional 128 + SIGINT).
 EXIT_INTERRUPTED = 130
 
@@ -824,6 +1052,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_hwcost(args)
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
+        if args.command == "watch":
+            return _cmd_watch(args)
+        if args.command == "fetch":
+            return _cmd_fetch(args)
     except KeyboardInterrupt:
         # The executor has already cancelled pending futures and shut its
         # pool down; exit with the conventional code instead of a traceback

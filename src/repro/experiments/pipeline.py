@@ -27,6 +27,7 @@ against the committed golden traces.
 from __future__ import annotations
 
 import json
+import logging
 import os
 from dataclasses import asdict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -55,10 +56,13 @@ __all__ = [
     "load_artifact",
     "load_journal",
     "merge_artifacts",
+    "register_store_manifest",
     "run_serial",
     "write_failure_manifest",
     "write_outputs",
 ]
+
+logger = logging.getLogger(__name__)
 
 #: Shard-artifact schema revision (bumped on incompatible layout changes).
 #: 2: artifacts carry the manifest's ``repetitions`` so a merge re-plans the
@@ -204,6 +208,31 @@ class _ShardJournal:
         self._handle.close()
 
 
+def register_store_manifest(manifest: ExperimentManifest,
+                            cache: RunResultCache) -> bool:
+    """Record the manifest's case ownership in the cache's result store.
+
+    Called after a run completes (serial or shard): the store's manifest
+    index is what makes ``store gc --manifest-hash`` / ``export --manifest``
+    able to scope to live work.  Best-effort — a read-only store mount or a
+    racing registration must never fail a run whose simulations already
+    finished — and a no-op without a store.  Returns whether an index is in
+    place.
+    """
+    store = getattr(cache, "store", None)
+    if store is None:
+        return False
+    try:
+        store.register_manifest(manifest.manifest_hash(),
+                                sorted(manifest.unique_cases()))
+        return True
+    except (OSError, ValueError) as exc:
+        logger.warning("could not register manifest %s in the result store "
+                       "(%s); scoped gc/export will not know this run",
+                       manifest.manifest_hash()[:12], exc)
+        return False
+
+
 def write_failure_manifest(out_dir: str, shard: Optional[ShardSpec],
                            failures: Sequence,
                            failed_experiments: Optional[Dict[str, str]] = None
@@ -329,6 +358,11 @@ def execute_shard(manifest: ExperimentManifest, shard: Optional[ShardSpec],
     }
     path = shard_artifact_path(out_dir, shard)
     atomic_write_json(path, payload, trailing_newline=True)
+    if not executor.failures and not failed_experiments:
+        # Every shard registers the same full-manifest index (idempotent):
+        # any one completing shard is enough for scoped gc/export to know
+        # the manifest, and a failed shard registers nothing it didn't run.
+        register_store_manifest(manifest, cache)
     return path
 
 
@@ -541,6 +575,7 @@ def run_serial(manifest: ExperimentManifest, *, jobs: Optional[int] = None,
     results = {
         definition.key: assemble_experiment(definition, manifest, executor)
         for definition in manifest.definitions}
+    register_store_manifest(manifest, executor.cache)
     if out_dir:
         write_outputs(results, manifest, out_dir)
     return results

@@ -16,8 +16,16 @@ results a durable, cross-machine home:
   through the shard-artifact ``cases`` format (``repro run all --shard``
   output and ``repro store export`` output are both ingestable), refusing
   cross-engine imports;
-* :meth:`ResultStore.gc` drops entries from stale engine revisions and
-  :meth:`ResultStore.verify` audits the whole store.
+* :meth:`ResultStore.gc` drops entries from stale engine revisions (and,
+  given manifest hashes, prunes superseded-manifest entries) and
+  :meth:`ResultStore.verify` audits the whole store;
+* :meth:`ResultStore.register_manifest` records which cache keys a manifest
+  owns (``<store>/<engine>/manifests/<hash>.json``), so ``gc``/``export``
+  can be **manifest-scoped** — the exchange unit stops growing with
+  superseded manifests;
+* :meth:`ResultStore.ingest_url` federates stores: it pulls a remote
+  service's ``/v1/store/export`` payload through the same digest-verified
+  :meth:`ResultStore.ingest` path used for local artifacts.
 
 :class:`~repro.experiments.executor.RunResultCache` consults a store (from
 ``REPRO_STORE_DIR`` or an explicit instance) as its third level — memory →
@@ -39,8 +47,8 @@ from typing import Dict, List, Optional, Tuple
 from ..cpu.stats import RunResult, run_result_from_dict, run_result_to_dict
 from .executor import ENGINE_VERSION, atomic_write_json, sweep_tmp_files
 
-__all__ = ["QUARANTINE_DIR", "STORE_SCHEMA", "ResultStore", "env_store",
-           "result_digest"]
+__all__ = ["MANIFESTS_DIR", "MANIFEST_SCHEMA", "QUARANTINE_DIR",
+           "STORE_SCHEMA", "ResultStore", "env_store", "result_digest"]
 
 logger = logging.getLogger(__name__)
 
@@ -52,6 +60,14 @@ QUARANTINE_DIR = "quarantine"
 
 #: Store entry schema revision (bumped on incompatible entry-layout changes).
 STORE_SCHEMA = 1
+
+#: Name of the per-engine subdirectory holding manifest indexes.  It sits
+#: next to the two-hex-char entry buckets, which every bucket walk filters
+#: by name — so indexes are invisible to ``keys``/``verify``/``export``.
+MANIFESTS_DIR = "manifests"
+
+#: Manifest-index schema revision.
+MANIFEST_SCHEMA = 1
 
 #: Legitimate entry keys are ``CaseSpec.cache_key()`` SHA-256 hex digests.
 #: Ingest fullmatches every artifact key against this before building a
@@ -156,7 +172,11 @@ class ResultStore:
             return []
         for bucket in buckets:
             bucket_dir = os.path.join(root, bucket)
-            if not os.path.isdir(bucket_dir):
+            # Only two-hex-char bucket directories hold entries; the
+            # ``manifests/`` index directory (or any stray file/folder at
+            # the engine root) must stay invisible to keys/verify/export.
+            if not re.fullmatch(r"[0-9a-f]{2}", bucket) \
+                    or not os.path.isdir(bucket_dir):
                 continue
             found.extend(sorted(
                 name[:-len(".json")] for name in os.listdir(bucket_dir)
@@ -307,7 +327,188 @@ class ResultStore:
             self._quarantine(path, problem)
         self._write(key, data, digest=digest)
 
+    # -- manifest indexes -------------------------------------------------------
+    @staticmethod
+    def normalize_manifest_hash(value: str,
+                                engine: str = ENGINE_VERSION) -> str:
+        """Accept both the bare 64-hex digest and the ``engine:hash``
+        spelling that ``repro plan --hash`` prints.
+
+        Raises:
+            ValueError: a prefix naming a *different* engine (other engine
+                revisions are never replayed into current figures, so
+                scoping by their manifests is a mistake worth naming), or a
+                remainder that is not a SHA-256 digest.
+        """
+        raw = str(value).strip()
+        prefix, sep, rest = raw.rpartition(":")
+        if sep:
+            if prefix != engine:
+                raise ValueError(
+                    f"manifest hash {raw[:80]!r} names engine {prefix!r}, "
+                    f"but this store operates on engine {engine!r}")
+            raw = rest
+        if not _KEY_RE.fullmatch(raw):
+            raise ValueError(
+                f"manifest hash {raw[:40]!r} is not a SHA-256 digest; pass "
+                "the 64-hex digest, or the engine:hash line "
+                "'repro plan --hash' prints")
+        return raw
+
+    def manifest_index_path(self, manifest_hash: str,
+                            engine: str = ENGINE_VERSION) -> str:
+        """Path of one manifest index
+        (``<store>/<engine>/manifests/<hash>.json``)."""
+        return os.path.join(self.directory, engine, MANIFESTS_DIR,
+                            f"{manifest_hash}.json")
+
+    def register_manifest(self, manifest_hash: str, keys: List[str],
+                          engine: str = ENGINE_VERSION) -> str:
+        """Record which cache keys a manifest owns, for scoped gc/export.
+
+        Idempotent: re-registering the same hash with the same key set is a
+        no-op.  The manifest hash covers the case set, so a same-hash
+        registration with a *different* key set is the same determinism
+        violation :meth:`put` refuses for entries.
+
+        Returns:
+            The index path.
+        """
+        if not _KEY_RE.fullmatch(manifest_hash):
+            raise ValueError(
+                f"manifest hash {manifest_hash[:40]!r} is not a SHA-256 "
+                "digest; refusing to build a store path from it")
+        keys = sorted(set(keys))
+        for key in keys:
+            if not isinstance(key, str) or not _KEY_RE.fullmatch(key):
+                raise ValueError(
+                    f"manifest {manifest_hash[:12]}…: case key "
+                    f"{str(key)[:40]!r} is not a SHA-256 cache key")
+        path = self.manifest_index_path(manifest_hash, engine)
+        payload = {
+            "schema": MANIFEST_SCHEMA,
+            "kind": "manifest-index",
+            "engine": engine,
+            "manifest_hash": manifest_hash,
+            "cases": keys,
+        }
+        existing = self._load_manifest_index(path)
+        if existing is not None:
+            if existing.get("cases") == keys:
+                return path
+            raise ValueError(
+                f"manifest {manifest_hash[:12]}… is already registered with "
+                "a different case set; the hash covers the cases, so one "
+                "side was planned by an inconsistent build")
+        self._write_marker()
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        atomic_write_json(path, payload)
+        return path
+
+    def _load_manifest_index(self, path: str) -> Optional[dict]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            raise ValueError(
+                f"manifest index {path} is unreadable or not valid JSON; "
+                "delete it and re-register the manifest") from None
+        if not isinstance(payload, dict) \
+                or payload.get("kind") != "manifest-index" \
+                or payload.get("schema") != MANIFEST_SCHEMA \
+                or not isinstance(payload.get("cases"), list):
+            raise ValueError(
+                f"manifest index {path} is ill-formed; delete it and "
+                "re-register the manifest")
+        return payload
+
+    def manifests(self, engine: str = ENGINE_VERSION) -> List[str]:
+        """Sorted manifest hashes registered under one engine revision."""
+        root = os.path.join(self.directory, engine, MANIFESTS_DIR)
+        try:
+            names = os.listdir(root)
+        except OSError:
+            return []
+        return sorted(name[:-len(".json")] for name in names
+                      if name.endswith(".json")
+                      and _KEY_RE.fullmatch(name[:-len(".json")]))
+
+    def manifest_keys(self, manifest_hash: str,
+                      engine: str = ENGINE_VERSION) -> List[str]:
+        """The sorted case keys a registered manifest owns.
+
+        Raises:
+            ValueError: unregistered hash (naming what *is* registered) or a
+                corrupt index file.
+        """
+        manifest_hash = self.normalize_manifest_hash(manifest_hash, engine)
+        payload = self._load_manifest_index(
+            self.manifest_index_path(manifest_hash, engine))
+        if payload is None:
+            known = self.manifests(engine)
+            listing = ", ".join(h[:12] + "…" for h in known) or "(none)"
+            raise ValueError(
+                f"manifest {manifest_hash[:12]}… is not registered in "
+                f"{self.directory} for engine {engine}; registered: "
+                f"{listing}. A manifest registers when 'repro run all' or a "
+                "service job completes against this store")
+        return [key for key in payload["cases"] if isinstance(key, str)]
+
+    def _manifest_union(self, manifest_hashes: List[str],
+                        engine: str = ENGINE_VERSION) -> set:
+        keep = set()
+        for manifest_hash in manifest_hashes:
+            keep.update(self.manifest_keys(manifest_hash, engine))
+        return keep
+
     # -- exchange ---------------------------------------------------------------
+    def ingest_url(self, url: str) -> Tuple[int, int]:
+        """Federate: ingest a remote store export (or shard artifact) by URL.
+
+        Downloads to a temporary file and reuses the digest-verified
+        :meth:`ingest` path, so a remote service's ``/v1/store/export``
+        payload passes exactly the checks a local artifact does.
+
+        Returns:
+            ``(added, skipped)`` entry counts.
+
+        Raises:
+            ValueError: non-HTTP(S) URL, download failure, or any
+                :meth:`ingest` rejection.
+        """
+        import tempfile
+        import urllib.error
+        import urllib.request
+
+        scheme = url.split(":", 1)[0].lower()
+        if scheme not in ("http", "https"):
+            raise ValueError(
+                f"store ingest URLs must be http(s), got {url!r}")
+        tmp = tempfile.NamedTemporaryFile(mode="wb", suffix=".json",
+                                          prefix="repro-ingest-",
+                                          delete=False)
+        try:
+            try:
+                with urllib.request.urlopen(url, timeout=60.0) as response:
+                    shutil.copyfileobj(response, tmp)
+                tmp.close()
+            except (urllib.error.URLError, OSError) as exc:
+                raise ValueError(f"{url}: download failed ({exc})") from None
+            try:
+                return self.ingest(tmp.name)
+            except ValueError as exc:
+                # The ingest error names the temp file; name the URL instead.
+                raise ValueError(
+                    str(exc).replace(tmp.name, url)) from None
+        finally:
+            tmp.close()
+            try:
+                os.remove(tmp.name)
+            except OSError:
+                pass
+
     def ingest(self, path: str) -> Tuple[int, int]:
         """Import every case result from a shard artifact or store export.
 
@@ -391,19 +592,31 @@ class ResultStore:
             added += 1
         return added, skipped
 
-    def export(self, path: str) -> Tuple[str, int]:
-        """Write every current-engine entry as one exchange artifact.
+    def export(self, path: str,
+               manifest_hashes: Optional[List[str]] = None) -> Tuple[str, int]:
+        """Write current-engine entries as one exchange artifact.
 
         The payload carries the same ``cases`` mapping as a shard artifact,
         so the receiving side uses the one :meth:`ingest` path for both.
         Corrupt entries fail the export loudly (run :meth:`verify` / ``gc``)
         rather than silently exporting damaged results.
 
+        Args:
+            path: output artifact path.
+            manifest_hashes: when given, export only entries owned by these
+                registered manifests (their key union) — the exchange unit
+                stays the size of the work being exchanged instead of the
+                whole corpus.  Unregistered hashes raise.
+
         Returns:
             ``(path, entry count)``.
         """
+        keys = self.keys()
+        if manifest_hashes:
+            keep = self._manifest_union(list(manifest_hashes))
+            keys = [key for key in keys if key in keep]
         cases: Dict[str, dict] = {}
-        for key in self.keys():
+        for key in keys:
             payload, problem = self._load_entry(self.entry_path(key))
             if payload is None or problem is not None:
                 raise ValueError(
@@ -432,12 +645,23 @@ class ResultStore:
         return path, len(cases)
 
     # -- maintenance ------------------------------------------------------------
-    def gc(self, keep_engine: str = ENGINE_VERSION) -> int:
+    def gc(self, keep_engine: str = ENGINE_VERSION,
+           manifest_hashes: Optional[List[str]] = None) -> int:
         """Delete every entry not belonging to ``keep_engine``.
 
-        Returns the number of entries removed.  The store is engine-versioned
-        precisely so results from a superseded simulation engine can never be
-        replayed into current figures; gc reclaims their space.
+        Args:
+            keep_engine: entries of every *other* engine revision are
+                removed (the store is engine-versioned precisely so results
+                from a superseded simulation engine can never be replayed
+                into current figures).
+            manifest_hashes: when given, additionally prune ``keep_engine``
+                entries owned by *none* of these registered manifests —
+                superseded-manifest results — along with the superseded
+                manifest indexes themselves.  Entries shared by a live
+                manifest are retained.  Unregistered hashes raise before
+                anything is deleted.
+
+        Returns the number of entries removed.
         """
         if not os.path.exists(os.path.join(self.directory, STORE_MARKER)):
             try:
@@ -450,6 +674,12 @@ class ResultStore:
                 f"{self.directory} does not look like a result store "
                 f"(missing {STORE_MARKER}); refusing to delete its "
                 "subdirectories")
+        live = set()
+        keep_keys = None
+        if manifest_hashes:
+            live = {self.normalize_manifest_hash(h, keep_engine)
+                    for h in manifest_hashes}
+            keep_keys = self._manifest_union(sorted(live), keep_engine)
         removed = 0
         for engine in self.engines():
             if engine == keep_engine:
@@ -462,6 +692,29 @@ class ResultStore:
                 continue
             removed += count
             shutil.rmtree(os.path.join(self.directory, engine))
+        if keep_keys is None:
+            return removed
+        for key in self.keys(keep_engine):
+            if key in keep_keys:
+                continue
+            path = self.entry_path(key, keep_engine)
+            try:
+                os.remove(path)
+                removed += 1
+            except OSError:
+                continue
+            bucket_dir = os.path.dirname(path)
+            try:
+                os.rmdir(bucket_dir)  # reclaim now-empty buckets
+            except OSError:
+                pass
+        for manifest_hash in self.manifests(keep_engine):
+            if manifest_hash not in live:
+                try:
+                    os.remove(self.manifest_index_path(manifest_hash,
+                                                       keep_engine))
+                except OSError:
+                    pass
         return removed
 
     def sweep_tmp(self) -> List[str]:

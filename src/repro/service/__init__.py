@@ -1,0 +1,30 @@
+"""Store-backed simulation service: ``repro serve`` and its thin client.
+
+The manifest pipeline (PR 4), content-addressed store (PR 5) and
+fault-tolerant executor (PR 6) compose into a served API here: a stdlib
+``ThreadingHTTPServer`` accepts manifest submissions, a worker pool executes
+them with store-backed dedupe, and clients poll, stream events, and fetch
+figures that are byte-identical to a local ``repro run all``.  No
+dependencies beyond the standard library.
+"""
+
+from .client import ServiceClient, ServiceError
+from .jobs import JOB_STATES, Job, JobQueue
+from .scheduler import JobScheduler
+from .server import DEFAULT_PORT, SimulationService
+from .wire import JOB_SCHEMA, JobRequest, parse_job_request, parse_port
+
+__all__ = [
+    "DEFAULT_PORT",
+    "JOB_SCHEMA",
+    "JOB_STATES",
+    "Job",
+    "JobQueue",
+    "JobRequest",
+    "JobScheduler",
+    "ServiceClient",
+    "ServiceError",
+    "SimulationService",
+    "parse_job_request",
+    "parse_port",
+]

@@ -62,6 +62,7 @@ __all__ = [
     "InjectedTimeout",
     "active_clauses",
     "inject_case_faults",
+    "inject_stage_fault",
     "parse_fault_spec",
     "should_tear_write",
 ]
@@ -242,6 +243,37 @@ def inject_case_faults(*, key: str, label: str, index: Optional[int],
                 raise InjectedTimeout(detail + " (in-process hang degraded)")
             time.sleep(clause.seconds)
             return  # a hung worker eventually finishes its (abandoned) case
+
+
+def inject_stage_fault(stage: str) -> None:
+    """Fire the first fault clause matching a named pipeline *stage*.
+
+    The service scheduler (and any future non-case execution path) calls
+    this with a stage token like ``service:job:<id>`` so the chaos suite can
+    kill the machinery *around* the executor — proving a dead worker thread
+    surfaces as a structured job failure, never a hung job.  Only clauses
+    with an explicit ``key~``/``path~`` selector participate: a bare
+    ``crash`` or ``crash:case_idx=1`` aimed at case execution must not also
+    detonate every stage it passes through.  Stage execution is always
+    in-process, so ``crash`` raises :class:`InjectedCrash` and ``hang``
+    degrades to :class:`InjectedTimeout` exactly like serial case execution.
+    """
+    for clause in active_clauses():
+        if clause.kind == "torn_write" or clause.match is None:
+            continue
+        if clause.match not in stage:
+            continue
+        detail = f"injected {clause.kind} ({clause}) at stage {stage}"
+        if clause.kind == "fail":
+            raise InjectedFault(detail)
+        if clause.kind == "timeout":
+            raise InjectedTimeout(detail)
+        if clause.kind == "interrupt":
+            raise KeyboardInterrupt(detail)
+        if clause.kind == "crash":
+            raise InjectedCrash(detail)
+        if clause.kind == "hang":
+            raise InjectedTimeout(detail + " (in-process hang degraded)")
 
 
 def should_tear_write(path: str) -> bool:

@@ -464,3 +464,156 @@ class TestReportCommand:
         with open(output_path, "r", encoding="utf-8") as handle:
             markdown = handle.read()
         assert "Table 5" in markdown
+
+
+class TestServiceParser:
+    def test_known_service_subcommands(self):
+        parser = build_parser()
+        assert parser.parse_args(["serve"]).command == "serve"
+        for command in ("watch", "fetch"):
+            args = parser.parse_args(
+                [command, "job-0001-ab12cd34"] +
+                (["--out", "served"] if command == "fetch" else []))
+            assert args.command == command
+            assert args.job == "job-0001-ab12cd34"
+        args = parser.parse_args(
+            ["submit", "--experiments", "figure1", "figure8",
+             "--bench-set", "unconditional", "--scale", "0.25",
+             "--repetitions", "3", "--url", "http://h:1"])
+        assert args.command == "submit"
+        assert args.experiments == ["figure1", "figure8"]
+        assert args.bench_set == ["unconditional"]
+        assert args.scale == 0.25
+        assert args.url == "http://h:1"
+
+    def test_serve_options(self):
+        args = build_parser().parse_args(
+            ["serve", "--host", "0.0.0.0", "--port", "9000", "--dir",
+             "store", "--data-dir", "data", "--workers", "2", "--jobs", "4"])
+        assert args.host == "0.0.0.0"
+        assert args.port == "9000"
+        assert args.dir == "store"
+        assert args.data_dir == "data"
+        assert args.workers == "2"
+
+    def test_store_scoping_flags(self):
+        args = build_parser().parse_args(
+            ["store", "export", "--out", "x.json",
+             "--manifest", "a" * 64, "--manifest", "b" * 64])
+        assert args.manifest == ["a" * 64, "b" * 64]
+        args = build_parser().parse_args(
+            ["store", "gc", "--manifest-hash", "c" * 64])
+        assert args.manifest_hash == ["c" * 64]
+
+
+class TestServeCommand:
+    def test_serve_requires_a_store(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE_DIR", raising=False)
+        assert main(["serve"]) == 2
+        assert "REPRO_STORE_DIR" in capsys.readouterr().err
+
+    def test_malformed_port_and_workers_rejected(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        assert main(["serve", "--dir", store_dir, "--port", "abc"]) == 2
+        assert "--port" in capsys.readouterr().err
+        assert main(["serve", "--dir", store_dir, "--port", "70000"]) == 2
+        assert "[0, 65535]" in capsys.readouterr().err
+        assert main(["serve", "--dir", store_dir, "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_malformed_env_port_rejected(self, tmp_path, capsys,
+                                         monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_PORT", "nope")
+        assert main(["serve", "--dir", str(tmp_path / "store")]) == 2
+        assert "REPRO_SERVE_PORT" in capsys.readouterr().err
+
+
+class TestClientCommands:
+    """submit/watch/fetch driven through main() against a live service."""
+
+    @pytest.fixture()
+    def service(self, tmp_path):
+        from repro.experiments.store import ResultStore
+        from repro.service import SimulationService
+
+        svc = SimulationService(ResultStore(str(tmp_path / "store")),
+                                str(tmp_path / "data"), port=0, workers=1)
+        svc.start()
+        yield svc
+        svc.stop()
+
+    def test_submit_watch_fetch_round_trip(self, service, tmp_path, capsys):
+        # table5 is caseless (a configuration table), so the round trip is
+        # fast even against the real registry the server plans from.
+        assert main(["submit", "--url", service.url,
+                     "--experiments", "table5"]) == 0
+        captured = capsys.readouterr()
+        job_id = captured.out.strip()  # the id alone, shell-capturable
+        assert job_id.startswith("job-")
+        assert "queued" in captured.err
+
+        assert main(["watch", job_id, "--url", service.url]) == 0
+        captured = capsys.readouterr()
+        assert "0 unique, 0 simulated, 0 store hit(s)" in captured.out
+
+        out_dir = tmp_path / "served"
+        assert main(["fetch", job_id, "--url", service.url,
+                     "--out", str(out_dir)]) == 0
+        assert "fetched" in capsys.readouterr().out
+        assert sorted(os.listdir(out_dir)) == \
+            ["summary.json", "table5.json", "table5.txt"]
+
+    def test_submit_validation_error_exits_2(self, service, capsys):
+        assert main(["submit", "--url", service.url,
+                     "--experiments", "nope"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_client_repetitions_parsed_before_any_request(self, capsys):
+        assert main(["submit", "--url", "http://127.0.0.1:1",
+                     "--repetitions", "0"]) == 2
+        assert "--repetitions" in capsys.readouterr().err
+
+    def test_unreachable_service_exits_2(self, capsys):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        for argv in (["submit", "--experiments", "table5"],
+                     ["watch", "job-0001-aaaaaaaa"],
+                     ["fetch", "job-0001-aaaaaaaa", "--out", "x"]):
+            assert main(argv + ["--url", f"http://127.0.0.1:{port}"]) == 2
+            assert "is 'repro serve' running?" in capsys.readouterr().err
+
+
+class TestScopedStoreCommands:
+    def test_ingest_rejects_non_http_scheme_url(self, tmp_path, capsys):
+        assert main(["store", "ingest", "--dir", str(tmp_path / "s"),
+                     "ftp://host/export.json"]) == 2
+        assert "must be http" in capsys.readouterr().err
+
+    def test_scoped_export_and_gc_flow(self, tmp_path, capsys):
+        from repro.cpu.stats import run_result_to_dict
+        from repro.experiments.store import ResultStore
+
+        store = TestStoreCommand()._populate(tmp_path / "a")
+        key = store.keys()[0]
+        store._write("ab" * 32, run_result_to_dict(store.get(key)))
+        live = "1a" * 32
+        store.register_manifest(live, [key])
+
+        export_path = str(tmp_path / "scoped.json")
+        assert main(["store", "export", "--dir", str(tmp_path / "a"),
+                     "--out", export_path, "--manifest", live]) == 0
+        out = capsys.readouterr().out
+        assert "exported 1 entr(ies)" in out and "1 manifest(s)" in out
+
+        assert main(["store", "gc", "--dir", str(tmp_path / "a"),
+                     "--manifest-hash", live]) == 0
+        assert "superseded manifests" in capsys.readouterr().out
+        assert store.keys() == [key]
+
+        assert main(["store", "gc", "--dir", str(tmp_path / "a"),
+                     "--manifest-hash", "2b" * 32]) == 2
+        assert "not registered" in capsys.readouterr().err

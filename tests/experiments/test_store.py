@@ -528,3 +528,173 @@ class TestCacheWiring:
         assert ResultStore(str(env_store_dir)).get(key) is None
         assert RunResultCache(directory=str(env_cache_dir),
                               store=False).get(key) is None
+
+
+class TestManifestScope:
+    """Manifest indexes: the unit of scoped gc, export and federation."""
+
+    @staticmethod
+    def _fill(store, result, keys):
+        from repro.cpu.stats import run_result_to_dict
+
+        for key in keys:
+            store._write(key, run_result_to_dict(result))
+
+    def test_register_list_and_lookup(self, tmp_path, simulated):
+        key, _result = simulated
+        store = ResultStore(str(tmp_path))
+        manifest_hash = "1f" * 32
+        store.register_manifest(manifest_hash, [key])
+        assert store.manifests() == [manifest_hash]
+        assert store.manifest_keys(manifest_hash) == [key]
+        # Idempotent re-registration; a different case set under the same
+        # hash is the manifest-shaped determinism violation put() refuses.
+        store.register_manifest(manifest_hash, [key])
+        with pytest.raises(ValueError, match="different case set"):
+            store.register_manifest(manifest_hash, ["ab" * 32])
+
+    def test_bad_hashes_and_keys_refused(self, tmp_path, simulated):
+        key, _result = simulated
+        store = ResultStore(str(tmp_path))
+        with pytest.raises(ValueError, match="not a SHA-256 digest"):
+            store.register_manifest("../../escape", [key])
+        with pytest.raises(ValueError, match="not a SHA-256 cache key"):
+            store.register_manifest("2f" * 32, ["../../etc/passwd"])
+
+    def test_engine_prefixed_hash_accepted_everywhere(self, tmp_path,
+                                                      simulated):
+        # 'repro plan --hash' prints engine:hash; scoped lookup, export and
+        # gc must take that spelling as-is, not just the bare digest.
+        from repro.experiments.executor import ENGINE_VERSION
+
+        key, result = simulated
+        store = ResultStore(str(tmp_path))
+        store.put(key, result)
+        manifest_hash = "8f" * 32
+        store.register_manifest(manifest_hash, [key])
+        prefixed = f"{ENGINE_VERSION}:{manifest_hash}"
+        assert store.manifest_keys(prefixed) == [key]
+        _path, count = store.export(str(tmp_path / "scoped.json"),
+                                    manifest_hashes=[prefixed])
+        assert count == 1
+        assert store.gc(manifest_hashes=[prefixed]) == 0
+        # The live manifest named by its prefixed spelling survives gc.
+        assert store.manifests() == [manifest_hash]
+
+    def test_foreign_engine_prefix_refused(self, tmp_path, simulated):
+        key, _result = simulated
+        store = ResultStore(str(tmp_path))
+        store.register_manifest("9f" * 32, [key])
+        with pytest.raises(ValueError, match="names engine '1999.0-other'"):
+            store.manifest_keys(f"1999.0-other:{'9f' * 32}")
+        with pytest.raises(ValueError, match="repro plan --hash"):
+            store.manifest_keys("not-a-digest")
+
+    def test_unregistered_manifest_lookup_names_the_registered(
+            self, tmp_path, simulated):
+        key, _result = simulated
+        store = ResultStore(str(tmp_path))
+        store.register_manifest("3f" * 32, [key])
+        with pytest.raises(ValueError, match="registered: 3f3f3f3f3f3f"):
+            store.manifest_keys("4f" * 32)
+
+    def test_manifest_indexes_invisible_to_keys_verify_export(
+            self, tmp_path, simulated):
+        key, result = simulated
+        store = ResultStore(str(tmp_path))
+        store.put(key, result)
+        store.register_manifest("5f" * 32, [key])
+        assert store.keys() == [key]
+        report = store.verify()
+        assert report["entries"] == 1 and report["corrupt"] == []
+        _path, count = store.export(str(tmp_path / "all.json"))
+        assert count == 1
+
+    def test_gc_prunes_superseded_manifest_entries(self, tmp_path,
+                                                   simulated):
+        _key, result = simulated
+        store = ResultStore(str(tmp_path))
+        old_key, new_key = "aa" * 32, "bb" * 32
+        self._fill(store, result, [old_key, new_key])
+        old_manifest, new_manifest = "6f" * 32, "7f" * 32
+        store.register_manifest(old_manifest, [old_key])
+        store.register_manifest(new_manifest, [new_key])
+        removed = store.gc(manifest_hashes=[new_manifest])
+        assert removed == 1
+        assert store.keys() == [new_key]
+        # The superseded manifest's index went with its entries.
+        assert store.manifests() == [new_manifest]
+
+    def test_gc_retains_entries_shared_across_live_manifests(
+            self, tmp_path, simulated):
+        _key, result = simulated
+        store = ResultStore(str(tmp_path))
+        shared, only_old = "cc" * 32, "dd" * 32
+        self._fill(store, result, [shared, only_old])
+        old_manifest, new_manifest = "8f" * 32, "9f" * 32
+        store.register_manifest(old_manifest, [shared, only_old])
+        store.register_manifest(new_manifest, [shared])
+        # Both manifests live: nothing to prune.
+        assert store.gc(manifest_hashes=[old_manifest, new_manifest]) == 0
+        assert len(store) == 2
+        # Only the new manifest live: the shared entry survives.
+        assert store.gc(manifest_hashes=[new_manifest]) == 1
+        assert store.keys() == [shared]
+
+    def test_gc_with_unregistered_manifest_deletes_nothing(self, tmp_path,
+                                                           simulated):
+        key, result = simulated
+        store = ResultStore(str(tmp_path))
+        store.put(key, result)
+        store.register_manifest("af" * 32, [key])
+        with pytest.raises(ValueError, match="not registered"):
+            store.gc(manifest_hashes=["bf" * 32])
+        # The keep set is resolved before any deletion, so the typo'd hash
+        # cost nothing.
+        assert store.keys() == [key]
+        assert store.manifests() == ["af" * 32]
+
+    def test_scoped_gc_still_refuses_non_store_directories(self, tmp_path):
+        victim = tmp_path / "not-a-store"
+        (victim / "src").mkdir(parents=True)
+        with pytest.raises(ValueError, match="missing"):
+            ResultStore(str(victim)).gc(manifest_hashes=["cf" * 32])
+        assert (victim / "src").exists()
+
+    def test_export_scoped_to_manifests(self, tmp_path, simulated):
+        _key, result = simulated
+        store = ResultStore(str(tmp_path))
+        mine, other = "ee" * 32, "ff" * 32
+        self._fill(store, result, [mine, other])
+        store.register_manifest("d1" * 32, [mine])
+        path, count = store.export(str(tmp_path / "scoped.json"),
+                                   manifest_hashes=["d1" * 32])
+        assert count == 1
+        target = ResultStore(str(tmp_path / "target"))
+        added, _skipped = target.ingest(path)
+        assert added == 1
+        assert target.keys() == [mine]
+        with pytest.raises(ValueError, match="not registered"):
+            store.export(str(tmp_path / "nope.json"),
+                         manifest_hashes=["d2" * 32])
+
+
+class TestIngestUrl:
+    def test_non_http_schemes_refused(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        for url in ("ftp://host/export.json", "file:///etc/passwd",
+                    "gopher://x"):
+            with pytest.raises(ValueError, match="must be http"):
+                store.ingest_url(url)
+
+    def test_unreachable_url_is_a_named_download_failure(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        # A port bound then closed: connection refused, quickly.
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(ValueError, match="download failed"):
+            store.ingest_url(f"http://127.0.0.1:{port}/export.json")
