@@ -20,12 +20,31 @@ from .metrics import (
     relative_overhead,
 )
 from .stats import (
+    DegreesOfFreedomRangeError,
     PointStats,
     fold_experiment_results,
     fold_figures,
     summarize,
     t_critical_95,
 )
+from .significance import (
+    PairwiseComparison,
+    SignificanceMatrix,
+    TestResult,
+    bootstrap_ci,
+    compare_paired,
+    leakage_mi_ci,
+    paired_t,
+    significance_matrix,
+    wilcoxon_signed_rank,
+)
+from .pareto import (
+    MechanismProfile,
+    mechanism_profiles,
+    pareto_frontier,
+    pareto_table,
+)
+from .htmlreport import build_html_report, render_html_report
 from .report import (
     PAPER_EXPECTATIONS,
     PaperExpectation,
@@ -46,10 +65,26 @@ __all__ = [
     "save_results_json",
     "save_figure_csv",
     "PointStats",
+    "DegreesOfFreedomRangeError",
     "summarize",
     "t_critical_95",
     "fold_figures",
     "fold_experiment_results",
+    "TestResult",
+    "PairwiseComparison",
+    "SignificanceMatrix",
+    "paired_t",
+    "wilcoxon_signed_rank",
+    "compare_paired",
+    "bootstrap_ci",
+    "leakage_mi_ci",
+    "significance_matrix",
+    "MechanismProfile",
+    "mechanism_profiles",
+    "pareto_frontier",
+    "pareto_table",
+    "build_html_report",
+    "render_html_report",
     "PaperExpectation",
     "PAPER_EXPECTATIONS",
     "ReproductionReport",

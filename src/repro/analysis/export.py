@@ -60,8 +60,13 @@ def figure_from_dict(data: Dict[str, Any]) -> FigureSeries:
 
 
 def result_to_dict(result) -> Dict[str, Any]:
-    """Convert an :class:`ExperimentResult` into a JSON-friendly dictionary."""
-    return {
+    """Convert an :class:`ExperimentResult` into a JSON-friendly dictionary.
+
+    The ``replicates`` key (per-repetition figures kept for the significance
+    layer) is emitted only when present, so single-trajectory output stays
+    byte-identical to the historical format.
+    """
+    payload = {
         "name": result.name,
         "description": result.description,
         "headers": list(result.headers),
@@ -70,6 +75,10 @@ def result_to_dict(result) -> Dict[str, Any]:
         "paper_claim": result.paper_claim,
         "notes": result.notes,
     }
+    if getattr(result, "replicates", None):
+        payload["replicates"] = [figure_to_dict(figure)
+                                 for figure in result.replicates]
+    return payload
 
 
 def result_from_dict(data: Dict[str, Any]):
@@ -78,12 +87,15 @@ def result_from_dict(data: Dict[str, Any]):
     from ..experiments.base import ExperimentResult
 
     figure = figure_from_dict(data["figure"]) if data.get("figure") else None
+    replicates = [figure_from_dict(entry)
+                  for entry in data.get("replicates", [])]
     return ExperimentResult(name=data["name"], description=data["description"],
                             headers=list(data.get("headers", [])),
                             rows=[list(row) for row in data.get("rows", [])],
                             figure=figure,
                             paper_claim=data.get("paper_claim", ""),
-                            notes=data.get("notes", ""))
+                            notes=data.get("notes", ""),
+                            replicates=replicates)
 
 
 def save_result_json(result, path: str) -> str:

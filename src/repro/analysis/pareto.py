@@ -1,0 +1,268 @@
+"""Security vs. overhead vs. hardware-cost Pareto analysis.
+
+The paper's argument is comparative: complete flush defends everything but
+is expensive, precise flush is cheap but leaves SMT channels open, and
+Noisy-XOR-BP buys both at a small hardware cost.  This module makes that
+trade-off explicit by joining three independent measurement layers into one
+table per isolation mechanism:
+
+* **security** — mutual-information leakage of the PHT direction channel and
+  the BTB occupancy channel (:mod:`repro.security.leakage`), with seeded
+  bootstrap CIs from :func:`repro.analysis.significance.leakage_mi_ci`;
+* **overhead** — measured performance overhead, pulled from whichever
+  reproduced figure covers the mechanism (Figure 10's cross-predictor SMT
+  sweep preferred, single-figure fallbacks otherwise);
+* **hardware cost** — the analytic Table 5 estimator
+  (:mod:`repro.hwcost.estimator`) evaluated on the FPGA-prototype
+  geometries.
+
+:func:`pareto_frontier` then marks the non-dominated mechanisms (minimising
+every axis).  All inputs are deterministic — seeded leakage trials, stored
+figure results, closed-form cost model — so the frontier is reproducible
+bit-for-bit from the same result store.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .significance import leakage_mi_ci
+
+__all__ = [
+    "MechanismProfile",
+    "DEFAULT_MECHANISMS",
+    "OVERHEAD_SOURCES",
+    "mechanism_overhead",
+    "hw_cost_overheads",
+    "mechanism_profiles",
+    "pareto_frontier",
+    "pareto_table",
+]
+
+#: Mechanisms profiled by default: ``(preset, display label)`` in paper
+#: order.  The baseline anchors the overhead axis at zero.
+DEFAULT_MECHANISMS = (
+    ("baseline", "Baseline"),
+    ("complete_flush", "Complete Flush"),
+    ("precise_flush", "Precise Flush"),
+    ("noisy_xor_bp", "Noisy-XOR-BP"),
+)
+
+#: Where each mechanism's measured overhead may come from: ``{preset:
+#: [(experiment key, mechanism label), ...]}`` in preference order.  A label
+#: matches a series named exactly ``label``, ``label-...`` (Figures 7–9
+#: append the switch interval) or ``...-label`` (Figure 10 prepends the
+#: predictor); all matching series are averaged.
+OVERHEAD_SOURCES: Dict[str, List[Tuple[str, str]]] = {
+    "complete_flush": [("figure10", "CF"), ("figure3", "Complete Flush"),
+                       ("figure2", "Complete Flush")],
+    "precise_flush": [("figure10", "PF"), ("figure3", "Precise Flush")],
+    "noisy_xor_bp": [("figure10", "Noisy-XOR-BP"),
+                     ("figure9", "Noisy-XOR-BP")],
+}
+
+#: FPGA-prototype geometries used for the hardware-cost axis (the Table 5
+#: middle rows): a 2-way 256-entry-per-way BTB and a six-table 2K TAGE PHT.
+_HW_BTB_ENTRIES = 256
+_HW_PHT_ENTRIES = 2048
+
+
+@dataclass
+class MechanismProfile:
+    """One mechanism's position on the security/overhead/hw-cost axes.
+
+    Attributes:
+        mechanism: protection preset name.
+        label: display label.
+        leakage_bits: total mutual information (bits/trial) summed over the
+            PHT direction and BTB occupancy channels.
+        leakage_ci: bootstrap ``(low, high)`` bounds on ``leakage_bits``.
+        overhead: measured performance overhead (fraction); 0 for baseline.
+        overhead_source: experiment key + series the overhead came from, or
+            ``"(definition)"`` / ``"(unavailable)"``.
+        hw_area_overhead: analytic relative area overhead (fraction).
+        hw_timing_overhead: analytic relative critical-path overhead.
+        on_frontier: whether the mechanism is Pareto-optimal.
+    """
+
+    mechanism: str
+    label: str
+    leakage_bits: float
+    leakage_ci: Tuple[float, float]
+    overhead: Optional[float]
+    overhead_source: str
+    hw_area_overhead: float
+    hw_timing_overhead: float
+    on_frontier: bool = False
+
+
+def _series_matching(figure, mechanism_label: str) -> List[str]:
+    """Series named ``label``, ``label-...`` or ``...-label`` (see above)."""
+    return [label for label in figure.series
+            if label == mechanism_label
+            or label.startswith(mechanism_label + "-")
+            or label.endswith("-" + mechanism_label)]
+
+
+def mechanism_overhead(results: Mapping[str, object], preset: str
+                       ) -> Tuple[Optional[float], str]:
+    """Find a mechanism's measured overhead among the available results.
+
+    Walks :data:`OVERHEAD_SOURCES` in preference order; the overhead is the
+    mean of the per-case series averages of every matching series in the
+    first experiment that has any.
+
+    Args:
+        results: ``{experiment key: ExperimentResult}``.
+        preset: protection preset name.
+
+    Returns:
+        ``(overhead fraction, source description)``; ``(None,
+        "(unavailable)")`` when no covering figure was run.
+    """
+    if preset == "baseline":
+        return 0.0, "(definition)"
+    for key, prefix in OVERHEAD_SOURCES.get(preset, []):
+        result = results.get(key)
+        figure = getattr(result, "figure", None)
+        if figure is None:
+            continue
+        labels = _series_matching(figure, prefix)
+        if not labels:
+            continue
+        averages = [figure.average(label) for label in labels]
+        overhead = math.fsum(averages) / len(averages)
+        return overhead, f"{key}: {prefix} ({len(labels)} series)"
+    return None, "(unavailable)"
+
+
+def hw_cost_overheads(preset: str) -> Tuple[float, float]:
+    """Analytic (area, timing) overhead fractions for one mechanism.
+
+    Noisy-XOR variants are costed with the Table 5 estimator on the
+    FPGA-prototype geometries (added area/delay over both protected
+    structures combined); flush mechanisms reuse existing flush/clear paths
+    and are charged zero added hardware, matching the paper's qualitative
+    claim.
+    """
+    from ..hwcost.estimator import btb_cost, tage_pht_cost
+
+    protects_btb = preset in ("xor_btb", "noisy_xor_btb", "xor_bp",
+                              "noisy_xor_bp")
+    protects_pht = preset in ("xor_pht", "noisy_xor_pht", "xor_bp",
+                              "noisy_xor_bp")
+    if not (protects_btb or protects_pht):
+        return 0.0, 0.0
+    base_area = added_area = 0.0
+    base_delay = added_delay = 0.0
+    estimates = []
+    if protects_btb:
+        estimates.append(btb_cost(_HW_BTB_ENTRIES))
+    if protects_pht:
+        estimates.append(tage_pht_cost(_HW_PHT_ENTRIES))
+    for estimate in estimates:
+        base_area += estimate.base_area_um2
+        added_area += estimate.added_area_um2
+        base_delay += estimate.base_delay_ps
+        added_delay += estimate.added_delay_ps
+    return added_area / base_area, added_delay / base_delay
+
+
+def mechanism_profiles(results: Mapping[str, object], *,
+                       mechanisms: Sequence[Tuple[str, str]] = DEFAULT_MECHANISMS,
+                       trials: int = 200, smt: bool = True,
+                       seed: int = 0xD1CE, n_boot: int = 500
+                       ) -> List[MechanismProfile]:
+    """Profile each mechanism on the security/overhead/hw-cost axes.
+
+    Args:
+        results: ``{experiment key: ExperimentResult}`` from a reproduction
+            run (supplies the overhead axis).
+        mechanisms: ``(preset, label)`` pairs to profile.
+        trials: leakage trials per channel (seeded, deterministic).
+        smt: measure the concurrent-attacker scenario (the hard case —
+            flushing on context switch does not help here, which is what
+            separates the mechanisms).
+        seed: leakage RNG seed; bootstrap seeds derive from it per channel.
+        n_boot: bootstrap resamples per leakage CI.
+
+    Returns:
+        Profiles in ``mechanisms`` order with ``on_frontier`` marked.
+    """
+    from ..security.leakage import leakage_report
+
+    report = leakage_report([preset for preset, _ in mechanisms],
+                            trials=trials, smt=smt, seed=seed)
+    profiles: List[MechanismProfile] = []
+    for index, (preset, label) in enumerate(mechanisms):
+        channels = report[preset]
+        leakage_bits = math.fsum(estimate.mutual_information_bits
+                                 for estimate in channels.values())
+        ci_low = ci_high = 0.0
+        for channel_index, channel in enumerate(sorted(channels)):
+            low, high = leakage_mi_ci(
+                channels[channel], n_boot=n_boot,
+                seed=seed + 1000 * index + channel_index)
+            ci_low += low
+            ci_high += high
+        overhead, source = mechanism_overhead(results, preset)
+        area, timing = hw_cost_overheads(preset)
+        profiles.append(MechanismProfile(
+            mechanism=preset, label=label, leakage_bits=leakage_bits,
+            leakage_ci=(ci_low, ci_high), overhead=overhead,
+            overhead_source=source, hw_area_overhead=area,
+            hw_timing_overhead=timing))
+    for position in pareto_frontier(
+            [(p.leakage_bits,
+              p.overhead if p.overhead is not None else math.inf,
+              p.hw_area_overhead) for p in profiles]):
+        profiles[position].on_frontier = True
+    return profiles
+
+
+def pareto_frontier(points: Sequence[Sequence[float]]) -> List[int]:
+    """Indices of the non-dominated points, minimising every axis.
+
+    A point is dominated when another point is no worse on every axis and
+    strictly better on at least one.  Ties (identical points) are all kept.
+    The scan is a deterministic O(n²) pass in input order — mechanism counts
+    are single digits.
+    """
+    kept: List[int] = []
+    for i, candidate in enumerate(points):
+        dominated = False
+        for j, other in enumerate(points):
+            if i == j:
+                continue
+            if (all(o <= c for o, c in zip(other, candidate))
+                    and any(o < c for o, c in zip(other, candidate))):
+                dominated = True
+                break
+        if not dominated:
+            kept.append(i)
+    return kept
+
+
+def pareto_table(profiles: Sequence[MechanismProfile]
+                 ) -> Tuple[List[str], List[List[str]]]:
+    """Render mechanism profiles as (headers, rows) for text/HTML tables."""
+    headers = ["mechanism", "leakage (bits/trial)", "leakage 95% CI",
+               "perf overhead", "overhead source", "hw area", "hw timing",
+               "Pareto-optimal"]
+    rows: List[List[str]] = []
+    for profile in profiles:
+        overhead = ("n/a" if profile.overhead is None
+                    else f"{100 * profile.overhead:+.2f}%")
+        rows.append([
+            profile.label,
+            f"{profile.leakage_bits:.4f}",
+            f"[{profile.leakage_ci[0]:.4f}, {profile.leakage_ci[1]:.4f}]",
+            overhead,
+            profile.overhead_source,
+            f"{100 * profile.hw_area_overhead:.2f}%",
+            f"{100 * profile.hw_timing_overhead:.2f}%",
+            "yes" if profile.on_frontier else "no",
+        ])
+    return headers, rows

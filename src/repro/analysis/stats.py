@@ -25,6 +25,9 @@ from .figures import FigureSeries, format_value
 
 __all__ = [
     "T_CRITICAL_95",
+    "T_CRITICAL_95_ANCHORS",
+    "T_CRITICAL_95_MAX_DF",
+    "DegreesOfFreedomRangeError",
     "t_critical_95",
     "PointStats",
     "summarize",
@@ -39,19 +42,46 @@ T_CRITICAL_95 = (
     2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
 )
 
+#: Tabulated anchors used for interpolation above 30 degrees of freedom.
+T_CRITICAL_95_ANCHORS = ((30, 2.042), (40, 2.021), (60, 2.000), (120, 1.980))
+
+#: Largest degrees of freedom :func:`t_critical_95` can evaluate.
+T_CRITICAL_95_MAX_DF = T_CRITICAL_95_ANCHORS[-1][0]
+
+
+class DegreesOfFreedomRangeError(ValueError):
+    """Raised when ``df`` falls outside the tabulated t-critical range."""
+
 
 def t_critical_95(df: int) -> float:
     """Two-sided 95% t critical value for ``df`` degrees of freedom.
 
-    Exact (tabulated) up to 30 degrees of freedom, the normal-approximation
-    1.96 beyond — repetition counts in this repo are single digits, so the
-    small-sample regime is the one that matters.
+    Exact (tabulated) up to 30 degrees of freedom — repetition counts in
+    this repo are single digits, so the small-sample regime is the one that
+    matters.  Between 30 and 120 the value is interpolated linearly in
+    ``1/df`` between the standard textbook anchors (df 30, 40, 60, 120),
+    which keeps the approximation error below 0.001 across that range.
+
+    Beyond 120 degrees of freedom there is no tabulated value and this
+    function refuses to guess: it raises
+    :class:`DegreesOfFreedomRangeError` rather than silently clamping to
+    the normal-approximation 1.96 (the historical behaviour, which hid
+    out-of-range repetition counts).
     """
     if df < 1:
         raise ValueError(f"degrees of freedom must be >= 1, got {df}")
     if df <= len(T_CRITICAL_95):
         return T_CRITICAL_95[df - 1]
-    return 1.96
+    for (lo_df, lo_t), (hi_df, hi_t) in zip(T_CRITICAL_95_ANCHORS,
+                                            T_CRITICAL_95_ANCHORS[1:]):
+        if df <= hi_df:
+            # Linear interpolation in 1/df between the bracketing anchors.
+            fraction = (1.0 / df - 1.0 / lo_df) / (1.0 / hi_df - 1.0 / lo_df)
+            return lo_t + fraction * (hi_t - lo_t)
+    raise DegreesOfFreedomRangeError(
+        f"t_critical_95 is tabulated up to df={T_CRITICAL_95_MAX_DF}; "
+        f"got df={df}.  Use a normal approximation explicitly if that many "
+        "repetitions is intentional.")
 
 
 @dataclass(frozen=True)
@@ -140,9 +170,11 @@ def fold_experiment_results(results: Sequence) -> "ExperimentResult":
 
     For figure experiments the folded figure carries mean series with 95%-CI
     error bars, and the tabular rows become a per-series summary (mean, std,
-    CI of the series average across repetitions).  Figure-less experiments
-    keep repetition 0's table, annotated.  Folding one result returns it
-    unchanged — the ``repetitions=1`` bit-identity guarantee.
+    CI of the series average across repetitions); the per-repetition figures
+    themselves are preserved on ``result.replicates`` (repetition order) so
+    the significance layer can run paired per-seed tests.  Figure-less
+    experiments keep repetition 0's table, annotated.  Folding one result
+    returns it unchanged — the ``repetitions=1`` bit-identity guarantee.
     """
     from ..experiments.base import ExperimentResult
 
@@ -159,8 +191,10 @@ def fold_experiment_results(results: Sequence) -> "ExperimentResult":
 
     figures = [result.figure for result in results]
     figure: Optional[FigureSeries]
+    replicates: List[FigureSeries] = []
     if all(fig is not None for fig in figures):
         figure = fold_figures(figures)
+        replicates = list(figures)
         headers = ["series", "mean", "std", "95% CI"]
         rows = []
         for label in figure.series:
@@ -180,4 +214,5 @@ def fold_experiment_results(results: Sequence) -> "ExperimentResult":
     notes = f"{base.notes} {note}".strip() if base.notes else note
     return ExperimentResult(name=base.name, description=base.description,
                             headers=headers, rows=rows, figure=figure,
-                            paper_claim=base.paper_claim, notes=notes)
+                            paper_claim=base.paper_claim, notes=notes,
+                            replicates=replicates)

@@ -273,13 +273,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = subparsers.add_parser("report", help="run the headline experiments "
                                                   "and write a paper-vs-measured "
-                                                  "Markdown report")
+                                                  "Markdown or HTML report")
     report.add_argument("--experiments", nargs="+", default=None,
-                        help="experiment keys to include (default: the quick set)")
+                        help="experiment keys to include (default: the quick "
+                             "set; with --html, the full registry)")
     report.add_argument("--scale", type=float, default=None,
                         help="trace-length scale factor")
     report.add_argument("--output", default=None, metavar="PATH",
                         help="write the Markdown report to this file")
+    report.add_argument("--html", action="store_true",
+                        help="render the self-contained HTML report (figures "
+                             "with CI error bars, significance matrices, "
+                             "Pareto table, provenance) instead of Markdown")
+    report.add_argument("--out", default=None, metavar="PATH",
+                        help="HTML output path (default: report.html; "
+                             "requires --html)")
+    report.add_argument("--repetitions", default=None, metavar="N",
+                        help="repeat every case under N shifted seeds and "
+                             "report mean ± 95%% CI plus per-seed "
+                             "significance tests (requires --html)")
+    report.add_argument("--jobs", default=None, metavar="N",
+                        help="worker processes for the simulation batch "
+                             "(requires --html)")
 
     return parser
 
@@ -858,6 +873,17 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     if _env_exec_error():
         return 2
+    if args.html:
+        return _cmd_report_html(args)
+    html_only = [name for name, value in (
+        ("--out", args.out), ("--repetitions", args.repetitions),
+        ("--jobs", args.jobs)) if value is not None]
+    if html_only:
+        print(f"{', '.join(html_only)} appl"
+              f"{'y' if len(html_only) > 1 else 'ies'} to --html reports "
+              "only (the Markdown report is a quick single-seed pass; use "
+              "--output PATH for its file)", file=sys.stderr)
+        return 2
     keys = args.experiments if args.experiments else list(_DEFAULT_REPORT_EXPERIMENTS)
     unknown = [key for key in keys if key not in EXPERIMENTS]
     if unknown:
@@ -876,6 +902,81 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if args.output:
         report.save(args.output)
         print(f"Markdown report written to {args.output}")
+    return 0
+
+
+def _report_provenance(manifest, stats_line: str) -> "Dict[str, str]":
+    """The provenance block embedded at the top of the HTML report."""
+    summary = manifest.describe()
+    return {
+        "Engine": summary["engine"],
+        "Manifest": summary["manifest_hash"],
+        "Experiments": ", ".join(summary["experiments"]),
+        "Repetitions": str(summary["repetitions"]),
+        "Planned cases": (f"{summary['planned_cases']} planned, "
+                          f"{summary['unique_cases']} unique, "
+                          f"{summary['deduped_cases']} deduped"),
+        "Executor": stats_line,
+    }
+
+
+def _cmd_report_html(args: argparse.Namespace) -> int:
+    """``repro report --html``: the decision-grade self-contained report.
+
+    Runs the requested experiments (the **full** registry by default, so the
+    embedded manifest hash matches a ``repro run all`` of the same settings)
+    through the ordinary manifest/executor pipeline — store-warm runs
+    simulate nothing — then renders every figure with CI error bars,
+    mechanism significance matrices, the Pareto table and the provenance
+    block into one HTML file with no external fetches.
+    """
+    from .analysis.htmlreport import build_html_report
+    from .experiments.executor import (
+        ExecutionError,
+        RunResultCache,
+        SweepExecutor,
+    )
+    from .experiments.manifest import build_manifest, parse_repetitions
+    from .experiments.pipeline import run_serial
+
+    if args.output:
+        print("--output writes the Markdown report; use --out PATH for the "
+              "HTML report", file=sys.stderr)
+        return 2
+    try:
+        jobs = _resolve_jobs(args.jobs)
+        repetitions = (parse_repetitions(args.repetitions)
+                       if args.repetitions is not None else 1)
+        manifest = build_manifest(keys=args.experiments,
+                                  scale=_resolve_scale(args.scale),
+                                  repetitions=repetitions)
+    except (KeyError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    summary = manifest.describe()
+    print(f"manifest {summary['manifest_hash'][:12]}… "
+          f"({summary['unique_cases']} unique cases, "
+          f"{summary['repetitions']} repetition(s))")
+    executor = SweepExecutor(jobs=jobs, cache=RunResultCache())
+    try:
+        results = run_serial(manifest, executor=executor)
+    except ExecutionError as exc:
+        print(f"report run failed: {exc}", file=sys.stderr)
+        return 1
+    except (OSError, ValueError) as exc:
+        print(f"report run failed: {exc}", file=sys.stderr)
+        return 2
+    stats = _stats_line(manifest, executor)
+    print(stats)
+    ordered = {key: results[key] for key in manifest.keys}
+    document = build_html_report(ordered,
+                                 _report_provenance(manifest, stats))
+    out_path = args.out or "report.html"
+    parent = os.path.dirname(os.path.abspath(out_path))
+    os.makedirs(parent, exist_ok=True)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        handle.write(document)
+    print(f"HTML report written to {out_path}")
     return 0
 
 

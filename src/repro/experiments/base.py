@@ -23,6 +23,10 @@ class ExperimentResult:
         figure: optional figure data series (for the bar-chart figures).
         paper_claim: the paper's headline numbers for this experiment.
         notes: reproduction caveats (scaling, substitutions).
+        replicates: the per-repetition figures that ``figure`` was folded
+            from (one entry per seed offset, in repetition order).  Empty for
+            single-trajectory runs and figure-less experiments; consumed by
+            ``repro.analysis.significance`` for paired per-seed tests.
     """
 
     name: str
@@ -32,6 +36,7 @@ class ExperimentResult:
     figure: Optional[FigureSeries] = None
     paper_claim: str = ""
     notes: str = ""
+    replicates: List[FigureSeries] = field(default_factory=list)
 
     def render(self) -> str:
         """Render the experiment result as text."""

@@ -13,6 +13,7 @@ GET    ``/v1/jobs/<id>``               one job document (poll this)
 GET    ``/v1/jobs/<id>/events``        chunked JSONL event stream
 GET    ``/v1/jobs/<id>/files``         list finished output files
 GET    ``/v1/jobs/<id>/files/<name>``  one output file (figure JSON/text)
+GET    ``/v1/jobs/<id>/report``        self-contained HTML report of the job
 GET    ``/v1/store/export``            store export (``?manifest=H`` scopes)
 GET    ``/v1/health``                  liveness + engine/backend + job counts
 ====== =============================== =====================================
@@ -166,6 +167,9 @@ class _Handler(BaseHTTPRequestHandler):
             match = re.fullmatch(r"/v1/jobs/([^/]+)/files/([^/]+)", path)
             if match:
                 return self._get_file(match.group(1), match.group(2))
+            match = re.fullmatch(r"/v1/jobs/([^/]+)/report", path)
+            if match:
+                return self._get_report(match.group(1))
             if path == "/v1/store/export":
                 return self._get_store_export(query)
             self._send_error(404, f"unknown path {path!r}")
@@ -301,6 +305,50 @@ class _Handler(BaseHTTPRequestHandler):
                         else "text/plain; charset=utf-8")
         self.send_response(200)
         self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _get_report(self, job_id: str) -> None:
+        """The job's figures/tables as one self-contained HTML report.
+
+        Rebuilt from the finished job's output files (the same
+        ``write_outputs`` artifacts ``/files`` serves), so the report shows
+        exactly what the client can fetch — with the job's manifest hash and
+        executor statistics as provenance.
+        """
+        from ..analysis.export import load_result_json
+        from ..analysis.htmlreport import build_html_report
+
+        job = self._job_or_404(job_id)
+        if job is None:
+            return
+        if job.state != "done":
+            return self._send_error(
+                409, f"job {job_id} is {job.state}; the report is served "
+                     "once it is done")
+        results = {}
+        for key in job.manifest.keys:
+            path = os.path.join(job.files_dir, f"{key}.json")
+            try:
+                results[key] = load_result_json(path)
+            except (OSError, ValueError, KeyError):
+                continue  # a missing/foreign file drops out of the report
+        stats = job.stats
+        stats_line = (f"cases: {stats['unique']} unique, "
+                      f"{stats['simulated']} simulated, "
+                      f"{stats['store_hits']} store hit(s)")
+        provenance = {
+            "Engine": ENGINE_VERSION,
+            "Manifest": job.manifest_hash,
+            "Job": job.id,
+            "Experiments": ", ".join(job.manifest.keys),
+            "Repetitions": str(job.manifest.repetitions),
+            "Executor": stats_line,
+        }
+        body = build_html_report(results, provenance).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/html; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)

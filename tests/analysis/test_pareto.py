@@ -1,0 +1,170 @@
+"""Tests for the security/overhead/hw-cost Pareto layer."""
+
+import math
+
+import pytest
+
+from repro.analysis.figures import FigureSeries
+from repro.analysis.pareto import (
+    DEFAULT_MECHANISMS,
+    hw_cost_overheads,
+    mechanism_overhead,
+    mechanism_profiles,
+    pareto_frontier,
+    pareto_table,
+)
+from repro.experiments.base import ExperimentResult
+from repro.hwcost.estimator import btb_cost, tage_pht_cost
+
+
+def _figure_result(series, name="Fig", categories=("c1", "c2")):
+    figure = FigureSeries(name=name, description="d",
+                          categories=list(categories))
+    for label, values in series.items():
+        figure.add_series(label, values)
+    return ExperimentResult(name=name, description="d", figure=figure)
+
+
+class TestMechanismOverhead:
+    def test_baseline_is_zero_by_definition(self):
+        assert mechanism_overhead({}, "baseline") == (0.0, "(definition)")
+
+    def test_figure10_suffix_labels_are_preferred(self):
+        # Figure 10 prepends the predictor: gshare-CF, ltage-CF, ...
+        results = {
+            "figure10": _figure_result({"gshare-CF": [0.04, 0.06],
+                                        "ltage-CF": [0.02, 0.04],
+                                        "gshare-PF": [0.01, 0.01]}),
+            "figure3": _figure_result({"Complete Flush": [0.9, 0.9]}),
+        }
+        overhead, source = mechanism_overhead(results, "complete_flush")
+        # mean of series averages: (0.05 + 0.03) / 2
+        assert overhead == pytest.approx(0.04)
+        assert source == "figure10: CF (2 series)"
+
+    def test_falls_back_to_exact_label_sources(self):
+        results = {"figure3": _figure_result({"Complete Flush": [0.02, 0.04],
+                                              "Precise Flush": [0.01, 0.01]})}
+        overhead, source = mechanism_overhead(results, "complete_flush")
+        assert overhead == pytest.approx(0.03)
+        assert source == "figure3: Complete Flush (1 series)"
+
+    def test_interval_suffixed_labels_match_by_prefix(self):
+        results = {"figure9": _figure_result({"Noisy-XOR-BP-64K": [0.02, 0.02],
+                                              "XOR-BP-64K": [0.01, 0.01]})}
+        overhead, source = mechanism_overhead(results, "noisy_xor_bp")
+        assert overhead == pytest.approx(0.02)
+        assert source == "figure9: Noisy-XOR-BP (1 series)"
+
+    def test_unavailable_when_no_covering_figure(self):
+        results = {"figure1": _figure_result({"Complete Flush": [0.1, 0.1]})}
+        assert mechanism_overhead(results, "noisy_xor_bp") == (
+            None, "(unavailable)")
+
+
+class TestHwCostOverheads:
+    def test_flush_mechanisms_are_free(self):
+        assert hw_cost_overheads("baseline") == (0.0, 0.0)
+        assert hw_cost_overheads("complete_flush") == (0.0, 0.0)
+        assert hw_cost_overheads("precise_flush") == (0.0, 0.0)
+
+    def test_noisy_xor_bp_combines_btb_and_pht(self):
+        area, timing = hw_cost_overheads("noisy_xor_bp")
+        btb, pht = btb_cost(256), tage_pht_cost(2048)
+        expected_area = ((btb.added_area_um2 + pht.added_area_um2)
+                         / (btb.base_area_um2 + pht.base_area_um2))
+        expected_timing = ((btb.added_delay_ps + pht.added_delay_ps)
+                           / (btb.base_delay_ps + pht.base_delay_ps))
+        assert area == pytest.approx(expected_area)
+        assert timing == pytest.approx(expected_timing)
+        assert 0.0 < area < 0.1
+        assert 0.0 < timing < 0.1
+
+    def test_single_structure_variants(self):
+        btb_only = hw_cost_overheads("noisy_xor_btb")
+        pht_only = hw_cost_overheads("noisy_xor_pht")
+        assert btb_only[0] > 0.0
+        assert pht_only[0] > 0.0
+        assert btb_only != pht_only
+
+
+class TestParetoFrontier:
+    def test_dominated_point_is_dropped(self):
+        assert pareto_frontier([(0.0, 0.0), (1.0, 1.0)]) == [0]
+
+    def test_trade_off_points_all_survive(self):
+        # Each is best on one axis; the third is dominated by both.
+        assert pareto_frontier([(0.0, 1.0), (1.0, 0.0), (2.0, 2.0)]) == [0, 1]
+
+    def test_identical_points_are_all_kept(self):
+        assert pareto_frontier([(1.0, 1.0), (1.0, 1.0)]) == [0, 1]
+
+    def test_three_axes(self):
+        points = [(0.0, 5.0, 1.0), (0.0, 5.0, 0.5), (1.0, 0.0, 0.0)]
+        assert pareto_frontier(points) == [1, 2]
+
+    def test_empty(self):
+        assert pareto_frontier([]) == []
+
+
+class TestMechanismProfiles:
+    @pytest.fixture(scope="class")
+    def profiles(self):
+        results = {
+            "figure10": _figure_result({
+                f"{predictor}-{suffix}": [0.05, 0.03]
+                for predictor in ("gshare", "ltage")
+                for suffix in ("CF", "PF", "Noisy-XOR-BP")}),
+        }
+        return mechanism_profiles(results, trials=40, n_boot=30, seed=11)
+
+    def test_profiles_follow_mechanism_order(self, profiles):
+        assert [p.mechanism for p in profiles] == [
+            preset for preset, _ in DEFAULT_MECHANISMS]
+
+    def test_deterministic_given_the_seed(self, profiles):
+        results = {
+            "figure10": _figure_result({
+                f"{predictor}-{suffix}": [0.05, 0.03]
+                for predictor in ("gshare", "ltage")
+                for suffix in ("CF", "PF", "Noisy-XOR-BP")}),
+        }
+        again = mechanism_profiles(results, trials=40, n_boot=30, seed=11)
+        for first, second in zip(profiles, again):
+            assert first == second
+
+    def test_axes_are_populated(self, profiles):
+        by_name = {p.mechanism: p for p in profiles}
+        assert by_name["baseline"].overhead == 0.0
+        assert by_name["baseline"].hw_area_overhead == 0.0
+        assert by_name["complete_flush"].overhead == pytest.approx(0.04)
+        assert by_name["noisy_xor_bp"].hw_area_overhead > 0.0
+        for profile in profiles:
+            low, high = profile.leakage_ci
+            assert 0.0 <= low <= high
+            assert profile.leakage_bits >= 0.0
+
+    def test_frontier_is_marked_and_nonempty(self, profiles):
+        assert any(p.on_frontier for p in profiles)
+        points = [(p.leakage_bits,
+                   p.overhead if p.overhead is not None else math.inf,
+                   p.hw_area_overhead) for p in profiles]
+        expected = set(pareto_frontier(points))
+        assert {i for i, p in enumerate(profiles) if p.on_frontier} == expected
+
+    def test_table_rendering(self, profiles):
+        headers, rows = pareto_table(profiles)
+        assert len(headers) == 8
+        assert len(rows) == len(profiles)
+        for row, profile in zip(rows, profiles):
+            assert len(row) == len(headers)
+            assert row[0] == profile.label
+            assert row[-1] == ("yes" if profile.on_frontier else "no")
+
+    def test_unavailable_overhead_renders_na(self):
+        profiles = mechanism_profiles({}, trials=20, n_boot=10, seed=3)
+        _, rows = pareto_table(profiles)
+        by_label = {row[0]: row for row in rows}
+        assert by_label["Complete Flush"][3] == "n/a"
+        assert by_label["Complete Flush"][4] == "(unavailable)"
+        assert by_label["Baseline"][3] == "+0.00%"

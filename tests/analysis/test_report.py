@@ -101,3 +101,17 @@ class TestReproductionReport:
         assert report.save(path) == path
         with open(path, "r", encoding="utf-8") as handle:
             assert "Figure 7" in handle.read()
+
+    def test_empty_result_summarised_as_zero_rows(self):
+        empty = ExperimentResult(name="Figure 8", description="empty")
+        entry = ReproductionReport().add_result("figure8", empty)
+        assert entry.measured == "0 rows reproduced"
+
+    def test_custom_summariser_wins(self):
+        report = ReproductionReport()
+        entry = report.add_result("figure7", _figure_result(),
+                                  summariser=lambda result: "custom view")
+        assert entry.measured == "custom view"
+
+    def test_coverage_with_no_expected_artefacts_is_total(self):
+        assert ReproductionReport().coverage([]) == 1.0

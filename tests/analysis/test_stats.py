@@ -12,10 +12,17 @@ import math
 
 import pytest
 
-from repro.analysis.export import figure_from_dict, figure_to_dict
+from repro.analysis.export import (
+    figure_from_dict,
+    figure_to_dict,
+    result_from_dict,
+    result_to_dict,
+)
 from repro.analysis.figures import FigureSeries
 from repro.analysis.stats import (
+    DegreesOfFreedomRangeError,
     PointStats,
+    T_CRITICAL_95_MAX_DF,
     fold_experiment_results,
     fold_figures,
     summarize,
@@ -30,9 +37,29 @@ class TestTCritical:
         assert t_critical_95(2) == 4.303
         assert t_critical_95(30) == 2.042
 
-    def test_large_samples_fall_back_to_normal(self):
-        assert t_critical_95(31) == 1.96
-        assert t_critical_95(1000) == 1.96
+    def test_interpolation_hits_the_textbook_anchors(self):
+        assert t_critical_95(40) == 2.021
+        assert t_critical_95(60) == 2.000
+        assert t_critical_95(120) == 1.980
+
+    def test_interpolation_between_anchors_is_monotone_and_tight(self):
+        # Interpolated values sit strictly between the bracketing anchors
+        # and decrease with df (the t distribution tightens monotonically).
+        previous = t_critical_95(30)
+        for df in range(31, 121):
+            value = t_critical_95(df)
+            assert 1.980 <= value <= previous
+            previous = value
+        # Spot-check against the textbook value for df=50 (2.009).
+        assert t_critical_95(50) == pytest.approx(2.009, abs=1e-3)
+
+    def test_beyond_table_range_raises_named_error(self):
+        # The historical behaviour silently clamped to the normal 1.96;
+        # out-of-range repetition counts must now fail loudly, by name.
+        for df in (T_CRITICAL_95_MAX_DF + 1, 1000):
+            with pytest.raises(DegreesOfFreedomRangeError):
+                t_critical_95(df)
+        assert issubclass(DegreesOfFreedomRangeError, ValueError)
 
     def test_invalid_df_rejected(self):
         with pytest.raises(ValueError):
@@ -183,3 +210,29 @@ class TestErrorBarPlumbing:
         # format: no vestigial "errors" key.
         payload = figure_to_dict(_figure({"a": [0.01, 0.02]}))
         assert "errors" not in payload
+
+
+class TestReplicatePlumbing:
+    def test_fold_preserves_per_seed_figures(self):
+        figures = [_figure({"a": [0.1, 0.3]}), _figure({"a": [0.3, 0.5]})]
+        folded = fold_experiment_results([_result(figure=f) for f in figures])
+        assert len(folded.replicates) == 2
+        assert folded.replicates[0].series == {"a": [0.1, 0.3]}
+        assert folded.replicates[1].series == {"a": [0.3, 0.5]}
+
+    def test_json_round_trip_preserves_replicates(self):
+        figures = [_figure({"a": [0.1, 0.3]}), _figure({"a": [0.3, 0.5]})]
+        folded = fold_experiment_results([_result(figure=f) for f in figures])
+        payload = json.loads(json.dumps(result_to_dict(folded)))
+        restored = result_from_dict(payload)
+        assert len(restored.replicates) == 2
+        assert restored.replicates[1].series == {"a": [0.3, 0.5]}
+        assert restored.figure.series == folded.figure.series
+
+    def test_json_omits_replicates_key_for_single_trajectory_results(self):
+        # Like "errors": the key only appears when repetitions > 1, keeping
+        # single-trajectory JSON byte-identical to the historical format.
+        payload = result_to_dict(_result(figure=_figure({"a": [0.1, 0.2]})))
+        assert "replicates" not in payload
+        restored = result_from_dict(json.loads(json.dumps(payload)))
+        assert restored.replicates == []

@@ -465,6 +465,38 @@ class TestReportCommand:
             markdown = handle.read()
         assert "Table 5" in markdown
 
+    @pytest.mark.parametrize("flags", [["--out", "x.html"],
+                                       ["--repetitions", "2"],
+                                       ["--jobs", "2"]])
+    def test_html_only_flags_rejected_without_html(self, flags, capsys):
+        assert main(["report", "--experiments", "table5"] + flags) == 2
+        err = capsys.readouterr().err
+        assert flags[0] in err
+        assert "--html reports only" in err
+
+    def test_markdown_output_flag_rejected_with_html(self, capsys):
+        assert main(["report", "--html", "--output", "report.md"]) == 2
+        assert "--output" in capsys.readouterr().err
+
+    def test_html_report_end_to_end(self, tmp_path, capsys):
+        from repro.experiments.executor import ENGINE_VERSION
+        from repro.experiments.manifest import build_manifest
+
+        output_path = str(tmp_path / "sub" / "report.html")
+        assert main(["report", "--html", "--experiments", "table2", "table5",
+                     "--out", output_path]) == 0
+        output = capsys.readouterr().out
+        assert "cases: 0 unique, 0 simulated, 0 store hit(s)" in output
+        assert f"HTML report written to {output_path}" in output
+        with open(output_path, "r", encoding="utf-8") as handle:
+            html = handle.read()
+        # Provenance pins the manifest the same keys would plan.
+        manifest = build_manifest(keys=["table2", "table5"])
+        assert manifest.manifest_hash() in html
+        assert ENGINE_VERSION in html
+        assert "Pareto" in html
+        assert "<script" not in html
+
 
 class TestServiceParser:
     def test_known_service_subcommands(self):

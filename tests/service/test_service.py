@@ -203,6 +203,32 @@ class TestValidation:
             assert excinfo.value.status == expected, name
 
 
+class TestReport:
+    def test_report_of_a_done_job_is_self_contained_html(self, service,
+                                                         client):
+        from repro.experiments.executor import ENGINE_VERSION
+
+        final = _run_to_done(client, {"experiments": ["figure1", "table5"]})
+        with client._open(f"/v1/jobs/{final['id']}/report") as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith("text/html")
+            body = response.read().decode("utf-8")
+        # Provenance pins the job to its manifest, engine and stats line.
+        assert final["manifest_hash"] in body
+        assert ENGINE_VERSION in body
+        assert ServiceClient(service.url).stats_line(final) in body
+        assert final["id"] in body
+        # Self-contained: figures inline as SVG, no external fetches.
+        assert "<svg" in body
+        assert "<script" not in body
+
+    def test_report_of_an_unknown_job_is_http_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            with client._open("/v1/jobs/job-nope/report"):
+                pass
+        assert excinfo.value.status == 404
+
+
 class TestFederation:
     def test_ingest_url_federates_a_live_service_store(self, service, client,
                                                        tmp_path):
@@ -288,6 +314,14 @@ class TestServerEdges:
         assert document["state"] == "queued"
         with pytest.raises(ServiceError, match="is queued") as excinfo:
             client.fetch(document["id"], "unused")
+        assert excinfo.value.status == 409
+
+    def test_report_of_an_unfinished_job_is_http_409(self, idle_service):
+        client = ServiceClient(idle_service.url)
+        document = client.submit({"experiments": ["table5"]})
+        with pytest.raises(ServiceError, match="once it is done") as excinfo:
+            with client._open(f"/v1/jobs/{document['id']}/report"):
+                pass
         assert excinfo.value.status == 409
 
     def test_unknown_paths_are_http_404(self, idle_service):

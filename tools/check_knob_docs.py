@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Cross-check the REPRO_* knob inventory against docs and the test scrub.
+
+The knobs a reader can set are only as real as their documentation: PR 9
+added five service knobs and the README table was the sole inventory, one
+forgotten row away from drifting.  This tool makes the contract mechanical —
+every ``REPRO_*`` environment knob referenced anywhere under ``src/`` must:
+
+1. appear in ``docs/knobs.md`` (the single knob inventory the README links
+   to), and
+2. appear in the ``conftest.py`` scrub list (so a developer's environment
+   can never leak into test expectations).
+
+Conversely, a knob documented or scrubbed but no longer referenced in
+``src/`` is stale and also fails the check.  CI runs this on every PR.
+
+Usage::
+
+    python tools/check_knob_docs.py [--repo-root DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from typing import Dict, Set
+
+KNOB_RE = re.compile(r"REPRO_[A-Z][A-Z_0-9]*")
+
+
+def knobs_in_tree(src_root: str) -> Dict[str, Set[str]]:
+    """``{knob: {relative files referencing it}}`` for every knob in src/."""
+    found: Dict[str, Set[str]] = {}
+    for dirpath, dirnames, filenames in os.walk(src_root):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+            for knob in KNOB_RE.findall(text):
+                relative = os.path.relpath(path, src_root)
+                found.setdefault(knob, set()).add(relative)
+    return found
+
+
+def knobs_in_file(path: str) -> Set[str]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return set(KNOB_RE.findall(handle.read()))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="check REPRO_* knob docs/scrub coverage")
+    parser.add_argument("--repo-root", default=None,
+                        help="repository root (default: this script's "
+                             "parent's parent)")
+    args = parser.parse_args(argv)
+    root = args.repo_root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    src_root = os.path.join(root, "src")
+    docs_path = os.path.join(root, "docs", "knobs.md")
+    conftest_path = os.path.join(root, "conftest.py")
+    for path in (src_root, docs_path, conftest_path):
+        if not os.path.exists(path):
+            print(f"check_knob_docs: missing {path}", file=sys.stderr)
+            return 1
+
+    referenced = knobs_in_tree(src_root)
+    documented = knobs_in_file(docs_path)
+    scrubbed = knobs_in_file(conftest_path)
+
+    errors = []
+    for knob in sorted(referenced):
+        files = ", ".join(sorted(referenced[knob]))
+        if knob not in documented:
+            errors.append(f"{knob} is referenced in src/ ({files}) but not "
+                          f"documented in docs/knobs.md")
+        if knob not in scrubbed:
+            errors.append(f"{knob} is referenced in src/ ({files}) but not "
+                          f"scrubbed in conftest.py — tests can leak the "
+                          f"developer's environment")
+    for knob in sorted(documented - set(referenced)):
+        errors.append(f"{knob} is documented in docs/knobs.md but no longer "
+                      f"referenced in src/ — stale row?")
+    for knob in sorted(scrubbed - set(referenced)):
+        errors.append(f"{knob} is scrubbed in conftest.py but no longer "
+                      f"referenced in src/ — stale scrub entry?")
+
+    if errors:
+        for error in errors:
+            print(f"check_knob_docs: {error}", file=sys.stderr)
+        return 1
+    print(f"knob docs OK: {len(referenced)} REPRO_* knob(s) documented "
+          f"and scrubbed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
